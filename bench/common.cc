@@ -1,0 +1,160 @@
+#include "bench/common.h"
+
+#include <cstdio>
+
+#include "src/base/check.h"
+#include "src/base/strings.h"
+
+namespace fwbench {
+
+using fwbase::StrFormat;
+
+const char* PlatformName(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kOpenWhisk:
+      return "openwhisk";
+    case PlatformKind::kGvisor:
+      return "gvisor";
+    case PlatformKind::kGvisorSnapshot:
+      return "gvisor+snapshot";
+    case PlatformKind::kFirecracker:
+      return "firecracker";
+    case PlatformKind::kFirecrackerOsSnapshot:
+      return "firecracker+os-snap";
+    case PlatformKind::kFireworks:
+      return "fireworks";
+    case PlatformKind::kIsolate:
+      return "isolate";
+  }
+  return "?";
+}
+
+std::unique_ptr<ServerlessPlatform> MakePlatform(PlatformKind kind, HostEnv& env) {
+  switch (kind) {
+    case PlatformKind::kOpenWhisk:
+      return std::make_unique<fwbaselines::OpenWhiskPlatform>(env);
+    case PlatformKind::kGvisor:
+      return std::make_unique<fwbaselines::GvisorPlatform>(env);
+    case PlatformKind::kGvisorSnapshot:
+      return std::make_unique<fwbaselines::GvisorSnapshotPlatform>(env);
+    case PlatformKind::kFirecracker:
+      return std::make_unique<fwbaselines::FirecrackerPlatform>(env);
+    case PlatformKind::kFirecrackerOsSnapshot: {
+      fwbaselines::FirecrackerPlatform::Config config;
+      config.mode = fwbaselines::FirecrackerMode::kOsSnapshot;
+      return std::make_unique<fwbaselines::FirecrackerPlatform>(env, config);
+    }
+    case PlatformKind::kFireworks:
+      return std::make_unique<fwcore::FireworksPlatform>(env);
+    case PlatformKind::kIsolate:
+      return std::make_unique<fwbaselines::IsolatePlatform>(env);
+  }
+  return nullptr;
+}
+
+bool AlwaysWarm(PlatformKind kind) { return kind == PlatformKind::kFireworks; }
+
+InvocationResult MeasureCold(PlatformKind kind, const fwlang::FunctionSource& fn,
+                             const std::string& type_sig) {
+  HostEnv env;
+  auto platform = MakePlatform(kind, env);
+  auto install = fwsim::RunSync(env.sim(), platform->Install(fn));
+  FW_CHECK_MSG(install.ok(), install.status().ToString().c_str());
+  InvokeOptions options;
+  options.force_cold = true;
+  options.type_sig = type_sig;
+  auto result = fwsim::RunSync(env.sim(), platform->Invoke(fn.name, "{}", options));
+  FW_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return *result;
+}
+
+InvocationResult MeasureWarm(PlatformKind kind, const fwlang::FunctionSource& fn,
+                             const std::string& type_sig) {
+  HostEnv env;
+  auto platform = MakePlatform(kind, env);
+  auto install = fwsim::RunSync(env.sim(), platform->Install(fn));
+  FW_CHECK_MSG(install.ok(), install.status().ToString().c_str());
+  FW_CHECK(fwsim::RunSync(env.sim(), platform->Prewarm(fn.name)).ok());
+  InvokeOptions options;
+  options.type_sig = type_sig;
+  auto result = fwsim::RunSync(env.sim(), platform->Invoke(fn.name, "{}", options));
+  FW_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return *result;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  FW_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 3;
+  }
+
+  std::printf("\n%s\n", title_.c_str());
+  for (size_t i = 0; i < total; ++i) {
+    std::putchar('=');
+  }
+  std::putchar('\n');
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%-*s", static_cast<int>(widths[i] + 3), columns_[i].c_str());
+  }
+  std::putchar('\n');
+  for (size_t i = 0; i < total; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      for (size_t i = 0; i < total; ++i) {
+        std::putchar('-');
+      }
+      std::putchar('\n');
+      continue;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s", static_cast<int>(widths[i] + 3), row[i].c_str());
+    }
+    std::putchar('\n');
+  }
+  std::fflush(stdout);
+}
+
+std::string Ms(Duration d) {
+  const double ms = d.millis();
+  if (ms < 1.0) {
+    return StrFormat("%.3f ms", ms);
+  }
+  if (ms < 100.0) {
+    return StrFormat("%.2f ms", ms);
+  }
+  return StrFormat("%.1f ms", ms);
+}
+
+std::string Ratio(double r) { return StrFormat("%.1fx", r); }
+
+std::string MiB(double bytes) {
+  return StrFormat("%.1f MiB", bytes / (1024.0 * 1024.0));
+}
+
+std::vector<std::string> BreakdownRow(const std::string& label, const InvocationResult& r) {
+  return {label, Ms(r.startup), Ms(r.exec), Ms(r.others), Ms(r.total)};
+}
+
+}  // namespace fwbench

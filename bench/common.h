@@ -1,0 +1,82 @@
+// Shared support for the benchmark binaries: platform factory, cold/warm
+// measurement helpers, and plain-text table rendering that mirrors the rows
+// and series the paper's tables and figures report.
+#ifndef FIREWORKS_BENCH_COMMON_H_
+#define FIREWORKS_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/container_platform.h"
+#include "src/baselines/firecracker.h"
+#include "src/baselines/isolate.h"
+#include "src/core/fireworks.h"
+#include "src/core/platform.h"
+#include "src/simcore/run_sync.h"
+
+namespace fwbench {
+
+using fwcore::Duration;
+using fwcore::HostEnv;
+using fwcore::InvocationResult;
+using fwcore::InvokeOptions;
+using fwcore::ServerlessPlatform;
+
+enum class PlatformKind {
+  kOpenWhisk,
+  kGvisor,
+  kGvisorSnapshot,
+  kFirecracker,
+  kFirecrackerOsSnapshot,
+  kFireworks,
+  kIsolate,
+};
+
+const char* PlatformName(PlatformKind kind);
+std::unique_ptr<ServerlessPlatform> MakePlatform(PlatformKind kind, HostEnv& env);
+
+// True for platforms with no cold/warm distinction (Fireworks).
+bool AlwaysWarm(PlatformKind kind);
+
+// Installs `fn` on a fresh host+platform and measures one cold invocation.
+InvocationResult MeasureCold(PlatformKind kind, const fwlang::FunctionSource& fn,
+                             const std::string& type_sig = "default");
+// Installs, prewarms per the §5.1 methodology, and measures one warm
+// invocation.
+InvocationResult MeasureWarm(PlatformKind kind, const fwlang::FunctionSource& fn,
+                             const std::string& type_sig = "default");
+
+// ---------------------------------------------------------------------------
+// Table rendering.
+// ---------------------------------------------------------------------------
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  void AddSeparator();
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;  // Empty row = separator.
+};
+
+// Formats a duration in milliseconds with sensible precision.
+std::string Ms(Duration d);
+// Formats a ratio like "12.3x".
+std::string Ratio(double r);
+std::string MiB(double bytes);
+
+// A latency-breakdown row: startup / exec / others / total.
+std::vector<std::string> BreakdownRow(const std::string& label, const InvocationResult& r);
+inline std::vector<std::string> BreakdownColumns() {
+  return {"platform", "startup", "exec", "others", "total"};
+}
+
+}  // namespace fwbench
+
+#endif  // FIREWORKS_BENCH_COMMON_H_

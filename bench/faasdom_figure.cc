@@ -1,0 +1,96 @@
+#include "bench/faasdom_figure.h"
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/base/stats.h"
+#include "src/base/strings.h"
+#include "src/workloads/faasdom.h"
+
+namespace fwbench {
+
+using fwbase::StrFormat;
+using fwwork::FaasdomBench;
+
+namespace {
+
+struct ModeKey {
+  PlatformKind kind;
+  bool cold;
+
+  bool operator<(const ModeKey& o) const {
+    if (kind != o.kind) {
+      return kind < o.kind;
+    }
+    return cold < o.cold;
+  }
+};
+
+}  // namespace
+
+void RunFaasdomFigure(const char* figure_name, fwlang::Language language) {
+  const std::vector<PlatformKind> platforms = {
+      PlatformKind::kOpenWhisk, PlatformKind::kGvisor, PlatformKind::kFirecracker,
+      PlatformKind::kFireworks};
+
+  // Fireworks' end-to-end speedup per platform/mode, per benchmark (feeds the
+  // geomean panel).
+  std::map<ModeKey, std::vector<double>> speedups;
+
+  char panel = 'a';
+  for (const FaasdomBench bench : fwwork::AllFaasdomBenches()) {
+    const fwlang::FunctionSource fn = fwwork::MakeFaasdom(bench, language);
+    Table table(StrFormat("Figure %s(%c): %s — latency breakdown ("
+                          "c = cold start, w = warm start)",
+                          figure_name, panel, fn.name.c_str()),
+                BreakdownColumns());
+
+    InvocationResult fireworks;
+    std::vector<std::pair<ModeKey, InvocationResult>> rows;
+    for (const PlatformKind kind : platforms) {
+      if (AlwaysWarm(kind)) {
+        fireworks = MeasureCold(kind, fn);
+        continue;
+      }
+      rows.push_back({{kind, true}, MeasureCold(kind, fn)});
+      rows.push_back({{kind, false}, MeasureWarm(kind, fn)});
+    }
+    for (const auto& [key, result] : rows) {
+      table.AddRow(BreakdownRow(
+          StrFormat("%s (%s)", PlatformName(key.kind), key.cold ? "c" : "w"), result));
+      speedups[key].push_back(result.total / fireworks.total);
+    }
+    table.AddSeparator();
+    table.AddRow(BreakdownRow("fireworks (both)", fireworks));
+    table.Print();
+
+    // The headline per-benchmark factors the paper quotes.
+    double best_cold_startup = 0.0;
+    double best_warm_startup = 0.0;
+    for (const auto& [key, result] : rows) {
+      const double ratio = result.startup / fireworks.startup;
+      if (key.cold) {
+        best_cold_startup = std::max(best_cold_startup, ratio);
+      } else {
+        best_warm_startup = std::max(best_warm_startup, ratio);
+      }
+    }
+    std::printf("  fireworks start-up vs worst cold: %s faster; vs worst warm: %s faster\n",
+                Ratio(best_cold_startup).c_str(), Ratio(best_warm_startup).c_str());
+    ++panel;
+  }
+
+  Table geo(StrFormat("Figure %s(e): geometric-mean end-to-end speedup of Fireworks "
+                      "across the four benchmarks",
+                      figure_name),
+            {"baseline", "geomean speedup"});
+  for (const auto& [key, values] : speedups) {
+    geo.AddRow({StrFormat("%s (%s)", PlatformName(key.kind), key.cold ? "c" : "w"),
+                Ratio(fwbase::GeometricMean(values))});
+  }
+  geo.Print();
+}
+
+}  // namespace fwbench

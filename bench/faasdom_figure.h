@@ -1,0 +1,17 @@
+// Shared driver for Figures 6 and 7: the FaaSdom latency-breakdown comparison
+// in one language across all platforms, cold and warm, plus the geometric-
+// mean summary panel (Fig 6(e)/7(e)).
+#ifndef FIREWORKS_BENCH_FAASDOM_FIGURE_H_
+#define FIREWORKS_BENCH_FAASDOM_FIGURE_H_
+
+#include "src/lang/function_ir.h"
+
+namespace fwbench {
+
+// Prints sub-figures (a)–(d) (one per FaaSdom benchmark) and (e) (geomean of
+// Fireworks' end-to-end speedups per platform/mode).
+void RunFaasdomFigure(const char* figure_name, fwlang::Language language);
+
+}  // namespace fwbench
+
+#endif  // FIREWORKS_BENCH_FAASDOM_FIGURE_H_

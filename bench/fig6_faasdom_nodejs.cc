@@ -1,0 +1,12 @@
+// Regenerates Figure 6: latency comparison of the Node.js FaaSdom benchmarks
+// across OpenWhisk, gVisor, Firecracker (cold + warm) and Fireworks, with the
+// Fig 6(e) geometric-mean summary.
+#include <cstdio>
+
+#include "bench/faasdom_figure.h"
+
+int main() {
+  std::printf("=== Figure 6: FaaSdom micro-benchmarks, Node.js ===\n");
+  fwbench::RunFaasdomFigure("6", fwlang::Language::kNodeJs);
+  return 0;
+}

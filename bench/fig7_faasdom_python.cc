@@ -1,0 +1,12 @@
+// Regenerates Figure 7: latency comparison of the Python FaaSdom benchmarks
+// across OpenWhisk, gVisor, Firecracker (cold + warm) and Fireworks, with the
+// Fig 7(e) geometric-mean summary.
+#include <cstdio>
+
+#include "bench/faasdom_figure.h"
+
+int main() {
+  std::printf("=== Figure 7: FaaSdom micro-benchmarks, Python ===\n");
+  fwbench::RunFaasdomFigure("7", fwlang::Language::kPython);
+  return 0;
+}

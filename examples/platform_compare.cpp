@@ -1,0 +1,80 @@
+// Platform face-off: one function, four platforms, cold and warm — a compact
+// interactive version of the Fig 6 comparison.
+//
+//   ./build/examples/platform_compare [fact|matrix-mult|diskio|netlatency] [nodejs|python]
+#include <cstdio>
+#include <cstring>
+
+#include "src/baselines/container_platform.h"
+#include "src/baselines/firecracker.h"
+#include "src/core/fireworks.h"
+#include "src/core/platform.h"
+#include "src/simcore/run_sync.h"
+#include "src/workloads/faasdom.h"
+
+namespace {
+
+void Report(const char* label, const fwcore::InvocationResult& r) {
+  std::printf("  %-22s startup %-11s exec %-11s total %s\n", label,
+              r.startup.ToString().c_str(), r.exec.ToString().c_str(),
+              r.total.ToString().c_str());
+}
+
+template <typename Platform>
+void Run(const char* name, fwcore::HostEnv& env, Platform& platform,
+         const fwlang::FunctionSource& fn) {
+  FW_CHECK(fwsim::RunSync(env.sim(), platform.Install(fn)).ok());
+  fwcore::InvokeOptions cold_options;
+  cold_options.force_cold = true;
+  auto cold = fwsim::RunSync(env.sim(), platform.Invoke(fn.name, "{}", cold_options));
+  FW_CHECK(cold.ok());
+  FW_CHECK(fwsim::RunSync(env.sim(), platform.Prewarm(fn.name)).ok());
+  auto warm = fwsim::RunSync(env.sim(), platform.Invoke(fn.name, "{}", fwcore::InvokeOptions()));
+  FW_CHECK(warm.ok());
+  std::printf("%s:\n", name);
+  Report(cold->cold ? "cold" : "snapshot resume", *cold);
+  if (warm->cold != cold->cold || warm->total.nanos() != cold->total.nanos()) {
+    Report(warm->cold ? "cold (again)" : "warm", *warm);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fwwork::FaasdomBench bench = fwwork::FaasdomBench::kFact;
+  fwlang::Language language = fwlang::Language::kNodeJs;
+  for (int i = 1; i < argc; ++i) {
+    for (const auto candidate : fwwork::AllFaasdomBenches()) {
+      if (std::strcmp(argv[i], fwwork::FaasdomBenchName(candidate)) == 0) {
+        bench = candidate;
+      }
+    }
+    if (std::strcmp(argv[i], "python") == 0) {
+      language = fwlang::Language::kPython;
+    }
+  }
+  const fwlang::FunctionSource fn = fwwork::MakeFaasdom(bench, language);
+  std::printf("=== %s across platforms ===\n\n", fn.name.c_str());
+
+  {
+    fwcore::HostEnv env;
+    fwbaselines::OpenWhiskPlatform platform(env);
+    Run("openwhisk", env, platform, fn);
+  }
+  {
+    fwcore::HostEnv env;
+    fwbaselines::GvisorPlatform platform(env);
+    Run("gvisor", env, platform, fn);
+  }
+  {
+    fwcore::HostEnv env;
+    fwbaselines::FirecrackerPlatform platform(env);
+    Run("firecracker", env, platform, fn);
+  }
+  {
+    fwcore::HostEnv env;
+    fwcore::FireworksPlatform platform(env);
+    Run("fireworks", env, platform, fn);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: install a hello-world function on Fireworks and invoke it.
+//
+// Walks the whole §3 flow: the code annotator transforms the source, the
+// install phase boots a microVM, JITs the function and snapshots it; the
+// invoke phase wires a network namespace, queues the arguments in the message
+// bus, restores the snapshot and runs the (already JITted) entry point.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/base/logging.h"
+#include "src/core/fireworks.h"
+#include "src/core/platform.h"
+#include "src/simcore/run_sync.h"
+
+using fwlang::FunctionSource;
+using fwlang::Language;
+using fwlang::MethodDef;
+using fwlang::Op;
+
+namespace {
+
+// The "hello world" of Fig 3: a main that does a little work and replies.
+FunctionSource HelloWorld() {
+  std::vector<MethodDef> methods;
+  methods.emplace_back("greet", std::vector<Op>{Op::Compute(20'000)}, 1024);
+  methods.emplace_back(
+      "main", std::vector<Op>{Op::Call("greet", 8), Op::NetSend(579)}, 1024);
+  return FunctionSource("hello-world", Language::kPython, std::move(methods), "main",
+                        1024 * 1024);
+}
+
+}  // namespace
+
+int main() {
+  fwbase::SetLogLevel(fwbase::LogLevel::kInfo);
+
+  fwcore::HostEnv env;
+  fwcore::FireworksPlatform fireworks(env);
+
+  // --- Installation phase (once per deployment) ---------------------------
+  const FunctionSource fn = HelloWorld();
+  auto install = fwsim::RunSync(env.sim(), fireworks.Install(fn));
+  if (!install.ok()) {
+    std::fprintf(stderr, "install failed: %s\n", install.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("installed %s:\n", fn.name.c_str());
+  std::printf("  install total    : %s\n", install->total.ToString().c_str());
+  std::printf("  jit compilation  : %s\n", install->jit_time.ToString().c_str());
+  std::printf("  snapshot creation: %s (%s on disk)\n",
+              install->snapshot_time.ToString().c_str(),
+              fwbase::BytesToString(install->snapshot_bytes).c_str());
+
+  const fwlang::FunctionSource* annotated = fireworks.AnnotatedSource(fn.name);
+  std::printf("  annotator injected:");
+  for (const auto& method : annotated->methods) {
+    if (method.injected) {
+      std::printf(" %s", method.name.c_str());
+    }
+  }
+  std::printf("\n");
+
+  // --- Invocation phase (every request) -----------------------------------
+  for (int i = 0; i < 3; ++i) {
+    auto result = fwsim::RunSync(
+        env.sim(), fireworks.Invoke(fn.name, "{\"who\":\"world\"}", fwcore::InvokeOptions()));
+    if (!result.ok()) {
+      std::fprintf(stderr, "invoke failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("invocation %d: startup %s | exec %s | others %s | total %s"
+                " (jit compiles during invoke: %llu)\n",
+                i + 1, result->startup.ToString().c_str(), result->exec.ToString().c_str(),
+                result->others.ToString().c_str(), result->total.ToString().c_str(),
+                static_cast<unsigned long long>(result->exec_stats.jit_compiles));
+  }
+  std::printf("\nEvery invocation resumes the post-JIT snapshot: no boot, no runtime\n"
+              "launch, no JIT warm-up — and each ran in its own microVM.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerates the captured outputs checked into the repo root:
+#   test_output.txt  — full ctest run
+#   bench_output.txt — every bench binary (paper tables/figures + ablations)
+set -e
+cd "$(dirname "$0")"
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ ! -d "$b" ]; then
+    echo "##### $(basename "$b") #####" >> bench_output.txt
+    "$b" >> bench_output.txt 2>&1
+    echo >> bench_output.txt
+  fi
+done
+echo "wrote test_output.txt and bench_output.txt"

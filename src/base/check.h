@@ -1,0 +1,45 @@
+// Lightweight invariant checking.
+//
+// FW_CHECK aborts (in all build types) when an invariant is violated; the
+// simulator's correctness depends on these holding, so they are never compiled
+// out. FW_DCHECK is for hot paths and compiles away in NDEBUG builds.
+#ifndef FIREWORKS_SRC_BASE_CHECK_H_
+#define FIREWORKS_SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fwbase {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "FW_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace fwbase
+
+#define FW_CHECK(cond)                                         \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::fwbase::CheckFailed(#cond, __FILE__, __LINE__, "");    \
+    }                                                          \
+  } while (0)
+
+#define FW_CHECK_MSG(cond, msg)                                \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::fwbase::CheckFailed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define FW_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define FW_DCHECK(cond) FW_CHECK(cond)
+#endif
+
+#endif  // FIREWORKS_SRC_BASE_CHECK_H_

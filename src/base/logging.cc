@@ -1,0 +1,54 @@
+#include "src/base/logging.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace fwbase {
+namespace {
+
+LogLevel g_min_level = LogLevel::kWarning;
+std::function<std::string()>& TimeSource() {
+  static std::function<std::string()> source;
+  return source;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetLogLevel() { return g_min_level; }
+
+void SetLogTimeSource(std::function<std::string()> source) { TimeSource() = std::move(source); }
+
+void LogLine(LogLevel level, const char* file, int line, const std::string& message) {
+  // Strip directories from the file path for compact output.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  std::string when;
+  if (TimeSource()) {
+    when = TimeSource()();
+  }
+  std::fprintf(stderr, "[%-5s]%s%s %s:%d: %s\n", LogLevelName(level), when.empty() ? "" : " ",
+               when.c_str(), base, line, message.c_str());
+}
+
+}  // namespace fwbase

@@ -1,0 +1,57 @@
+// Leveled logging for the simulator.
+//
+// Log lines are prefixed with the current simulated time when a Simulation is
+// active (the sim kernel installs a time source). Default level is kWarning so
+// tests and benches stay quiet; examples raise it to kInfo.
+#ifndef FIREWORKS_SRC_BASE_LOGGING_H_
+#define FIREWORKS_SRC_BASE_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace fwbase {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarning = 3, kError = 4 };
+
+const char* LogLevelName(LogLevel level);
+
+// Global minimum level; messages below it are dropped cheaply.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// The sim kernel installs a callback returning the current simulated time as a
+// human-readable string; empty function means "no active simulation".
+void SetLogTimeSource(std::function<std::string()> source);
+
+// Emits one formatted line to stderr.
+void LogLine(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace logging_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+}  // namespace fwbase
+
+#define FW_LOG(level)                                                            \
+  if (::fwbase::LogLevel::level < ::fwbase::GetLogLevel()) {                     \
+  } else                                                                         \
+    ::fwbase::logging_internal::LogMessage(::fwbase::LogLevel::level, __FILE__,  \
+                                           __LINE__)                             \
+        .stream()
+
+#endif  // FIREWORKS_SRC_BASE_LOGGING_H_

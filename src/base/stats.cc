@@ -1,0 +1,98 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/base/check.h"
+#include "src/base/strings.h"
+
+namespace fwbase {
+
+void SampleStats::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double SampleStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double SampleStats::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double SampleStats::min() const {
+  FW_CHECK(count_ > 0);
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  FW_CHECK(count_ > 0);
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Percentile(double p) const {
+  FW_CHECK(count_ > 0);
+  FW_CHECK(p >= 0.0 && p <= 100.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) {
+    return samples_[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  FW_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    FW_CHECK_MSG(v > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void LogHistogram::Add(uint64_t value) {
+  const int bucket = value == 0 ? 0 : 64 - std::countl_zero(value);
+  buckets_[std::min(bucket, kBuckets - 1)]++;
+  ++count_;
+}
+
+uint64_t LogHistogram::PercentileUpperBound(double p) const {
+  FW_CHECK(count_ > 0);
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return i == 0 ? 0 : (1ULL << i) - 1;
+    }
+  }
+  return UINT64_MAX;
+}
+
+std::string LogHistogram::ToString() const {
+  std::string out;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] != 0) {
+      out += StrFormat("[2^%02d) %llu  ", i, static_cast<unsigned long long>(buckets_[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace fwbase

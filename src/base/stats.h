@@ -1,0 +1,57 @@
+// Statistics helpers used by benches and by the platforms' self-reporting.
+#ifndef FIREWORKS_SRC_BASE_STATS_H_
+#define FIREWORKS_SRC_BASE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fwbase {
+
+// Streaming mean/variance via Welford's algorithm plus retained samples for
+// exact order statistics. Sample counts in this project are small (hundreds),
+// so retention is cheap and percentiles are exact.
+class SampleStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  // Exact percentile with linear interpolation; p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Geometric mean of strictly positive values.
+double GeometricMean(const std::vector<double>& values);
+
+// Power-of-two bucketed histogram for latency distributions.
+class LogHistogram {
+ public:
+  void Add(uint64_t value);
+  uint64_t count() const { return count_; }
+  // Upper-bound estimate of percentile p in [0, 100].
+  uint64_t PercentileUpperBound(double p) const;
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+};
+
+}  // namespace fwbase
+
+#endif  // FIREWORKS_SRC_BASE_STATS_H_

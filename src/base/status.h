@@ -1,0 +1,115 @@
+// Minimal Status / Result<T> types for recoverable errors.
+//
+// The simulator does not use exceptions: operations that can fail in ways a
+// caller should handle (e.g. snapshot-store eviction, NAT misconfiguration,
+// out-of-memory) return Status or Result<T>. Programming errors use FW_CHECK.
+#ifndef FIREWORKS_SRC_BASE_STATUS_H_
+#define FIREWORKS_SRC_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/base/check.h"
+
+namespace fwbase {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status. Accessing the value of an
+// error result is a programming error (FW_CHECK).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    FW_CHECK_MSG(!std::get<Status>(v_).ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    FW_CHECK_MSG(ok(), status_ref().ToString().c_str());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    FW_CHECK_MSG(ok(), status_ref().ToString().c_str());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    FW_CHECK_MSG(ok(), status_ref().ToString().c_str());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(v_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  const Status& status_ref() const { return std::get<Status>(v_); }
+  std::variant<T, Status> v_;
+};
+
+}  // namespace fwbase
+
+#endif  // FIREWORKS_SRC_BASE_STATUS_H_

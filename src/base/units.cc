@@ -1,0 +1,36 @@
+#include "src/base/units.h"
+
+#include "src/base/strings.h"
+
+namespace fwbase {
+
+std::string Duration::ToString() const {
+  const double abs_ns = ns_ < 0 ? -static_cast<double>(ns_) : static_cast<double>(ns_);
+  if (abs_ns < 1e3) {
+    return StrFormat("%lldns", static_cast<long long>(ns_));
+  }
+  if (abs_ns < 1e6) {
+    return StrFormat("%.2fus", static_cast<double>(ns_) / 1e3);
+  }
+  if (abs_ns < 1e9) {
+    return StrFormat("%.2fms", static_cast<double>(ns_) / 1e6);
+  }
+  return StrFormat("%.3fs", static_cast<double>(ns_) / 1e9);
+}
+
+std::string SimTime::ToString() const { return StrFormat("t=%.6fs", seconds()); }
+
+std::string BytesToString(uint64_t bytes) {
+  if (bytes < kKiB) {
+    return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+  }
+  if (bytes < kMiB) {
+    return StrFormat("%.1f KiB", static_cast<double>(bytes) / static_cast<double>(kKiB));
+  }
+  if (bytes < kGiB) {
+    return StrFormat("%.1f MiB", static_cast<double>(bytes) / static_cast<double>(kMiB));
+  }
+  return StrFormat("%.2f GiB", static_cast<double>(bytes) / static_cast<double>(kGiB));
+}
+
+}  // namespace fwbase

@@ -1,0 +1,27 @@
+#include "src/baselines/util.h"
+
+#include "src/base/check.h"
+
+namespace fwbaselines {
+
+std::function<fwsim::Co<void>(uint64_t)> DirectNetSend(fwcore::HostEnv& env) {
+  fwcore::HostEnv* env_ptr = &env;
+  return [env_ptr](uint64_t bytes) -> fwsim::Co<void> {
+    co_await fwsim::Delay(env_ptr->sim(), fwbase::Duration::Micros(60) +
+                                              env_ptr->network().TransferTime(bytes));
+  };
+}
+
+std::shared_ptr<fwmem::SnapshotImage> BuildRuntimeRootfs(fwcore::HostEnv& env,
+                                                         fwlang::Language language) {
+  const fwlang::RuntimeCosts costs = fwlang::RuntimeCosts::For(language);
+  fwmem::AddressSpace builder(env.memory());
+  const fwmem::SegmentId text = builder.AddSegment(fwlang::kSegRuntimeText,
+                                                   costs.runtime_text_bytes);
+  builder.DirtyBytes(text, costs.runtime_text_bytes);
+  auto image = builder.TakeSnapshot(std::string("rootfs-") + fwlang::LanguageName(language));
+  image->set_cache_warm(true);
+  return image;
+}
+
+}  // namespace fwbaselines

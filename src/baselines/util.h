@@ -1,0 +1,25 @@
+// Shared helpers for the baseline platforms.
+#ifndef FIREWORKS_SRC_BASELINES_UTIL_H_
+#define FIREWORKS_SRC_BASELINES_UTIL_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/core/platform.h"
+#include "src/lang/runtime_model.h"
+#include "src/mem/address_space.h"
+
+namespace fwbaselines {
+
+// Egress for sandboxes without per-clone NAT: wire latency + transfer only.
+std::function<fwsim::Co<void>(uint64_t)> DirectNetSend(fwcore::HostEnv& env);
+
+// Builds (and caches in the page cache) the rootfs image of a language
+// runtime: the binary text containers share across instances. The returned
+// image contains a fully-populated `runtime_text` segment.
+std::shared_ptr<fwmem::SnapshotImage> BuildRuntimeRootfs(fwcore::HostEnv& env,
+                                                         fwlang::Language language);
+
+}  // namespace fwbaselines
+
+#endif  // FIREWORKS_SRC_BASELINES_UTIL_H_

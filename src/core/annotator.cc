@@ -1,0 +1,69 @@
+#include "src/core/annotator.h"
+
+#include <utility>
+
+namespace fwcore {
+
+using fwlang::FunctionSource;
+using fwlang::MethodDef;
+using fwlang::Op;
+
+fwbase::Result<FunctionSource> Annotate(const FunctionSource& fn) {
+  if (fn.annotated || IsAnnotated(fn)) {
+    return fwbase::Status::InvalidArgument("function " + fn.name + " is already annotated");
+  }
+  if (!fn.HasMethod(fn.entry_method)) {
+    return fwbase::Status::InvalidArgument("function " + fn.name + " has no entry method " +
+                                           fn.entry_method);
+  }
+  FunctionSource out = fn;
+
+  // (1) JIT annotation on every user method.
+  std::vector<Op> jit_calls;
+  for (auto& method : out.methods) {
+    method.jit_annotated = true;
+    // (2) __fireworks_jit invokes each user method once with default params.
+    jit_calls.push_back(Op::Call(method.name, 1));
+  }
+
+  MethodDef jit_method(fwlang::kFireworksJitMethod, std::move(jit_calls),
+                       /*code_bytes=*/256);
+  jit_method.injected = true;
+
+  // (3) __fireworks_snapshot: HTTP GET to the host requesting the snapshot.
+  MethodDef snapshot_method(fwlang::kFireworksSnapshotMethod,
+                            std::vector<Op>{Op::NetSend(kSnapshotRequestBytes)},
+                            /*code_bytes=*/256);
+  snapshot_method.injected = true;
+
+  // (4) __fireworks_main: the new entry. The ops below cover the install
+  // phase; after the snapshot resumes, the parameter passer fetches arguments
+  // and dispatches the original entry (Fig 3 lines 23–29).
+  MethodDef main_method(fwlang::kFireworksMainMethod,
+                        std::vector<Op>{Op::Call(fwlang::kFireworksJitMethod, 1),
+                                        Op::Call(fwlang::kFireworksSnapshotMethod, 1)},
+                        /*code_bytes=*/384);
+  main_method.injected = true;
+
+  out.methods.push_back(std::move(jit_method));
+  out.methods.push_back(std::move(snapshot_method));
+  out.methods.push_back(std::move(main_method));
+  out.annotated = true;
+  return out;
+}
+
+bool IsAnnotated(const FunctionSource& fn) {
+  if (!fn.HasMethod(fwlang::kFireworksJitMethod) ||
+      !fn.HasMethod(fwlang::kFireworksSnapshotMethod) ||
+      !fn.HasMethod(fwlang::kFireworksMainMethod)) {
+    return false;
+  }
+  for (const auto& method : fn.methods) {
+    if (!method.injected && !method.jit_annotated) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fwcore

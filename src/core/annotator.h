@@ -1,0 +1,40 @@
+// The Fireworks code annotator (§3.2, Fig. 3).
+//
+// Given a user-provided serverless function, the annotator performs the
+// source-to-source transform that makes the function follow the Fireworks
+// install/invoke procedure:
+//
+//   1. every user method gets a JIT annotation — @jit(cache=True) for Python
+//      Numba, the force-optimize hint for V8 — so it compiles on first call;
+//   2. a __fireworks_jit method is injected that calls every user method once
+//      with default parameters, triggering JIT compilation of the whole
+//      application during installation;
+//   3. a __fireworks_snapshot method is injected that sends the snapshot-
+//      creation HTTP request to the host (the Firecracker API);
+//   4. a __fireworks_main method is injected as the new program entry:
+//      JIT → snapshot → (resume point) → fetch parameters → call the original
+//      entry. The parameter fetch and entry dispatch after resume are driven
+//      by the parameter passer (see fireworks.h).
+#ifndef FIREWORKS_SRC_CORE_ANNOTATOR_H_
+#define FIREWORKS_SRC_CORE_ANNOTATOR_H_
+
+#include "src/base/status.h"
+#include "src/lang/function_ir.h"
+
+namespace fwcore {
+
+// Size of the snapshot-request HTTP GET the injected code sends (Fig 3 line
+// 14: URL + query parameters).
+inline constexpr uint64_t kSnapshotRequestBytes = 180;
+
+// Returns the annotated version of `fn`. Idempotent inputs are rejected:
+// annotating an already-annotated function is a programming error surfaced as
+// an error status.
+fwbase::Result<fwlang::FunctionSource> Annotate(const fwlang::FunctionSource& fn);
+
+// True if `fn` carries the complete Fireworks instrumentation.
+bool IsAnnotated(const fwlang::FunctionSource& fn);
+
+}  // namespace fwcore
+
+#endif  // FIREWORKS_SRC_CORE_ANNOTATOR_H_

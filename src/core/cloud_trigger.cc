@@ -1,0 +1,46 @@
+#include "src/core/cloud_trigger.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/base/logging.h"
+
+namespace fwcore {
+
+CloudTrigger::CloudTrigger(HostEnv& env, ServerlessPlatform& platform, std::string db_name,
+                           std::vector<std::string> chain, InvokeOptions options)
+    : env_(env),
+      platform_(platform),
+      db_name_(std::move(db_name)),
+      chain_(std::move(chain)),
+      options_(std::move(options)) {}
+
+void CloudTrigger::Start(int max_fires) {
+  FW_CHECK_MSG(!started_, "trigger already started");
+  FW_CHECK(max_fires > 0);
+  started_ = true;
+  root_id_ = env_.sim().Spawn(Listen(max_fires));
+}
+
+bool CloudTrigger::Done() const { return started_ && env_.sim().IsDone(root_id_); }
+
+fwsim::Co<void> CloudTrigger::Listen(int max_fires) {
+  int fired = 0;
+  while (fired < max_fires) {
+    fwstore::UpdateEvent event = co_await env_.db().update_feed().Recv();
+    if (event.db != db_name_) {
+      continue;  // Updates to other databases are not ours.
+    }
+    ++fired;
+    FW_LOG(kDebug) << "cloud-trigger: " << db_name_ << " updated (" << event.doc.key
+                   << "), firing chain";
+    auto results = co_await platform_.InvokeChain(chain_, event.doc.body, options_);
+    if (results.ok()) {
+      firings_.push_back(*std::move(results));
+    } else {
+      errors_.push_back(results.status());
+    }
+  }
+}
+
+}  // namespace fwcore

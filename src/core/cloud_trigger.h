@@ -1,0 +1,49 @@
+// CloudTrigger: the Cloud-trigger component of Fig. 1.
+//
+// Watches a DocumentDb's update feed; when a document in the watched database
+// changes, it invokes a configured chain of functions on a platform. This is
+// how the data-analysis application's analysis chain is launched (Fig 8(b)):
+// inserting a wage record triggers analyze → stats.
+#ifndef FIREWORKS_SRC_CORE_CLOUD_TRIGGER_H_
+#define FIREWORKS_SRC_CORE_CLOUD_TRIGGER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/platform.h"
+
+namespace fwcore {
+
+class CloudTrigger {
+ public:
+  // Watches `db_name` updates in env.db(); each update fires `chain` on
+  // `platform` with the updated document's body as arguments.
+  CloudTrigger(HostEnv& env, ServerlessPlatform& platform, std::string db_name,
+               std::vector<std::string> chain, InvokeOptions options);
+
+  // Starts the listener; it reacts to the next `max_fires` updates (processed
+  // strictly in order) and then exits.
+  void Start(int max_fires);
+
+  bool Done() const;
+  // Results of every fired chain, in firing order.
+  const std::vector<std::vector<InvocationResult>>& firings() const { return firings_; }
+  const std::vector<Status>& errors() const { return errors_; }
+
+ private:
+  fwsim::Co<void> Listen(int max_fires);
+
+  HostEnv& env_;
+  ServerlessPlatform& platform_;
+  std::string db_name_;
+  std::vector<std::string> chain_;
+  InvokeOptions options_;
+  uint64_t root_id_ = 0;
+  bool started_ = false;
+  std::vector<std::vector<InvocationResult>> firings_;
+  std::vector<Status> errors_;
+};
+
+}  // namespace fwcore
+
+#endif  // FIREWORKS_SRC_CORE_CLOUD_TRIGGER_H_

@@ -1,0 +1,385 @@
+#include "src/core/fireworks.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace fwcore {
+
+using fwbase::SimTime;
+using fwlang::ExecEnv;
+using fwlang::GuestProcess;
+using fwvmm::MicroVm;
+
+FireworksPlatform::FireworksPlatform(HostEnv& env) : FireworksPlatform(env, Config()) {}
+
+FireworksPlatform::FireworksPlatform(HostEnv& env, const Config& config)
+    : env_(env),
+      config_(config),
+      hv_(env.sim(), env.memory(), env.snapshot_store(), config.hv_config) {}
+
+FireworksPlatform::~FireworksPlatform() { ReleaseInstances(); }
+
+fwsim::Co<Result<std::pair<uint64_t, fwnet::IpAddr>>> FireworksPlatform::WireNetwork() {
+  co_await fwsim::Delay(env_.sim(), config_.netns_setup_cost);
+  fwnet::NetworkNamespace& ns = env_.network().CreateNamespace();
+  Status tap = ns.AttachTap({kGuestTapName, kGuestIp, fwnet::MacAddr(0xFA57F00D)});
+  if (!tap.ok()) {
+    co_return tap;
+  }
+  const fwnet::IpAddr external = env_.network().AllocateExternalIp();
+  Status nat = ns.AddNatRule({external, kGuestIp});
+  if (!nat.ok()) {
+    co_return nat;
+  }
+  Status bind = env_.network().BindExternalIp(external, ns.id());
+  if (!bind.ok()) {
+    co_return bind;
+  }
+  co_return std::make_pair(ns.id(), external);
+}
+
+ExecEnv FireworksPlatform::MakeGuestEnv(fwstore::Filesystem* fs, uint64_t netns_id,
+                                        fwnet::IpAddr guest_ip) {
+  auto net_send = [this, netns_id, guest_ip](uint64_t bytes) -> fwsim::Co<void> {
+    auto sent = co_await env_.network().SendOutbound(netns_id, guest_ip, bytes);
+    FW_CHECK_MSG(sent.ok(), "guest egress failed");
+  };
+  return ExecEnv(fs, &env_.db(), std::move(net_send), Duration::Micros(400));
+}
+
+GuestProcess::FaultCharger FireworksPlatform::ChargerFor(MicroVm* vm) {
+  return [this, vm](const fwmem::FaultCounts& faults) {
+    return hv_.FaultServiceTime(*vm, faults);
+  };
+}
+
+fwsim::Co<Result<InstallResult>> FireworksPlatform::Install(const fwlang::FunctionSource& fn) {
+  if (installed_.count(fn.name) != 0) {
+    co_return Status::AlreadyExists("function " + fn.name + " already installed");
+  }
+  const SimTime t0 = env_.sim().Now();
+
+  // ② Annotate the user source (Fig 3).
+  Result<fwlang::FunctionSource> annotated = Annotate(fn);
+  if (!annotated.ok()) {
+    co_return annotated.status();
+  }
+  InstalledFunction record;
+  record.annotated = std::make_unique<fwlang::FunctionSource>(*std::move(annotated));
+
+  // ① Create a microVM ready for the runtime and boot it.
+  MicroVm* vm = co_await hv_.CreateMicroVm("fw-install-" + fn.name, config_.vm_config);
+  Status booted = co_await hv_.BootGuestOs(*vm);
+  if (!booted.ok()) {
+    co_return booted;
+  }
+
+  // Network wiring for the install VM (the snapshot request needs egress).
+  auto wired = co_await WireNetwork();
+  if (!wired.ok()) {
+    co_return wired.status();
+  }
+  const auto [netns_id, external_ip] = *wired;
+  vm->set_netns_id(netns_id);
+  vm->set_tap_name(kGuestTapName);
+
+  // ③ Launch the runtime and load the annotated function.
+  auto fs = std::make_unique<fwstore::Filesystem>(env_.sim(), env_.disk(),
+                                                  fwstore::FsKind::kVirtio);
+  GuestProcess process(env_.sim(), record.annotated->language, vm->address_space(),
+                       MakeGuestEnv(fs.get(), netns_id, kGuestIp), ChargerFor(vm));
+  co_await process.InstallPackages(*record.annotated);
+  co_await process.BootRuntime();
+  co_await process.LoadApplication(*record.annotated);
+
+  // ④ __fireworks_jit: JIT-compile every user method (one default-params
+  // execution of the whole application).
+  const SimTime jit_t0 = env_.sim().Now();
+  fwlang::ExecStats jit_stats =
+      co_await process.CallMethod(fwlang::kFireworksJitMethod, "default");
+  record.install.jit_time = env_.sim().Now() - jit_t0;
+
+  // __fireworks_snapshot: the guest asks the host for a snapshot...
+  co_await process.CallMethod(fwlang::kFireworksSnapshotMethod, "default");
+  // ...and the host takes it right before the original entry point.
+  const SimTime snap_t0 = env_.sim().Now();
+  auto image = co_await hv_.CreateSnapshot(*vm, "fw-" + fn.name);
+  if (!image.ok()) {
+    co_return image.status();
+  }
+  record.install.snapshot_time = env_.sim().Now() - snap_t0;
+  record.install.snapshot_bytes = (*image)->file_bytes();
+  record.image = *image;
+  record.snapshot_name = "fw-" + fn.name;
+  if (config_.pin_snapshots) {
+    // Hot functions keep their snapshots pinned in the store.
+    (void)env_.snapshot_store().Pin("fw-" + fn.name);
+  }
+
+  record.process_state = process.ExtractState();
+
+  // The install VM is no longer needed; clones resume from the image.
+  FW_CHECK(hv_.Destroy(*vm).ok());
+  FW_CHECK(env_.network().DestroyNamespace(netns_id).ok());
+
+  record.install.total = env_.sim().Now() - t0;
+  FW_LOG(kInfo) << "fireworks: installed " << fn.name << " in "
+                << record.install.total.ToString() << " (snapshot "
+                << fwbase::BytesToString(record.install.snapshot_bytes) << ", jit "
+                << record.install.jit_time.ToString() << ", " << jit_stats.jit_compiles
+                << " compiles)";
+  InstallResult result = record.install;
+  installed_.emplace(fn.name, std::move(record));
+  co_return result;
+}
+
+fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string& fn_name,
+                                                              const std::string& args,
+                                                              const InvokeOptions& options) {
+  auto it = installed_.find(fn_name);
+  if (it == installed_.end()) {
+    co_return Status::NotFound("function " + fn_name + " is not installed");
+  }
+  const InstalledFunction& fn = it->second;
+  InvocationResult result;
+  result.cold = false;  // Fireworks has no cold/warm distinction (§5.1).
+  const SimTime t0 = env_.sim().Now();
+
+  // Controller processing (Fig 1) and per-clone network namespace (§3.5).
+  co_await fwsim::Delay(env_.sim(), config_.controller_cost);
+  auto wired = co_await WireNetwork();
+  if (!wired.ok()) {
+    co_return wired.status();
+  }
+  const auto [netns_id, external_ip] = *wired;
+  const SimTime t_net_done = env_.sim().Now();
+
+  // §3.6: put the arguments into the instance's Kafka topic *before* resume.
+  const uint64_t fc_id = next_fc_id_++;
+  const std::string topic = fwbase::StrFormat("topic%llu", static_cast<unsigned long long>(fc_id));
+  Status topic_status = env_.broker().CreateTopic(topic);
+  if (!topic_status.ok()) {
+    co_return topic_status;
+  }
+  auto produced = co_await env_.broker().Produce(topic, 0, fwbus::Record("args", args));
+  if (!produced.ok()) {
+    co_return produced.status();
+  }
+  const SimTime t_params_queued = env_.sim().Now();
+
+  // ⑥ Restore the post-JIT snapshot into a fresh microVM.
+  auto restored = co_await hv_.RestoreMicroVm(fn.snapshot_name,
+                                              fwbase::StrFormat("fw-%s-%llu", fn_name.c_str(),
+                                                                static_cast<unsigned long long>(
+                                                                    fc_id)));
+  if (!restored.ok()) {
+    co_return restored.status();
+  }
+  MicroVm* vm = *restored;
+  vm->set_netns_id(netns_id);
+  vm->set_tap_name(kGuestTapName);
+  vm->SetMetadata("fcID", std::to_string(fc_id));
+  vm->SetMetadata("topic", topic);
+
+  if (config_.prefetch_on_restore && !fn.image->cache_warm()) {
+    co_await hv_.PrefetchWorkingSet(*fn.image, fn.image->file_bytes());
+  }
+
+  // Post-resume guest-kernel activity: page tables, slab, timers re-arming.
+  {
+    auto& space = vm->address_space();
+    fwmem::FaultCounts faults;
+    const auto kern = space.SegmentByName(fwvmm::kSegGuestKernel);
+    const auto os = space.SegmentByName(fwvmm::kSegGuestOs);
+    faults += space.TouchRandomFraction(kern, config_.guest_os_resume_touch_fraction, 7);
+    faults += space.TouchRandomFraction(os, config_.guest_os_resume_touch_fraction, 8);
+    faults += space.DirtyRandomFraction(kern, config_.guest_os_resume_dirty_fraction,
+                                        1000 + fc_id);
+    faults += space.DirtyRandomFraction(os, config_.guest_os_resume_dirty_fraction,
+                                        2000 + fc_id);
+    co_await hv_.ServiceFaults(*vm, faults);
+  }
+  const SimTime t_restored = env_.sim().Now();
+
+  // The resumed guest identifies itself via MMDS and fetches its parameters.
+  auto instance = std::make_unique<Instance>();
+  instance->fn = &fn;
+  instance->vm = vm;
+  instance->fs = std::make_unique<fwstore::Filesystem>(env_.sim(), env_.disk(),
+                                                       fwstore::FsKind::kVirtio);
+  instance->process = GuestProcess::FromState(fn.process_state, env_.sim(),
+                                              vm->address_space(),
+                                              MakeGuestEnv(instance->fs.get(), netns_id,
+                                                           kGuestIp),
+                                              ChargerFor(vm));
+  instance->process->set_mem_salt(fc_id);
+  instance->netns_id = netns_id;
+  instance->external_ip = external_ip;
+  instance->topic = topic;
+
+  auto fc_id_value = co_await hv_.GuestReadMmds(*vm, "fcID");
+  FW_CHECK(fc_id_value.ok());
+  auto params = co_await env_.broker().ConsumeLast(topic, 0);
+  if (!params.ok()) {
+    co_return params.status();
+  }
+  const SimTime t_params_read = env_.sim().Now();
+
+  // ⑦ Execute the original entry point with the fetched parameters.
+  result.exec_stats =
+      co_await instance->process->CallMethod(fn.annotated->entry_method, options.type_sig);
+  const SimTime t_exec_done = env_.sim().Now();
+
+  // HTTP response back through NAT.
+  auto sent = co_await env_.network().SendOutbound(netns_id, kGuestIp, 579);
+  if (!sent.ok()) {
+    co_return sent.status();
+  }
+  const SimTime t_done = env_.sim().Now();
+
+  result.startup = (t_net_done - t0) + (t_restored - t_params_queued);
+  result.exec = t_exec_done - t_params_read;
+  result.others = (t_params_queued - t_net_done) + (t_params_read - t_restored) +
+                  (t_done - t_exec_done);
+  result.total = t_done - t0;
+
+  if (options.keep_instance) {
+    if (options.steady_state) {
+      // A long-running instance converges to its steady-state resident set:
+      // guest page cache and slab in the kernel segments, GC-churned pages in
+      // the runtime heap. Charged after the latency measurement.
+      auto& space = vm->address_space();
+      fwmem::FaultCounts faults;
+      const auto kern = space.SegmentByName(fwvmm::kSegGuestKernel);
+      const auto os = space.SegmentByName(fwvmm::kSegGuestOs);
+      faults += space.TouchRandomFraction(kern, config_.guest_os_steady_touch_fraction, 7);
+      faults += space.TouchRandomFraction(os, config_.guest_os_steady_touch_fraction, 8);
+      faults += space.DirtyRandomFraction(kern, config_.guest_os_steady_dirty_fraction,
+                                          5000 + fc_id);
+      faults += space.DirtyRandomFraction(os, config_.guest_os_steady_dirty_fraction,
+                                          6000 + fc_id);
+      faults += space.DirtyRandomFraction(space.SegmentByName(fwlang::kSegRuntimeHeap),
+                                          config_.steady_runtime_heap_dirty_fraction,
+                                          7000 + fc_id);
+      co_await hv_.ServiceFaults(*vm, faults);
+    }
+    instances_.push_back(std::move(instance));
+  } else {
+    Teardown(*instance);
+  }
+  co_return result;
+}
+
+void FireworksPlatform::Teardown(Instance& instance) {
+  if (instance.vm != nullptr) {
+    FW_CHECK(hv_.Destroy(*instance.vm).ok());
+    instance.vm = nullptr;
+  }
+  if (instance.netns_id != 0) {
+    (void)env_.network().DestroyNamespace(instance.netns_id);
+    instance.netns_id = 0;
+  }
+  if (!instance.topic.empty()) {
+    (void)env_.broker().DeleteTopic(instance.topic);
+    instance.topic.clear();
+  }
+}
+
+void FireworksPlatform::ReleaseInstances() {
+  for (auto& instance : instances_) {
+    Teardown(*instance);
+  }
+  instances_.clear();
+}
+
+double FireworksPlatform::MeasurePssBytes() const {
+  double total = 0.0;
+  for (const auto& instance : instances_) {
+    if (instance->vm != nullptr) {
+      total += instance->vm->address_space().pss_bytes();
+    }
+  }
+  return total;
+}
+
+fwsim::Co<Status> FireworksPlatform::RegenerateSnapshot(const std::string& fn_name) {
+  auto it = installed_.find(fn_name);
+  if (it == installed_.end()) {
+    co_return Status::NotFound("function " + fn_name + " is not installed");
+  }
+  InstalledFunction& fn = it->second;
+  // Resume the current image into a scratch VM and let the guest
+  // re-randomise: the runtime relocates its ASLR-sensitive structures,
+  // dirtying a slice of its pages, and the kernel reseeds its RNG state.
+  auto restored = co_await hv_.RestoreMicroVm(
+      fn.snapshot_name, fwbase::StrFormat("fw-regen-%s", fn_name.c_str()));
+  if (!restored.ok()) {
+    co_return restored.status();
+  }
+  MicroVm* vm = *restored;
+  auto& space = vm->address_space();
+  fwmem::FaultCounts faults;
+  // The regenerated image must contain everything the old one did: fault the
+  // whole old image in (the bulk of regeneration's cost, alongside writing
+  // the new file).
+  for (size_t seg = 0; seg < space.segments().size(); ++seg) {
+    faults += space.Touch(static_cast<fwmem::SegmentId>(seg), 0,
+                          space.segments()[seg].pages);
+  }
+  faults += space.DirtyRandomFraction(space.SegmentByName(fwvmm::kSegGuestKernel), 0.05,
+                                      9000 + static_cast<uint64_t>(fn.version));
+  if (space.HasSegment(fwlang::kSegRuntimeHeap)) {
+    faults += space.DirtyRandomFraction(space.SegmentByName(fwlang::kSegRuntimeHeap), 0.08,
+                                        9100 + static_cast<uint64_t>(fn.version));
+  }
+  co_await hv_.ServiceFaults(*vm, faults);
+  co_await fwsim::Delay(env_.sim(), Duration::Millis(3));  // In-guest reseeding.
+
+  const std::string new_name =
+      fwbase::StrFormat("fw-%s-v%d", fn_name.c_str(), fn.version + 1);
+  auto image = co_await hv_.CreateSnapshot(*vm, new_name);
+  if (!image.ok()) {
+    FW_CHECK(hv_.Destroy(*vm).ok());
+    co_return image.status();
+  }
+  FW_CHECK(hv_.Destroy(*vm).ok());
+
+  if (config_.pin_snapshots) {
+    (void)env_.snapshot_store().Pin(new_name);
+  }
+  // Retire the old image from the store; in-flight instances keep their
+  // shared_ptr to it.
+  (void)env_.snapshot_store().Unpin(fn.snapshot_name);
+  (void)env_.snapshot_store().Remove(fn.snapshot_name);
+  fn.image = *image;
+  fn.snapshot_name = new_name;
+  ++fn.version;
+  co_return Status::Ok();
+}
+
+int FireworksPlatform::SnapshotVersion(const std::string& fn_name) const {
+  auto it = installed_.find(fn_name);
+  return it == installed_.end() ? 0 : it->second.version;
+}
+
+const fwlang::FunctionSource* FireworksPlatform::AnnotatedSource(
+    const std::string& fn_name) const {
+  auto it = installed_.find(fn_name);
+  return it == installed_.end() ? nullptr : it->second.annotated.get();
+}
+
+std::shared_ptr<fwmem::SnapshotImage> FireworksPlatform::SnapshotImageOf(
+    const std::string& fn_name) const {
+  auto it = installed_.find(fn_name);
+  return it == installed_.end() ? nullptr : it->second.image;
+}
+
+const InstallResult* FireworksPlatform::InstallInfo(const std::string& fn_name) const {
+  auto it = installed_.find(fn_name);
+  return it == installed_.end() ? nullptr : &it->second.install;
+}
+
+}  // namespace fwcore

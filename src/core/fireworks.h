@@ -1,0 +1,138 @@
+// FireworksPlatform: the paper's contribution (§3).
+//
+// Install phase (Fig 2 ①–④): annotate the function source, create a microVM,
+// boot the guest, install packages, launch the runtime, load the annotated
+// application, run __fireworks_jit (compiling every user method), let the
+// guest request the snapshot (__fireworks_snapshot), and persist the post-JIT
+// VM snapshot. The install VM is then destroyed — only the snapshot remains.
+//
+// Invoke phase (Fig 2 ⑤–⑦): set up a fresh network namespace with NAT and a
+// tap device (every clone keeps the identical in-snapshot network identity,
+// §3.5), produce the arguments into the instance's Kafka topic (§3.6),
+// restore the snapshot into a new microVM (guest pages fault in lazily from
+// the shared image, CoW on write), let the resumed guest read its fcID from
+// MMDS, consume its parameters, execute the (already JITted) entry method,
+// and send the response. There is no cold/warm distinction (§5.1).
+#ifndef FIREWORKS_SRC_CORE_FIREWORKS_H_
+#define FIREWORKS_SRC_CORE_FIREWORKS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/annotator.h"
+#include "src/core/platform.h"
+#include "src/vmm/hypervisor.h"
+
+namespace fwcore {
+
+class FireworksPlatform : public ServerlessPlatform {
+ public:
+  struct Config {
+    Config() {}
+
+    // Frontend + controller processing per request (Fig 1).
+    Duration controller_cost = Duration::Micros(900);
+    // ip netns add + veth pair + iptables DNAT/SNAT rules (§3.5).
+    Duration netns_setup_cost = Duration::MillisF(2.2);
+    // Post-resume guest-kernel activity on the invocation critical path: the
+    // fraction of kernel/OS pages the resuming guest immediately re-reads
+    // (shared) and re-writes (private: page tables, timers).
+    double guest_os_resume_touch_fraction = 0.04;
+    double guest_os_resume_dirty_fraction = 0.02;
+    // Steady-state residency a long-running instance converges to (guest page
+    // cache, slab, per-VM kernel bookkeeping). Applied off the latency path
+    // when an instance is kept for the consolidation experiments (§5.4).
+    double guest_os_steady_touch_fraction = 0.80;
+    double guest_os_steady_dirty_fraction = 0.62;
+    // Long-running GC churn over the runtime heap (V8 old-space turnover).
+    double steady_runtime_heap_dirty_fraction = 0.65;
+    // REAP-style working-set prefetch before resume (ablation, §7).
+    bool prefetch_on_restore = false;
+    // Pin snapshots of installed functions in the store (§6 discussion: keep
+    // frequently-accessed snapshots). Off for the eviction ablation.
+    bool pin_snapshots = true;
+    fwvmm::MicroVmConfig vm_config;
+    fwvmm::Hypervisor::Config hv_config;
+  };
+
+  explicit FireworksPlatform(HostEnv& env);
+  FireworksPlatform(HostEnv& env, const Config& config);
+  ~FireworksPlatform() override;
+
+  std::string name() const override { return "fireworks"; }
+
+  fwsim::Co<Result<InstallResult>> Install(const fwlang::FunctionSource& fn) override;
+  fwsim::Co<Result<InvocationResult>> Invoke(const std::string& fn_name,
+                                             const std::string& args,
+                                             const InvokeOptions& options) override;
+  bool SupportsChains() const override { return true; }
+
+  // §6 mitigation for snapshot entropy/ASLR staleness: resumes the current
+  // snapshot, lets the guest re-randomise its address-space layout, and
+  // replaces the stored image with a fresh version. New invocations use the
+  // new image; instances already running keep the old one.
+  fwsim::Co<Status> RegenerateSnapshot(const std::string& fn_name);
+  // Monotonic snapshot version (1 after install). 0 if not installed.
+  int SnapshotVersion(const std::string& fn_name) const;
+
+  double MeasurePssBytes() const override;
+  void ReleaseInstances() override;
+
+  // The annotated source of an installed function (for tests / inspection).
+  const fwlang::FunctionSource* AnnotatedSource(const std::string& fn_name) const;
+  // The post-JIT snapshot image of an installed function (ablations chill or
+  // prefetch the page cache through this handle).
+  std::shared_ptr<fwmem::SnapshotImage> SnapshotImageOf(const std::string& fn_name) const;
+  const InstallResult* InstallInfo(const std::string& fn_name) const;
+  size_t live_instance_count() const { return instances_.size(); }
+  fwvmm::Hypervisor& hypervisor() { return hv_; }
+
+ private:
+  struct InstalledFunction {
+    // unique_ptr: GuestProcess::State points at the FunctionSource, so its
+    // address must be stable for the lifetime of the installation.
+    std::unique_ptr<fwlang::FunctionSource> annotated;
+    std::shared_ptr<fwmem::SnapshotImage> image;
+    fwlang::GuestProcess::State process_state;
+    InstallResult install;
+    std::string snapshot_name;
+    int version = 1;
+  };
+
+  // One running microVM instance of a function.
+  struct Instance {
+    const InstalledFunction* fn = nullptr;
+    fwvmm::MicroVm* vm = nullptr;
+    std::unique_ptr<fwstore::Filesystem> fs;
+    std::unique_ptr<fwlang::GuestProcess> process;
+    uint64_t netns_id = 0;
+    fwnet::IpAddr external_ip;
+    std::string topic;
+  };
+
+  // Wires a namespace + tap + NAT + external IP for one clone; returns the
+  // namespace id and external IP.
+  fwsim::Co<Result<std::pair<uint64_t, fwnet::IpAddr>>> WireNetwork();
+  fwlang::ExecEnv MakeGuestEnv(fwstore::Filesystem* fs, uint64_t netns_id,
+                               fwnet::IpAddr guest_ip);
+  fwlang::GuestProcess::FaultCharger ChargerFor(fwvmm::MicroVm* vm);
+  void Teardown(Instance& instance);
+
+  HostEnv& env_;
+  Config config_;
+  fwvmm::Hypervisor hv_;
+  std::map<std::string, InstalledFunction> installed_;
+  std::vector<std::unique_ptr<Instance>> instances_;  // Kept instances.
+  uint64_t next_fc_id_ = 1;
+};
+
+// The fixed in-snapshot guest network identity (A.A.A.A / tap0 in Fig 5).
+inline constexpr fwnet::IpAddr kGuestIp = fwnet::IpAddr::FromOctets(172, 16, 0, 2);
+inline constexpr char kGuestTapName[] = "tap0";
+
+}  // namespace fwcore
+
+#endif  // FIREWORKS_SRC_CORE_FIREWORKS_H_

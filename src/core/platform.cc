@@ -1,0 +1,49 @@
+#include "src/core/platform.h"
+
+namespace fwcore {
+
+HostEnv::HostEnv(const Config& config)
+    : sim_(config.seed),
+      memory_(config.memory_bytes, config.swap_start_fraction),
+      disk_(sim_, fwstore::BlockDevice::Config{}),
+      snapshot_store_(sim_, disk_, config.snapshot_store_bytes),
+      network_(sim_),
+      broker_(sim_),
+      host_fs_(sim_, disk_, fwstore::FsKind::kHostDirect),
+      db_(sim_, host_fs_) {}
+
+InvocationResult& InvocationResult::operator+=(const InvocationResult& o) {
+  startup += o.startup;
+  exec += o.exec;
+  others += o.others;
+  total += o.total;
+  cold = cold || o.cold;
+  exec_stats += o.exec_stats;
+  return *this;
+}
+
+fwsim::Co<Status> ServerlessPlatform::Prewarm(const std::string& fn_name) {
+  co_return Status::Ok();
+}
+
+fwsim::Co<Result<std::vector<InvocationResult>>> ServerlessPlatform::InvokeChain(
+    const std::vector<std::string>& fn_names, const std::string& args,
+    const InvokeOptions& options) {
+  if (!SupportsChains()) {
+    co_return Status::FailedPrecondition(name() + " cannot process a chain of functions");
+  }
+  std::vector<InvocationResult> results;
+  std::string payload = args;
+  for (const auto& fn_name : fn_names) {
+    Result<InvocationResult> r = co_await Invoke(fn_name, payload, options);
+    if (!r.ok()) {
+      co_return r.status();
+    }
+    results.push_back(*r);
+    // The processed data is piped to the next function (Fig 8).
+    payload = args + "|via:" + fn_name;
+  }
+  co_return results;
+}
+
+}  // namespace fwcore

@@ -1,0 +1,66 @@
+#include "src/lang/function_ir.h"
+
+namespace fwlang {
+
+const char* LanguageName(Language language) {
+  switch (language) {
+    case Language::kNodeJs:
+      return "nodejs";
+    case Language::kPython:
+      return "python";
+  }
+  return "?";
+}
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCompute:
+      return "compute";
+    case OpKind::kDiskRead:
+      return "disk_read";
+    case OpKind::kDiskWrite:
+      return "disk_write";
+    case OpKind::kNetSend:
+      return "net_send";
+    case OpKind::kDbPut:
+      return "db_put";
+    case OpKind::kDbGet:
+      return "db_get";
+    case OpKind::kDbScan:
+      return "db_scan";
+    case OpKind::kCall:
+      return "call";
+    case OpKind::kAllocHeap:
+      return "alloc_heap";
+  }
+  return "?";
+}
+
+const MethodDef* FunctionSource::FindMethod(const std::string& method_name) const {
+  for (const auto& m : methods) {
+    if (m.name == method_name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t FunctionSource::TotalCodeBytes() const {
+  uint64_t total = 0;
+  for (const auto& m : methods) {
+    total += m.code_bytes;
+  }
+  return total;
+}
+
+std::vector<std::string> FunctionSource::UserMethodNames() const {
+  std::vector<std::string> names;
+  for (const auto& m : methods) {
+    if (!m.injected) {
+      names.push_back(m.name);
+    }
+  }
+  return names;
+}
+
+}  // namespace fwlang

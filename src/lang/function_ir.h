@@ -1,0 +1,136 @@
+// Function IR: the representation of a serverless function's source code.
+//
+// The paper's functions are Node.js / Python sources; here a function is a
+// set of methods, each a sequence of operations (compute, disk I/O, network,
+// document-DB access, calls to other methods). The IR is rich enough for the
+// code annotator to perform the Fig. 3 source-to-source transform (insert
+// __fireworks_jit / __fireworks_snapshot / __fireworks_main and @jit
+// annotations) and for the runtime model to execute it with profile-driven
+// JIT compilation.
+#ifndef FIREWORKS_SRC_LANG_FUNCTION_IR_H_
+#define FIREWORKS_SRC_LANG_FUNCTION_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace fwlang {
+
+enum class Language { kNodeJs, kPython };
+
+const char* LanguageName(Language language);
+
+enum class OpKind {
+  kCompute,    // `amount` abstract compute units.
+  kDiskRead,   // `amount` bytes per repetition.
+  kDiskWrite,
+  kNetSend,    // Outbound payload of `amount` bytes (e.g. HTTP response).
+  kDbPut,      // Document write of `amount` bytes into database `target`.
+  kDbGet,      // Document read by key; `target` = "db/key".
+  kDbScan,     // Full scan of database `target`.
+  kCall,       // Invoke method `target`, `repeat` times.
+  kAllocHeap,  // Dirty `amount` bytes of the application heap.
+};
+
+const char* OpKindName(OpKind kind);
+
+struct Op {
+  // Factory constructors; Op is deliberately non-aggregate (see the GCC 12
+  // note in simcore/coro.h).
+  //
+  // `friendliness` is the fraction of a compute op the JIT can accelerate
+  // (pure numeric loops ≈ 1.0; string/object-heavy code retains interpreter-
+  // like behaviour for the remainder). Effective JITted time per unit is
+  //   per_unit × (friendliness / jit_speedup + (1 − friendliness)).
+  static Op Compute(uint64_t units, double friendliness = 0.95) {
+    Op op(OpKind::kCompute, units, 1, {});
+    op.friendliness = friendliness;
+    return op;
+  }
+  static Op DiskRead(uint64_t bytes, uint64_t times = 1) {
+    return Op(OpKind::kDiskRead, bytes, times, {});
+  }
+  static Op DiskWrite(uint64_t bytes, uint64_t times = 1) {
+    return Op(OpKind::kDiskWrite, bytes, times, {});
+  }
+  static Op NetSend(uint64_t bytes) { return Op(OpKind::kNetSend, bytes, 1, {}); }
+  static Op DbPut(const std::string& db, uint64_t bytes) {
+    return Op(OpKind::kDbPut, bytes, 1, db);
+  }
+  static Op DbGet(const std::string& db, const std::string& key) {
+    return Op(OpKind::kDbGet, 0, 1, db + "/" + key);
+  }
+  static Op DbScan(const std::string& db) { return Op(OpKind::kDbScan, 0, 1, db); }
+  static Op Call(const std::string& method, uint64_t times = 1) {
+    return Op(OpKind::kCall, 0, times, method);
+  }
+  static Op AllocHeap(uint64_t bytes) { return Op(OpKind::kAllocHeap, bytes, 1, {}); }
+
+  OpKind kind;
+  uint64_t amount;
+  uint64_t repeat;
+  std::string target;
+  double friendliness = 0.95;  // kCompute only.
+
+ private:
+  Op(OpKind kind, uint64_t amount, uint64_t repeat, std::string target)
+      : kind(kind), amount(amount), repeat(repeat), target(std::move(target)) {}
+};
+static_assert(!std::is_aggregate_v<Op>);
+
+struct MethodDef {
+  MethodDef() = default;
+  MethodDef(std::string name, std::vector<Op> ops, uint64_t code_bytes = 2 * fwbase::kKiB)
+      : name(std::move(name)), ops(std::move(ops)), code_bytes(code_bytes) {}
+
+  std::string name;
+  std::vector<Op> ops;
+  // Source size; drives parse/load time, bytecode size, and JIT compile time.
+  uint64_t code_bytes = 2 * fwbase::kKiB;
+  // Set by the code annotator: @jit(cache=True) for Python Numba, or the
+  // force-optimize hint for V8. Annotated methods compile on first call.
+  bool jit_annotated = false;
+  // Synthetic methods injected by the annotator (not user code).
+  bool injected = false;
+};
+static_assert(!std::is_aggregate_v<MethodDef>);
+
+struct FunctionSource {
+  FunctionSource() = default;
+  FunctionSource(std::string name, Language language, std::vector<MethodDef> methods,
+                 std::string entry_method, uint64_t package_bytes = 0)
+      : name(std::move(name)),
+        language(language),
+        methods(std::move(methods)),
+        entry_method(std::move(entry_method)),
+        package_bytes(package_bytes) {}
+
+  const MethodDef* FindMethod(const std::string& method_name) const;
+  bool HasMethod(const std::string& method_name) const { return FindMethod(method_name) != nullptr; }
+  // Sum of code_bytes over all methods.
+  uint64_t TotalCodeBytes() const;
+  // Names of non-injected methods.
+  std::vector<std::string> UserMethodNames() const;
+
+  std::string name;
+  Language language = Language::kNodeJs;
+  std::vector<MethodDef> methods;
+  std::string entry_method;
+  // Dependency payload (node_modules / site-packages) installed at deploy.
+  uint64_t package_bytes = 0;
+  // Set once the Fireworks code annotator has transformed this source.
+  bool annotated = false;
+};
+static_assert(!std::is_aggregate_v<FunctionSource>);
+
+// Names the annotator injects (Fig. 3).
+inline constexpr char kFireworksJitMethod[] = "__fireworks_jit";
+inline constexpr char kFireworksSnapshotMethod[] = "__fireworks_snapshot";
+inline constexpr char kFireworksMainMethod[] = "__fireworks_main";
+
+}  // namespace fwlang
+
+#endif  // FIREWORKS_SRC_LANG_FUNCTION_IR_H_

@@ -1,0 +1,408 @@
+#include "src/lang/guest_process.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace fwlang {
+
+using fwbase::Duration;
+using fwbase::kKiB;
+using fwbase::PagesFor;
+
+ExecStats& ExecStats::operator+=(const ExecStats& o) {
+  total += o.total;
+  compute_time += o.compute_time;
+  io_time += o.io_time;
+  jit_compile_time += o.jit_compile_time;
+  fault_time += o.fault_time;
+  jit_compiles += o.jit_compiles;
+  deopts += o.deopts;
+  methods_executed += o.methods_executed;
+  return *this;
+}
+
+GuestProcess::GuestProcess(fwsim::Simulation& sim, Language language,
+                           fwmem::AddressSpace& space, ExecEnv env, FaultCharger fault_charger,
+                           double compute_scale)
+    : sim_(sim),
+      language_(language),
+      costs_(RuntimeCosts::For(language)),
+      space_(space),
+      env_(std::move(env)),
+      fault_charger_(std::move(fault_charger)),
+      compute_scale_(compute_scale) {
+  FW_CHECK(fault_charger_ != nullptr);
+  FW_CHECK(compute_scale_ >= 1.0);
+}
+
+fwmem::SegmentId GuestProcess::EnsureSegment(const char* seg_name, uint64_t bytes) {
+  if (space_.HasSegment(seg_name)) {
+    return space_.SegmentByName(seg_name);
+  }
+  return space_.AddSegment(seg_name, bytes);
+}
+
+fwsim::Co<void> GuestProcess::ChargeFaults(const fwmem::FaultCounts& faults, ExecStats& stats) {
+  const Duration t = fault_charger_(faults);
+  stats.fault_time += t;
+  co_await fwsim::Delay(sim_, t);
+}
+
+fwsim::Co<void> GuestProcess::InstallPackages(const FunctionSource& fn) {
+  if (fn.package_bytes == 0) {
+    co_return;
+  }
+  const double mib = static_cast<double>(fn.package_bytes) / static_cast<double>(fwbase::kMiB);
+  co_await fwsim::Delay(sim_, costs_.package_install_cost_per_mib * mib);
+  if (env_.fs != nullptr) {
+    co_await env_.fs->WriteFile(fn.package_bytes);
+  }
+}
+
+fwsim::Co<void> GuestProcess::BootRuntime() {
+  FW_CHECK_MSG(!runtime_booted_, "runtime already booted");
+  ExecStats stats;
+  const fwmem::SegmentId text = EnsureSegment(kSegRuntimeText, costs_.runtime_text_bytes);
+  // Binary text is read: shared when the sandbox has a base image containing
+  // it (containers), private fresh content otherwise (cold microVMs).
+  fwmem::FaultCounts faults = space_.TouchBytes(text, costs_.runtime_text_bytes);
+  co_await fwsim::Delay(sim_, costs_.runtime_boot_cost);
+  const fwmem::SegmentId heap = EnsureSegment(kSegRuntimeHeap, costs_.runtime_boot_heap_bytes);
+  faults += space_.DirtyBytes(heap, costs_.runtime_boot_heap_bytes);
+  co_await ChargeFaults(faults, stats);
+  runtime_booted_ = true;
+}
+
+fwsim::Co<void> GuestProcess::AttachRuntime() {
+  FW_CHECK_MSG(!runtime_booted_, "runtime already booted");
+  ExecStats stats;
+  const fwmem::SegmentId text = EnsureSegment(kSegRuntimeText, costs_.runtime_text_bytes);
+  fwmem::FaultCounts faults = space_.TouchBytes(text, costs_.runtime_text_bytes);
+  // Isolate context creation is measured in hundreds of microseconds.
+  co_await fwsim::Delay(sim_, Duration::Micros(900));
+  const fwmem::SegmentId heap = EnsureSegment(kSegRuntimeHeap, costs_.runtime_boot_heap_bytes);
+  // A fresh isolate only needs a sliver of heap.
+  faults += space_.DirtyBytes(heap, 2 * fwbase::kMiB);
+  co_await ChargeFaults(faults, stats);
+  runtime_booted_ = true;
+}
+
+fwsim::Co<void> GuestProcess::LoadApplication(const FunctionSource& fn) {
+  FW_CHECK_MSG(runtime_booted_, "LoadApplication requires a booted runtime");
+  FW_CHECK_MSG(loaded_fn_ == nullptr, "an application is already loaded");
+  ExecStats stats;
+  const double code_kib = static_cast<double>(fn.TotalCodeBytes()) / static_cast<double>(kKiB);
+  co_await fwsim::Delay(sim_, costs_.app_load_fixed_cost + costs_.app_load_cost_per_kib * code_kib);
+  bytecode_bytes_used_ =
+      static_cast<uint64_t>(code_kib * static_cast<double>(costs_.bytecode_bytes_per_code_kib));
+  const fwmem::SegmentId bytecode =
+      EnsureSegment(kSegBytecode, std::max<uint64_t>(bytecode_bytes_used_, fwbase::kPageSize));
+  fwmem::FaultCounts faults = space_.DirtyBytes(bytecode, bytecode_bytes_used_);
+  EnsureSegment(kSegAppHeap, costs_.app_heap_capacity_bytes);
+  co_await ChargeFaults(faults, stats);
+  loaded_fn_ = &fn;
+}
+
+fwsim::Co<void> GuestProcess::JitCompile(const MethodDef& method, MethodState& state,
+                                         const std::string& type_sig, bool reoptimize,
+                                         ExecStats& stats) {
+  const double code_kib = static_cast<double>(method.code_bytes) / static_cast<double>(kKiB);
+  const Duration compile =
+      costs_.jit_compile_per_kib * code_kib * (reoptimize ? kReoptCostFraction : 1.0);
+  stats.jit_compile_time += compile;
+  ++stats.jit_compiles;
+  // Single vCPU: the compile stalls execution (§1).
+  co_await fwsim::Delay(sim_, compile);
+
+  const uint64_t jit_bytes =
+      static_cast<uint64_t>(code_kib * static_cast<double>(costs_.jit_code_bytes_per_code_kib));
+  FW_CHECK(loaded_fn_ != nullptr);
+  const uint64_t capacity_bytes = std::max<uint64_t>(
+      static_cast<uint64_t>(static_cast<double>(loaded_fn_->TotalCodeBytes()) /
+                            static_cast<double>(kKiB) *
+                            static_cast<double>(costs_.jit_code_bytes_per_code_kib)) *
+          2,
+      fwbase::kPageSize);
+  const fwmem::SegmentId jit_seg = EnsureSegment(kSegJitCode, capacity_bytes);
+  if (state.compiles == 0) {
+    // First compile of this method: allocate fresh code pages.
+    state.jit_offset_page = jit_alloc_cursor_pages_;
+    state.jit_pages = PagesFor(jit_bytes);
+    FW_CHECK_MSG(state.jit_offset_page + state.jit_pages <= space_.SegmentPages(jit_seg),
+                 "JIT code cache exhausted");
+    jit_alloc_cursor_pages_ += state.jit_pages;
+    jit_code_bytes_used_ += jit_bytes;
+  }
+  // (Re-)compilation writes the method's code pages.
+  fwmem::FaultCounts faults = space_.Dirty(jit_seg, state.jit_offset_page, state.jit_pages);
+  co_await ChargeFaults(faults, stats);
+  ++state.compiles;
+  state.tier = ExecTier::kJit;
+  state.compiled_sig = type_sig;
+}
+
+fwsim::Co<ExecStats> GuestProcess::CallMethod(const std::string& method_name,
+                                              const std::string& type_sig) {
+  FW_CHECK_MSG(loaded_fn_ != nullptr, "no application loaded");
+  const MethodDef* method = loaded_fn_->FindMethod(method_name);
+  FW_CHECK_MSG(method != nullptr, ("no method " + method_name).c_str());
+
+  const fwbase::SimTime t0 = sim_.Now();
+  ++invocation_serial_;
+
+  // Numba's per-module duplication: the first execution in a resumed clone
+  // relocates/duplicates part of the JIT code cache, dirtying those pages.
+  if (pending_clone_jit_relocation_) {
+    pending_clone_jit_relocation_ = false;
+    if (jit_code_bytes_used_ > 0 && costs_.jit_code_shareable_fraction < 1.0) {
+      const fwmem::SegmentId jit_seg = space_.SegmentByName(kSegJitCode);
+      const uint64_t used_pages = PagesFor(jit_code_bytes_used_);
+      const auto dirty_pages = static_cast<uint64_t>(
+          static_cast<double>(used_pages) * (1.0 - costs_.jit_code_shareable_fraction) + 0.5);
+      ExecStats reloc_stats;
+      co_await ChargeFaults(space_.Dirty(jit_seg, 0, std::min(dirty_pages, used_pages)),
+                            reloc_stats);
+    }
+  }
+
+  // Executing makes the runtime's own working set resident: reads of the
+  // binary text and the live heap. The salt is a program-wide constant so
+  // every clone touches the *same* hot pages — that is what snapshot clones
+  // share (Fig 4).
+  {
+    ExecStats ws_stats;
+    fwmem::FaultCounts faults;
+    faults += space_.TouchRandomFraction(space_.SegmentByName(kSegRuntimeText),
+                                         costs_.runtime_text_exec_touch_fraction, /*salt=*/42);
+    faults += space_.TouchRandomFraction(space_.SegmentByName(kSegRuntimeHeap),
+                                         costs_.runtime_heap_exec_touch_fraction, /*salt=*/43);
+    co_await ChargeFaults(faults, ws_stats);
+  }
+
+  ExecStats stats = co_await ExecMethod(*method, type_sig, /*depth=*/0);
+
+  // Per-invocation GC / cache churn in the runtime heap: writes that diverge
+  // per sandbox (hence the per-sandbox salt).
+  const fwmem::SegmentId heap = space_.SegmentByName(kSegRuntimeHeap);
+  co_await ChargeFaults(
+      space_.DirtyRandomFraction(heap, costs_.runtime_heap_exec_dirty_fraction,
+                                 /*salt=*/mem_salt_ * 7919 + 13),
+      stats);
+
+  stats.total = sim_.Now() - t0;
+  co_return stats;
+}
+
+fwsim::Co<ExecStats> GuestProcess::ExecMethod(const MethodDef& method,
+                                              const std::string& type_sig, int depth) {
+  FW_CHECK_MSG(depth < 64, "method call depth exceeded");
+  ExecStats stats;
+  ++stats.methods_executed;
+  MethodState& state = methods_[method.name];
+  ++state.invocations;
+
+  // --- Tiering / de-optimisation decisions --------------------------------
+  if (state.tier == ExecTier::kJit && !state.polymorphic && state.compiled_sig != type_sig) {
+    // The JITted code was specialised for a different type profile (§6):
+    // de-optimise to bytecode, then respecialise for the new signature. After
+    // enough distinct shapes, inline caches make the code polymorphic and
+    // further signatures stop deopting.
+    ++stats.deopts;
+    ++state.deopts;
+    co_await fwsim::Delay(sim_, costs_.deopt_cost);
+    state.tier = ExecTier::kInterpreter;
+    if (state.deopts >= kPolymorphicThreshold) {
+      state.polymorphic = true;
+    }
+    if (method.jit_annotated) {
+      // Annotated (Numba-style) methods respecialise for the new signature
+      // immediately; V8 re-optimises hot methods just as eagerly.
+      co_await JitCompile(method, state, type_sig, /*reoptimize=*/true, stats);
+    } else {
+      state.invocations = 0;  // Re-profile before tiering up again.
+    }
+  } else if (state.tier == ExecTier::kInterpreter) {
+    const bool annotated_first_call = method.jit_annotated && state.compiles == 0;
+    const bool hot = costs_.auto_jit &&
+                     state.invocations >= static_cast<uint64_t>(costs_.hotness_threshold);
+    if (annotated_first_call || hot) {
+      co_await JitCompile(method, state, type_sig, /*reoptimize=*/state.compiles > 0, stats);
+    }
+  }
+
+  // Executing code touches its pages: bytecode when interpreting, machine
+  // code when running JITted (shared on snapshot clones until written).
+  {
+    fwmem::FaultCounts faults;
+    if (state.tier == ExecTier::kJit) {
+      const fwmem::SegmentId jit_seg = space_.SegmentByName(kSegJitCode);
+      faults += space_.Touch(jit_seg, state.jit_offset_page, state.jit_pages);
+    } else if (bytecode_bytes_used_ > 0) {
+      const fwmem::SegmentId bc = space_.SegmentByName(kSegBytecode);
+      faults += space_.TouchBytes(bc, bytecode_bytes_used_);
+    }
+    co_await ChargeFaults(faults, stats);
+  }
+
+  const ExecTier tier = state.tier;
+  const double jit_derate = state.polymorphic ? kPolymorphicDerate : 1.0;
+  for (const Op& op : method.ops) {
+    co_await ExecOp(op, tier, jit_derate, type_sig, stats, depth);
+  }
+  co_return stats;
+}
+
+fwsim::Co<void> GuestProcess::ExecOp(const Op& op, ExecTier tier, double jit_derate,
+                                     const std::string& type_sig, ExecStats& stats,
+                                     int depth) {
+  switch (op.kind) {
+    case OpKind::kCompute: {
+      Duration t = costs_.per_unit_interp * static_cast<int64_t>(op.amount * op.repeat);
+      if (tier == ExecTier::kJit) {
+        // Only the JIT-friendly fraction accelerates (numeric kernels);
+        // the rest behaves interpreter-like (object/string plumbing).
+        // Polymorphic code dispatches through inline caches (derate < 1).
+        t = t * (op.friendliness / (costs_.jit_speedup * jit_derate) +
+                 (1.0 - op.friendliness));
+      }
+      t = t * compute_scale_;
+      stats.compute_time += t;
+      co_await fwsim::Delay(sim_, t);
+      break;
+    }
+    case OpKind::kDiskRead:
+    case OpKind::kDiskWrite: {
+      FW_CHECK_MSG(env_.fs != nullptr, "disk op without a filesystem");
+      const fwbase::SimTime t0 = sim_.Now();
+      for (uint64_t i = 0; i < op.repeat; ++i) {
+        if (op.kind == OpKind::kDiskRead) {
+          co_await env_.fs->ReadFile(op.amount);
+        } else {
+          co_await env_.fs->WriteFile(op.amount);
+        }
+      }
+      stats.io_time += sim_.Now() - t0;
+      break;
+    }
+    case OpKind::kNetSend: {
+      const fwbase::SimTime t0 = sim_.Now();
+      if (env_.net_send != nullptr) {
+        co_await env_.net_send(op.amount);
+      } else {
+        co_await fwsim::Delay(sim_, Duration::Micros(80));
+      }
+      stats.io_time += sim_.Now() - t0;
+      break;
+    }
+    case OpKind::kDbPut: {
+      FW_CHECK_MSG(env_.db != nullptr, "db op without a document db");
+      const fwbase::SimTime t0 = sim_.Now();
+      co_await fwsim::Delay(sim_, env_.db_network_rtt);
+      const std::string key = fwbase::StrFormat("doc-%llu", static_cast<unsigned long long>(
+                                                                invocation_serial_));
+      fwbase::Status status = co_await env_.db->Put(
+          op.target, fwstore::Document(key, std::string(op.amount, 'x')));
+      FW_CHECK(status.ok());
+      stats.io_time += sim_.Now() - t0;
+      break;
+    }
+    case OpKind::kDbGet: {
+      FW_CHECK_MSG(env_.db != nullptr, "db op without a document db");
+      const fwbase::SimTime t0 = sim_.Now();
+      co_await fwsim::Delay(sim_, env_.db_network_rtt);
+      const auto parts = fwbase::StrSplit(op.target, '/');
+      FW_CHECK(parts.size() == 2);
+      // A miss is not an error for the workloads (e.g. empty reminder list).
+      co_await env_.db->Get(parts[0], parts[1]);
+      stats.io_time += sim_.Now() - t0;
+      break;
+    }
+    case OpKind::kDbScan: {
+      FW_CHECK_MSG(env_.db != nullptr, "db op without a document db");
+      const fwbase::SimTime t0 = sim_.Now();
+      co_await fwsim::Delay(sim_, env_.db_network_rtt);
+      co_await env_.db->Scan(op.target);
+      stats.io_time += sim_.Now() - t0;
+      break;
+    }
+    case OpKind::kCall: {
+      const MethodDef* callee = loaded_fn_->FindMethod(op.target);
+      FW_CHECK_MSG(callee != nullptr, ("no method " + op.target).c_str());
+      for (uint64_t i = 0; i < op.repeat; ++i) {
+        ExecStats sub = co_await ExecMethod(*callee, type_sig, depth + 1);
+        stats += sub;
+      }
+      break;
+    }
+    case OpKind::kAllocHeap: {
+      const fwmem::SegmentId heap = space_.SegmentByName(kSegAppHeap);
+      const uint64_t seg_pages = space_.SegmentPages(heap);
+      uint64_t pages = PagesFor(op.amount);
+      fwmem::FaultCounts faults;
+      while (pages > 0) {
+        if (heap_cursor_pages_ >= seg_pages) {
+          heap_cursor_pages_ = 0;  // The GC recycles the heap.
+        }
+        const uint64_t chunk = std::min(pages, seg_pages - heap_cursor_pages_);
+        faults += space_.Dirty(heap, heap_cursor_pages_, chunk);
+        heap_cursor_pages_ += chunk;
+        pages -= chunk;
+      }
+      co_await ChargeFaults(faults, stats);
+      break;
+    }
+  }
+}
+
+GuestProcess::State GuestProcess::ExtractState() const {
+  FW_CHECK_MSG(runtime_booted_, "cannot extract state from an unbooted process");
+  State state;
+  state.language = language_;
+  state.loaded_fn = loaded_fn_;
+  state.methods = methods_;
+  state.jit_code_bytes_used = jit_code_bytes_used_;
+  state.bytecode_bytes_used = bytecode_bytes_used_;
+  state.jit_alloc_cursor_pages = jit_alloc_cursor_pages_;
+  return state;
+}
+
+std::unique_ptr<GuestProcess> GuestProcess::FromState(const State& state,
+                                                      fwsim::Simulation& sim,
+                                                      fwmem::AddressSpace& clone_space,
+                                                      ExecEnv env, FaultCharger fault_charger,
+                                                      double compute_scale) {
+  auto clone = std::make_unique<GuestProcess>(sim, state.language, clone_space, std::move(env),
+                                              std::move(fault_charger), compute_scale);
+  clone->runtime_booted_ = true;
+  clone->loaded_fn_ = state.loaded_fn;
+  clone->methods_ = state.methods;
+  clone->jit_code_bytes_used_ = state.jit_code_bytes_used;
+  clone->bytecode_bytes_used_ = state.bytecode_bytes_used;
+  clone->jit_alloc_cursor_pages_ = state.jit_alloc_cursor_pages;
+  clone->pending_clone_jit_relocation_ = state.jit_code_bytes_used > 0;
+  return clone;
+}
+
+std::unique_ptr<GuestProcess> GuestProcess::CloneFor(fwmem::AddressSpace& clone_space,
+                                                     FaultCharger fault_charger) const {
+  auto clone = FromState(ExtractState(), sim_, clone_space, env_, std::move(fault_charger),
+                         compute_scale_);
+  clone->mem_salt_ = mem_salt_ + 1;
+  return clone;
+}
+
+ExecTier GuestProcess::TierOf(const std::string& method_name) const {
+  auto it = methods_.find(method_name);
+  return it == methods_.end() ? ExecTier::kInterpreter : it->second.tier;
+}
+
+uint64_t GuestProcess::InvocationCount(const std::string& method_name) const {
+  auto it = methods_.find(method_name);
+  return it == methods_.end() ? 0 : it->second.invocations;
+}
+
+}  // namespace fwlang

@@ -1,0 +1,321 @@
+#include "src/lang/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/base/strings.h"
+
+namespace fwlang {
+
+using fwbase::Result;
+using fwbase::Status;
+using fwbase::StrFormat;
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const auto& object = AsObject();
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    Result<JsonValue> value = ParseValue();
+    if (!value.ok()) {
+      return value;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& reason) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, reason.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      Result<std::string> s = ParseString();
+      if (!s.ok()) {
+        return s.status();
+      }
+      return JsonValue(*std::move(s));
+    }
+    if (c == 't' && ConsumeLiteral("true")) {
+      return JsonValue(true);
+    }
+    if (c == 'f' && ConsumeLiteral("false")) {
+      return JsonValue(false);
+    }
+    if (c == 'n' && ConsumeLiteral("null")) {
+      return JsonValue(nullptr);
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      return ParseNumber();
+    }
+    return Error(StrFormat("unexpected character '%c'", c));
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue::Object object;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return JsonValue(std::move(object));
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected string key");
+      }
+      Result<std::string> key = ParseString();
+      if (!key.ok()) {
+        return key.status();
+      }
+      if (!Consume(':')) {
+        return Error("expected ':' after key");
+      }
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) {
+        return value;
+      }
+      if (object.count(*key) != 0) {
+        return Error("duplicate key \"" + *key + "\"");
+      }
+      object.emplace(*std::move(key), *std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return JsonValue(std::move(object));
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue::Array array;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return JsonValue(std::move(array));
+    }
+    for (;;) {
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) {
+        return value;
+      }
+      array.push_back(*std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return JsonValue(std::move(array));
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          default:
+            return Status::InvalidArgument(
+                StrFormat("JSON parse error at offset %zu: unsupported escape '\\%c'", pos_ - 1,
+                          escaped));
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Error("malformed number \"" + token + "\"");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void Append(const JsonValue& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.AsBool() ? "true" : "false";
+  } else if (value.is_number()) {
+    const double d = value.AsNumber();
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      out += StrFormat("%lld", static_cast<long long>(d));
+    } else {
+      out += StrFormat("%.12g", d);
+    }
+  } else if (value.is_string()) {
+    out += JsonQuote(value.AsString());
+  } else if (value.is_array()) {
+    out.push_back('[');
+    const auto& array = value.AsArray();
+    for (size_t i = 0; i < array.size(); ++i) {
+      if (i != 0) {
+        out.push_back(',');
+      }
+      Append(array[i], out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, field] : value.AsObject()) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      out += JsonQuote(key);
+      out.push_back(':');
+      Append(field, out);
+    }
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) { return Parser(text).ParseDocument(); }
+
+std::string JsonToString(const JsonValue& value) {
+  std::string out;
+  Append(value, out);
+  return out;
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace fwlang

@@ -1,0 +1,65 @@
+#include "src/lang/runtime_model.h"
+
+#include <climits>
+
+#include "src/base/check.h"
+
+namespace fwlang {
+
+using namespace fwbase::literals;
+
+RuntimeCosts RuntimeCosts::For(Language language) {
+  RuntimeCosts c;
+  switch (language) {
+    case Language::kNodeJs:
+      // V8/Node: slower boot, fast interpreter, quick cheap tiering,
+      // lean shareable code objects.
+      c.runtime_boot_cost = fwbase::Duration::Millis(310);
+      c.runtime_text_bytes = 42_MiB;
+      c.runtime_boot_heap_bytes = 36_MiB;
+      c.per_unit_interp = fwbase::Duration::Nanos(17);
+      c.jit_speedup = 9.0;
+      c.jit_compile_per_kib = fwbase::Duration::MillisF(2.6);
+      c.hotness_threshold = 6;
+      c.auto_jit = true;
+      c.deopt_cost = fwbase::Duration::Micros(170);
+      c.bytecode_bytes_per_code_kib = 3 * 1024;
+      c.jit_code_bytes_per_code_kib = 10 * 1024;
+      c.jit_code_shareable_fraction = 0.95;
+      c.runtime_heap_exec_dirty_fraction = 0.07;
+      c.runtime_text_exec_touch_fraction = 0.62;
+      c.runtime_heap_exec_touch_fraction = 0.55;
+      c.app_load_fixed_cost = fwbase::Duration::Millis(130);  // require() resolution.
+      c.app_load_cost_per_kib = fwbase::Duration::MillisF(0.55);
+      c.package_install_cost_per_mib = fwbase::Duration::Millis(340);  // npm.
+      c.app_heap_capacity_bytes = 96_MiB;
+      break;
+    case Language::kPython:
+      // CPython + Numba: fast boot, slow interpreter, no auto-tiering, very
+      // expensive LLVM compiles with a huge pay-off, duplicated code objects.
+      c.runtime_boot_cost = fwbase::Duration::Millis(95);
+      c.runtime_text_bytes = 12_MiB;
+      c.runtime_boot_heap_bytes = 13_MiB;
+      c.per_unit_interp = fwbase::Duration::Nanos(150);
+      c.jit_speedup = 110.0;  // LLVM-compiled numeric kernels vs CPython bytecode.
+      c.jit_compile_per_kib = fwbase::Duration::Millis(55);  // Numba → LLVM MCJIT.
+      c.hotness_threshold = INT_MAX;
+      c.auto_jit = false;
+      c.deopt_cost = fwbase::Duration::Micros(320);
+      c.bytecode_bytes_per_code_kib = 2 * 1024;
+      c.jit_code_bytes_per_code_kib = 1536 * 1024;  // LLVM output + per-module duplication.
+      c.jit_code_shareable_fraction = 0.12;
+      c.runtime_heap_exec_dirty_fraction = 0.24;
+      c.runtime_text_exec_touch_fraction = 0.55;
+      c.runtime_heap_exec_touch_fraction = 0.65;
+      c.app_load_fixed_cost = fwbase::Duration::Millis(45);  // Imports.
+      c.app_load_cost_per_kib = fwbase::Duration::MillisF(0.35);
+      c.package_install_cost_per_mib = fwbase::Duration::Millis(260);  // pip.
+      c.app_heap_capacity_bytes = 96_MiB;
+      break;
+  }
+  FW_CHECK(c.jit_speedup >= 1.0);
+  return c;
+}
+
+}  // namespace fwlang

@@ -1,0 +1,79 @@
+// Per-language runtime cost and memory models.
+//
+// Node.js is modelled after V8: a fast-booting-but-heavy runtime whose
+// interpreter (Ignition) is reasonably quick, with profile-driven tiering to
+// TurboFan once a method's invocation count crosses a hotness threshold.
+// JITted code pages are lean and read-mostly ("A lighter V8": lazy allocation
+// of execution state), so they share well across snapshot clones (§5.5.2).
+//
+// Python is modelled after CPython + Numba: a slower interpreter that never
+// tiers up on its own; only methods carrying the @jit(cache=True) annotation
+// compile — expensively, through LLVM — on first call, with a large speed-up.
+// Numba duplicates JITted function code per module (an LLVM MCJIT
+// restriction, §5.5.2), so its code pages are big and mostly unshareable
+// after a snapshot resume.
+#ifndef FIREWORKS_SRC_LANG_RUNTIME_MODEL_H_
+#define FIREWORKS_SRC_LANG_RUNTIME_MODEL_H_
+
+#include <cstdint>
+
+#include "src/base/units.h"
+#include "src/lang/function_ir.h"
+
+namespace fwlang {
+
+using fwbase::Duration;
+
+struct RuntimeCosts {
+  RuntimeCosts() {}
+
+  // Launching the runtime binary up to an idle REPL/event loop.
+  Duration runtime_boot_cost;
+  uint64_t runtime_text_bytes = 0;       // Binary + stdlib text resident after boot.
+  uint64_t runtime_boot_heap_bytes = 0;  // Heap the runtime dirties while booting.
+
+  // Interpreter speed and JIT characteristics.
+  Duration per_unit_interp;     // Time per abstract compute unit, interpreted.
+  double jit_speedup = 1.0;           // Interp-time / JIT-time for compute units.
+  Duration jit_compile_per_kib; // Compile time per KiB of method source.
+  int hotness_threshold = 0;        // Invocations before auto-tiering (if auto_jit).
+  bool auto_jit = false;                // V8 tiers automatically; CPython does not.
+  Duration deopt_cost;          // Falling back to bytecode on a type change.
+
+  // Memory layout factors.
+  uint64_t bytecode_bytes_per_code_kib = 0;  // Bytecode per KiB of source.
+  uint64_t jit_code_bytes_per_code_kib = 0;  // Machine code per KiB of source.
+  // Fraction of JIT-code pages that stay clean (shareable) when a snapshot
+  // clone re-executes them. V8 ≈ all; Numba relocates/duplicates on load.
+  double jit_code_shareable_fraction = 1.0;
+  // Fraction of the boot-time runtime heap dirtied per invocation (GC churn,
+  // caches). V8-lite is lazy; CPython refcounting touches more.
+  double runtime_heap_exec_dirty_fraction = 0.0;
+  // Fractions of runtime text / heap *read* while executing (the working set
+  // an invocation makes resident). Reads stay shared on snapshot clones; the
+  // dirty fraction above is the part that diverges per clone.
+  double runtime_text_exec_touch_fraction = 0.0;
+  double runtime_heap_exec_touch_fraction = 0.0;
+
+  // Application load (parse, module resolution, imports).
+  Duration app_load_fixed_cost;
+  Duration app_load_cost_per_kib;
+  // Dependency installation (npm / pip), paid once per deployment.
+  Duration package_install_cost_per_mib;
+
+  // Capacity of the application heap segment.
+  uint64_t app_heap_capacity_bytes = 0;
+
+  static RuntimeCosts For(Language language);
+};
+
+// Guest segment names managed by the runtime layer.
+inline constexpr char kSegRuntimeText[] = "runtime_text";
+inline constexpr char kSegRuntimeHeap[] = "runtime_heap";
+inline constexpr char kSegBytecode[] = "bytecode";
+inline constexpr char kSegJitCode[] = "jit_code";
+inline constexpr char kSegAppHeap[] = "app_heap";
+
+}  // namespace fwlang
+
+#endif  // FIREWORKS_SRC_LANG_RUNTIME_MODEL_H_

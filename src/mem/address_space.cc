@@ -1,0 +1,286 @@
+#include "src/mem/address_space.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace fwmem {
+namespace {
+
+// Converts a fraction in [0,1] to a strict-less-than hash threshold. The
+// double→u64 cast of 1.0 * 2^64 would overflow, so saturate explicitly.
+uint64_t FractionThreshold(double fraction) {
+  if (fraction >= 1.0) {
+    return UINT64_MAX;
+  }
+  return static_cast<uint64_t>(fraction * 18446744073709551616.0 /* 2^64 */);
+}
+
+// Deterministic per-page hash used to pick pseudo-random page subsets.
+uint64_t MixPage(uint64_t salt, uint64_t page) {
+  uint64_t z = salt ^ (page * 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultCounts& FaultCounts::operator+=(const FaultCounts& o) {
+  major_faults += o.major_faults;
+  minor_shared += o.minor_shared;
+  zero_fills += o.zero_fills;
+  cow_copies += o.cow_copies;
+  fresh_writes += o.fresh_writes;
+  already_mapped += o.already_mapped;
+  return *this;
+}
+
+SnapshotImage::SnapshotImage(HostMemory& host, std::string name,
+                             std::vector<SegmentLayout> segments, PageSet valid)
+    : name_(std::move(name)),
+      segments_(std::move(segments)),
+      valid_(std::move(valid)),
+      backing_(host, valid_.size()) {}
+
+AddressSpace::AddressSpace(HostMemory& host)
+    : host_(host), resident_shared_(0), private_(0), zero_(0) {}
+
+AddressSpace::AddressSpace(HostMemory& host, std::shared_ptr<SnapshotImage> image)
+    : host_(host),
+      image_(std::move(image)),
+      segments_(image_->segments()),
+      total_pages_(image_->total_pages()),
+      resident_shared_(total_pages_),
+      private_(total_pages_),
+      zero_(total_pages_) {}
+
+AddressSpace::~AddressSpace() { Unmap(); }
+
+void AddressSpace::GrowTo(uint64_t pages) {
+  resident_shared_.Grow(pages);
+  private_.Grow(pages);
+  zero_.Grow(pages);
+  total_pages_ = pages;
+}
+
+SegmentId AddressSpace::AddSegment(const std::string& name, uint64_t bytes) {
+  FW_CHECK(!unmapped_);
+  const uint64_t pages = fwbase::PagesFor(bytes);
+  segments_.push_back(SegmentLayout{name, total_pages_, pages});
+  GrowTo(total_pages_ + pages);
+  return static_cast<SegmentId>(segments_.size() - 1);
+}
+
+SegmentId AddressSpace::SegmentByName(const std::string& name) const {
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].name == name) {
+      return static_cast<SegmentId>(i);
+    }
+  }
+  FW_CHECK_MSG(false, ("no segment named " + name).c_str());
+  return 0;
+}
+
+bool AddressSpace::HasSegment(const std::string& name) const {
+  for (const auto& s : segments_) {
+    if (s.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t AddressSpace::SegmentPages(SegmentId seg) const {
+  FW_CHECK(seg < segments_.size());
+  return segments_[seg].pages;
+}
+
+uint64_t AddressSpace::GlobalPage(SegmentId seg, uint64_t offset) const {
+  FW_CHECK(seg < segments_.size());
+  FW_DCHECK(offset < segments_[seg].pages);
+  return segments_[seg].base_page + offset;
+}
+
+void AddressSpace::AccessPage(uint64_t page, bool write, FaultCounts& out) {
+  if (private_.Test(page)) {
+    ++out.already_mapped;
+    return;
+  }
+  const bool image_valid =
+      image_ != nullptr && page < image_->total_pages() && image_->IsValid(page);
+
+  if (!write) {
+    if (resident_shared_.Test(page) || zero_.Test(page)) {
+      ++out.already_mapped;
+      return;
+    }
+    if (image_valid) {
+      const bool was_major = image_->backing().IncResident(page);
+      resident_shared_.Set(page);
+      if (was_major) {
+        ++out.major_faults;
+      } else {
+        ++out.minor_shared;
+      }
+      return;
+    }
+    if (image_ == nullptr) {
+      // Fresh space: a guest "reading" fresh content had to produce it first
+      // (kernel decompression, file load into RAM) — private frame.
+      host_.AllocFrames(1);
+      private_.Set(page);
+      ++out.fresh_writes;
+      return;
+    }
+    // Image-backed space reading a page the image has no content for: shared
+    // zero page, no frame charge.
+    zero_.Set(page);
+    ++out.zero_fills;
+    return;
+  }
+
+  // Write access.
+  if (resident_shared_.Test(page)) {
+    // Copy-on-write: drop the shared reference, take a private frame.
+    image_->backing().DecResident(page);
+    resident_shared_.Clear(page);
+    host_.AllocFrames(1);
+    private_.Set(page);
+    ++out.cow_copies;
+    return;
+  }
+  if (zero_.Test(page)) {
+    zero_.Clear(page);
+    host_.AllocFrames(1);
+    private_.Set(page);
+    ++out.fresh_writes;
+    return;
+  }
+  if (image_valid) {
+    // Write to a not-yet-resident image page: the kernel still reads the
+    // content, then immediately breaks the mapping private.
+    host_.AllocFrames(1);
+    private_.Set(page);
+    ++out.cow_copies;
+    return;
+  }
+  host_.AllocFrames(1);
+  private_.Set(page);
+  ++out.fresh_writes;
+}
+
+FaultCounts AddressSpace::AccessRange(SegmentId seg, uint64_t first, uint64_t count,
+                                      bool write) {
+  FW_CHECK(!unmapped_);
+  FW_CHECK(seg < segments_.size());
+  const auto& layout = segments_[seg];
+  FW_CHECK_MSG(first + count <= layout.pages, "access beyond segment end");
+  FaultCounts out;
+  for (uint64_t i = 0; i < count; ++i) {
+    AccessPage(layout.base_page + first + i, write, out);
+  }
+  return out;
+}
+
+FaultCounts AddressSpace::Touch(SegmentId seg, uint64_t first, uint64_t count) {
+  return AccessRange(seg, first, count, /*write=*/false);
+}
+
+FaultCounts AddressSpace::Dirty(SegmentId seg, uint64_t first, uint64_t count) {
+  return AccessRange(seg, first, count, /*write=*/true);
+}
+
+FaultCounts AddressSpace::TouchBytes(SegmentId seg, uint64_t bytes) {
+  const uint64_t pages = std::min(fwbase::PagesFor(bytes), SegmentPages(seg));
+  return Touch(seg, 0, pages);
+}
+
+FaultCounts AddressSpace::DirtyBytes(SegmentId seg, uint64_t bytes) {
+  const uint64_t pages = std::min(fwbase::PagesFor(bytes), SegmentPages(seg));
+  return Dirty(seg, 0, pages);
+}
+
+FaultCounts AddressSpace::DirtyRandomFraction(SegmentId seg, double fraction, uint64_t salt) {
+  FW_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  FW_CHECK(seg < segments_.size());
+  const auto& layout = segments_[seg];
+  const uint64_t threshold = FractionThreshold(fraction);
+  FaultCounts out;
+  for (uint64_t i = 0; i < layout.pages; ++i) {
+    if (fraction >= 1.0 || MixPage(salt, layout.base_page + i) < threshold) {
+      AccessPage(layout.base_page + i, /*write=*/true, out);
+    }
+  }
+  return out;
+}
+
+FaultCounts AddressSpace::TouchRandomFraction(SegmentId seg, double fraction, uint64_t salt) {
+  FW_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  FW_CHECK(seg < segments_.size());
+  const auto& layout = segments_[seg];
+  const uint64_t threshold = FractionThreshold(fraction);
+  FaultCounts out;
+  for (uint64_t i = 0; i < layout.pages; ++i) {
+    if (fraction >= 1.0 || MixPage(salt, layout.base_page + i) < threshold) {
+      AccessPage(layout.base_page + i, /*write=*/false, out);
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<SnapshotImage> AddressSpace::TakeSnapshot(const std::string& name) const {
+  FW_CHECK(!unmapped_);
+  PageSet valid(total_pages_);
+  valid.UnionWith(resident_shared_);
+  valid.UnionWith(private_);
+  return std::make_shared<SnapshotImage>(host_, name, segments_, std::move(valid));
+}
+
+void AddressSpace::Unmap() {
+  if (unmapped_) {
+    return;
+  }
+  if (image_ != nullptr) {
+    resident_shared_.ForEachSet([this](uint64_t page) { image_->backing().DecResident(page); });
+  }
+  host_.FreeFrames(private_.Count());
+  resident_shared_.ClearAll();
+  private_.ClearAll();
+  zero_.ClearAll();
+  unmapped_ = true;
+}
+
+uint64_t AddressSpace::rss_bytes() const {
+  return (resident_shared_.Count() + private_.Count() + zero_.Count()) * fwbase::kPageSize;
+}
+
+uint64_t AddressSpace::uss_bytes() const { return private_.Count() * fwbase::kPageSize; }
+
+double AddressSpace::pss_bytes() const {
+  double pss_pages = static_cast<double>(private_.Count());
+  if (image_ != nullptr) {
+    resident_shared_.ForEachSet([this, &pss_pages](uint64_t page) {
+      pss_pages += 1.0 / static_cast<double>(image_->backing().ResidentRefs(page));
+    });
+  }
+  return pss_pages * static_cast<double>(fwbase::kPageSize);
+}
+
+std::vector<SegmentStats> AddressSpace::PerSegmentStats() const {
+  std::vector<SegmentStats> out;
+  out.reserve(segments_.size());
+  for (const auto& layout : segments_) {
+    SegmentStats s;
+    s.name = layout.name;
+    s.pages = layout.pages;
+    s.resident_shared = resident_shared_.CountRange(layout.base_page, layout.pages);
+    s.private_pages = private_.CountRange(layout.base_page, layout.pages);
+    s.zero_pages = zero_.CountRange(layout.base_page, layout.pages);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace fwmem

@@ -1,0 +1,42 @@
+#include "src/mem/backing_store.h"
+
+#include "src/base/check.h"
+
+namespace fwmem {
+
+BackingStore::BackingStore(HostMemory& host, uint64_t num_pages)
+    : host_(host), refs_(num_pages, 0) {}
+
+BackingStore::~BackingStore() {
+  // All mappings must unmap before the store dies; release whatever remains
+  // resident (the page cache is dropped with the file).
+  host_.FreeFrames(resident_pages_);
+}
+
+bool BackingStore::IncResident(uint64_t page) {
+  FW_CHECK(page < refs_.size());
+  const bool first = refs_[page] == 0;
+  ++refs_[page];
+  if (first) {
+    host_.AllocFrames(1);
+    ++resident_pages_;
+  }
+  return first;
+}
+
+void BackingStore::DecResident(uint64_t page) {
+  FW_CHECK(page < refs_.size());
+  FW_CHECK_MSG(refs_[page] > 0, "DecResident on non-resident page");
+  --refs_[page];
+  if (refs_[page] == 0) {
+    host_.FreeFrames(1);
+    --resident_pages_;
+  }
+}
+
+uint32_t BackingStore::ResidentRefs(uint64_t page) const {
+  FW_CHECK(page < refs_.size());
+  return refs_[page];
+}
+
+}  // namespace fwmem

@@ -1,0 +1,47 @@
+// BackingStore: host-page-cache residency for shared, file-backed content.
+//
+// A snapshot image mapped MAP_PRIVATE into N microVMs is backed by one file;
+// each image page that any mapper has faulted in occupies exactly one host
+// frame (in the page cache) regardless of how many mappers reference it.
+// BackingStore tracks the per-page reference count so PSS can charge each
+// mapper 1/refs for shared pages, exactly like Linux's smem accounting in §5.4.
+#ifndef FIREWORKS_SRC_MEM_BACKING_STORE_H_
+#define FIREWORKS_SRC_MEM_BACKING_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/host_memory.h"
+
+namespace fwmem {
+
+class BackingStore {
+ public:
+  BackingStore(HostMemory& host, uint64_t num_pages);
+  ~BackingStore();
+
+  BackingStore(const BackingStore&) = delete;
+  BackingStore& operator=(const BackingStore&) = delete;
+
+  uint64_t num_pages() const { return refs_.size(); }
+
+  // Registers one more mapping referencing `page`. Returns true when the page
+  // was not resident before (a major fault: the content came from disk and a
+  // host frame was allocated).
+  bool IncResident(uint64_t page);
+  // Drops one reference; frees the host frame when the last mapper goes away.
+  void DecResident(uint64_t page);
+
+  uint32_t ResidentRefs(uint64_t page) const;
+  // Pages currently resident in the page cache (refs > 0).
+  uint64_t resident_pages() const { return resident_pages_; }
+
+ private:
+  HostMemory& host_;
+  std::vector<uint32_t> refs_;
+  uint64_t resident_pages_ = 0;
+};
+
+}  // namespace fwmem
+
+#endif  // FIREWORKS_SRC_MEM_BACKING_STORE_H_

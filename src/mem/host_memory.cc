@@ -1,0 +1,33 @@
+#include "src/mem/host_memory.h"
+
+#include "src/base/check.h"
+
+namespace fwmem {
+
+HostMemory::HostMemory(uint64_t total_bytes, double swap_start_fraction)
+    : total_bytes_(total_bytes), swap_start_fraction_(swap_start_fraction) {
+  FW_CHECK(total_bytes_ > 0);
+  FW_CHECK(swap_start_fraction_ > 0.0 && swap_start_fraction_ <= 1.0);
+}
+
+void HostMemory::AllocFrames(uint64_t n) {
+  used_frames_ += n;
+  total_allocated_frames_ += n;
+  if (used_frames_ > peak_used_frames_) {
+    peak_used_frames_ = used_frames_;
+  }
+}
+
+void HostMemory::FreeFrames(uint64_t n) {
+  FW_CHECK_MSG(n <= used_frames_, "freeing more frames than allocated");
+  used_frames_ -= n;
+  total_freed_frames_ += n;
+}
+
+bool HostMemory::swapping() const { return used_bytes() > swap_threshold_bytes(); }
+
+uint64_t HostMemory::swap_threshold_bytes() const {
+  return static_cast<uint64_t>(static_cast<double>(total_bytes_) * swap_start_fraction_);
+}
+
+}  // namespace fwmem

@@ -1,0 +1,52 @@
+// HostMemory: aggregate physical-frame accounting for one host machine.
+//
+// Every resident page on the host — whether a page-cache frame shared by many
+// microVM mappings or a private anonymous frame — charges exactly one frame
+// here. The Fig. 10 consolidation experiment launches microVMs until the
+// "swapping" threshold is crossed, mirroring the paper's vm.swappiness = 60
+// methodology (swapping is considered to start once 60 % of physical memory is
+// consumed).
+#ifndef FIREWORKS_SRC_MEM_HOST_MEMORY_H_
+#define FIREWORKS_SRC_MEM_HOST_MEMORY_H_
+
+#include <cstdint>
+
+#include "src/base/units.h"
+
+namespace fwmem {
+
+class HostMemory {
+ public:
+  // `swap_start_fraction` models the vm.swappiness-style threshold: swapping
+  // is reported once used/total exceeds it.
+  explicit HostMemory(uint64_t total_bytes, double swap_start_fraction = 0.6);
+
+  void AllocFrames(uint64_t n);
+  void FreeFrames(uint64_t n);
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t used_bytes() const { return used_frames_ * fwbase::kPageSize; }
+  uint64_t used_frames() const { return used_frames_; }
+  uint64_t peak_used_bytes() const { return peak_used_frames_ * fwbase::kPageSize; }
+  uint64_t free_bytes() const { return total_bytes_ - used_bytes(); }
+
+  // True once the swap threshold has been crossed.
+  bool swapping() const;
+  uint64_t swap_threshold_bytes() const;
+
+  // Lifetime counters (for benches / sanity checks).
+  uint64_t total_allocated_frames() const { return total_allocated_frames_; }
+  uint64_t total_freed_frames() const { return total_freed_frames_; }
+
+ private:
+  uint64_t total_bytes_;
+  double swap_start_fraction_;
+  uint64_t used_frames_ = 0;
+  uint64_t peak_used_frames_ = 0;
+  uint64_t total_allocated_frames_ = 0;
+  uint64_t total_freed_frames_ = 0;
+};
+
+}  // namespace fwmem
+
+#endif  // FIREWORKS_SRC_MEM_HOST_MEMORY_H_

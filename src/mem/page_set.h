@@ -1,0 +1,52 @@
+// PageSet: a dense bitmap over the pages of a memory region.
+//
+// The memory model tracks residency and CoW privatisation per 4 KiB page;
+// PageSet is the underlying bit vector with the bulk operations those paths
+// need (range set/clear, popcount, iteration over set bits).
+#ifndef FIREWORKS_SRC_MEM_PAGE_SET_H_
+#define FIREWORKS_SRC_MEM_PAGE_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fwmem {
+
+class PageSet {
+ public:
+  explicit PageSet(uint64_t num_pages);
+
+  uint64_t size() const { return num_pages_; }
+
+  // Grows the region (new pages start clear). Shrinking is not supported.
+  void Grow(uint64_t new_num_pages);
+
+  bool Test(uint64_t page) const;
+  void Set(uint64_t page);
+  void Clear(uint64_t page);
+
+  // Sets/clears [first, first + count); clamps to the region size.
+  void SetRange(uint64_t first, uint64_t count);
+  void ClearRange(uint64_t first, uint64_t count);
+  void ClearAll();
+
+  // Number of set bits.
+  uint64_t Count() const { return count_; }
+  // Number of set bits in [first, first + count).
+  uint64_t CountRange(uint64_t first, uint64_t count) const;
+
+  // Calls fn(page) for every set bit in ascending order.
+  void ForEachSet(const std::function<void(uint64_t)>& fn) const;
+
+  // this |= other (sizes must match).
+  void UnionWith(const PageSet& other);
+
+ private:
+  uint64_t num_pages_;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace fwmem
+
+#endif  // FIREWORKS_SRC_MEM_PAGE_SET_H_

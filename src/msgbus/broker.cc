@@ -1,0 +1,117 @@
+#include "src/msgbus/broker.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace fwbus {
+
+Broker::Broker(fwsim::Simulation& sim) : Broker(sim, Config()) {}
+
+Broker::Broker(fwsim::Simulation& sim, const Config& config) : sim_(sim), config_(config) {}
+
+Status Broker::CreateTopic(const std::string& topic, int partitions) {
+  FW_CHECK(partitions > 0);
+  if (topics_.count(topic) != 0) {
+    return Status::AlreadyExists("topic " + topic + " exists");
+  }
+  Topic t;
+  for (int i = 0; i < partitions; ++i) {
+    t.partitions.push_back(std::make_unique<Partition>(sim_));
+  }
+  topics_.emplace(topic, std::move(t));
+  return Status::Ok();
+}
+
+Status Broker::DeleteTopic(const std::string& topic) {
+  if (topics_.erase(topic) == 0) {
+    return Status::NotFound("no topic " + topic);
+  }
+  return Status::Ok();
+}
+
+bool Broker::HasTopic(const std::string& topic) const { return topics_.count(topic) != 0; }
+
+int Broker::PartitionCount(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : static_cast<int>(it->second.partitions.size());
+}
+
+Result<Broker::Partition*> Broker::FindPartition(const std::string& topic, int partition) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return Status::NotFound("no topic " + topic);
+  }
+  if (partition < 0 || partition >= static_cast<int>(it->second.partitions.size())) {
+    return Status::InvalidArgument("no partition " + std::to_string(partition) + " in " + topic);
+  }
+  return it->second.partitions[partition].get();
+}
+
+Duration Broker::TransferTime(uint64_t bytes) const {
+  return Duration::SecondsF(static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec);
+}
+
+fwsim::Co<Result<int64_t>> Broker::Produce(const std::string& topic, int partition,
+                                           Record record) {
+  auto part = FindPartition(topic, partition);
+  if (!part.ok()) {
+    co_return part.status();
+  }
+  co_await fwsim::Delay(sim_, config_.produce_cost + TransferTime(record.SizeBytes()));
+  Partition& p = **part;
+  record.offset = static_cast<int64_t>(p.log.size());
+  const int64_t offset = record.offset;
+  p.log.push_back(std::move(record));
+  ++records_produced_;
+  p.appended.Trigger();
+  co_return offset;
+}
+
+fwsim::Co<Result<Record>> Broker::ConsumeAt(const std::string& topic, int partition,
+                                            int64_t offset) {
+  FW_CHECK(offset >= 0);
+  auto part = FindPartition(topic, partition);
+  if (!part.ok()) {
+    co_return part.status();
+  }
+  Partition& p = **part;
+  while (static_cast<int64_t>(p.log.size()) <= offset) {
+    co_await p.appended.Wait();
+  }
+  // Copy before suspending: the log vector may grow (and reallocate) while the
+  // fetch delay elapses.
+  Record record = p.log[static_cast<size_t>(offset)];
+  co_await fwsim::Delay(sim_, config_.fetch_cost + TransferTime(record.SizeBytes()));
+  ++records_consumed_;
+  co_return record;
+}
+
+fwsim::Co<Result<Record>> Broker::ConsumeLast(const std::string& topic, int partition) {
+  auto part = FindPartition(topic, partition);
+  if (!part.ok()) {
+    co_return part.status();
+  }
+  Partition& p = **part;
+  while (p.log.empty()) {
+    co_await p.appended.Wait();
+  }
+  // Copy before suspending (see ConsumeAt).
+  Record record = p.log.back();
+  co_await fwsim::Delay(sim_, config_.fetch_cost + TransferTime(record.SizeBytes()));
+  ++records_consumed_;
+  co_return record;
+}
+
+Result<int64_t> Broker::EndOffset(const std::string& topic, int partition) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return Status::NotFound("no topic " + topic);
+  }
+  if (partition < 0 || partition >= static_cast<int>(it->second.partitions.size())) {
+    return Status::InvalidArgument("bad partition");
+  }
+  return static_cast<int64_t>(it->second.partitions[partition]->log.size());
+}
+
+}  // namespace fwbus

@@ -1,0 +1,22 @@
+#include "src/net/addr.h"
+
+#include "src/base/strings.h"
+
+namespace fwnet {
+
+std::string IpAddr::ToString() const {
+  return fwbase::StrFormat("%u.%u.%u.%u", (v_ >> 24) & 0xFF, (v_ >> 16) & 0xFF, (v_ >> 8) & 0xFF,
+                           v_ & 0xFF);
+}
+
+std::string MacAddr::ToString() const {
+  return fwbase::StrFormat("%02x:%02x:%02x:%02x:%02x:%02x",
+                           static_cast<unsigned>((v_ >> 40) & 0xFF),
+                           static_cast<unsigned>((v_ >> 32) & 0xFF),
+                           static_cast<unsigned>((v_ >> 24) & 0xFF),
+                           static_cast<unsigned>((v_ >> 16) & 0xFF),
+                           static_cast<unsigned>((v_ >> 8) & 0xFF),
+                           static_cast<unsigned>(v_ & 0xFF));
+}
+
+}  // namespace fwnet

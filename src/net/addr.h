@@ -1,0 +1,45 @@
+// IPv4 / MAC address value types for the network substrate.
+#ifndef FIREWORKS_SRC_NET_ADDR_H_
+#define FIREWORKS_SRC_NET_ADDR_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace fwnet {
+
+class IpAddr {
+ public:
+  constexpr IpAddr() : v_(0) {}
+  constexpr explicit IpAddr(uint32_t v) : v_(v) {}
+  static constexpr IpAddr FromOctets(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+    return IpAddr((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) | d);
+  }
+
+  constexpr uint32_t value() const { return v_; }
+  constexpr bool is_zero() const { return v_ == 0; }
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const IpAddr&) const = default;
+
+ private:
+  uint32_t v_;
+};
+
+class MacAddr {
+ public:
+  constexpr MacAddr() : v_(0) {}
+  constexpr explicit MacAddr(uint64_t v) : v_(v & 0xFFFFFFFFFFFFULL) {}
+
+  constexpr uint64_t value() const { return v_; }
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const MacAddr&) const = default;
+
+ private:
+  uint64_t v_;
+};
+
+}  // namespace fwnet
+
+#endif  // FIREWORKS_SRC_NET_ADDR_H_

@@ -1,0 +1,258 @@
+// Coroutine synchronisation primitives for the simulation kernel.
+//
+// All wake-ups are routed through the Simulation event queue at the current
+// simulated time (delay 0), so primitives never resume coroutines re-entrantly
+// and same-time wake-ups preserve FIFO order.
+//
+// Lifetime rule: a primitive must outlive every coroutine suspended on it, and
+// must not be triggered after its Simulation has been destroyed.
+#ifndef FIREWORKS_SRC_SIMCORE_PRIMITIVES_H_
+#define FIREWORKS_SRC_SIMCORE_PRIMITIVES_H_
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/simcore/simulation.h"
+
+namespace fwsim {
+
+// ---------------------------------------------------------------------------
+// SimEvent: a broadcast condition. Waiters suspend until the next Trigger();
+// a Trigger wakes everybody who was waiting at that moment.
+// ---------------------------------------------------------------------------
+
+class SimEvent {
+ public:
+  explicit SimEvent(Simulation& sim) : sim_(sim) {}
+
+  class Waiter {
+   public:
+    explicit Waiter(SimEvent& e) : e_(e) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { e_.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+
+   private:
+    SimEvent& e_;
+  };
+
+  Waiter Wait() { return Waiter(*this); }
+
+  void Trigger() {
+    std::vector<std::coroutine_handle<>> waiters;
+    waiters.swap(waiters_);
+    for (auto h : waiters) {
+      sim_.ScheduleResume(Duration::Zero(), h);
+    }
+  }
+
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Simulation& sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// ---------------------------------------------------------------------------
+// Channel<T>: an unbounded FIFO queue; Recv() suspends while empty.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulation& sim) : sim_(sim) {}
+
+  void Send(T value) {
+    items_.push_back(std::move(value));
+    if (!waiters_.empty()) {
+      // Reserve the just-queued item for the woken waiter so that a Recv()
+      // arriving before the wake-up runs cannot steal it.
+      ++claims_;
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.ScheduleResume(Duration::Zero(), h);
+    }
+  }
+
+  class RecvAwaiter {
+   public:
+    explicit RecvAwaiter(Channel& ch) : ch_(ch) {}
+    // Ready iff an *unreserved* item exists (items not claimed by waiters that
+    // a Send already woke but that have not resumed yet).
+    bool await_ready() const noexcept { return ch_.items_.size() > ch_.claims_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      suspended_ = true;
+      ch_.waiters_.push_back(h);
+    }
+    T await_resume() {
+      if (suspended_) {
+        // We were woken by a Send that reserved an item for us.
+        FW_CHECK(ch_.claims_ > 0);
+        --ch_.claims_;
+      }
+      return ch_.TakeFront();
+    }
+
+   private:
+    Channel& ch_;
+    bool suspended_ = false;
+  };
+
+  RecvAwaiter Recv() { return RecvAwaiter(*this); }
+
+  // Non-blocking receive.
+  std::optional<T> TryRecv() {
+    if (items_.size() > claims_) {
+      return TakeFront();
+    }
+    return std::nullopt;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  T TakeFront() {
+    FW_CHECK(!items_.empty());
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  Simulation& sim_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  size_t claims_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Resource: a counting semaphore with FIFO granting (vCPUs, host cores, I/O
+// queue slots). Tokens are granted at Release time to preserve fairness.
+// ---------------------------------------------------------------------------
+
+class Resource {
+ public:
+  Resource(Simulation& sim, int64_t capacity) : sim_(sim), available_(capacity) {
+    FW_CHECK(capacity >= 0);
+  }
+
+  class AcquireAwaiter {
+   public:
+    AcquireAwaiter(Resource& r, int64_t n) : r_(r), n_(n) {}
+    bool await_ready() {
+      if (r_.waiters_.empty() && r_.available_ >= n_) {
+        r_.available_ -= n_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { r_.waiters_.push_back({n_, h}); }
+    void await_resume() const noexcept {}
+
+   private:
+    Resource& r_;
+    int64_t n_;
+  };
+
+  AcquireAwaiter Acquire(int64_t n = 1) {
+    FW_CHECK(n >= 0);
+    return AcquireAwaiter(*this, n);
+  }
+
+  void Release(int64_t n = 1) {
+    FW_CHECK(n >= 0);
+    available_ += n;
+    // Grant in FIFO order; stop at the first waiter we cannot satisfy so a
+    // large request cannot be starved by smaller ones behind it.
+    while (!waiters_.empty() && available_ >= waiters_.front().n) {
+      auto w = waiters_.front();
+      waiters_.pop_front();
+      available_ -= w.n;
+      sim_.ScheduleResume(Duration::Zero(), w.h);
+    }
+  }
+
+  int64_t available() const { return available_; }
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  struct Waiting {
+    int64_t n;
+    std::coroutine_handle<> h;
+  };
+
+  Simulation& sim_;
+  int64_t available_;
+  std::deque<Waiting> waiters_;
+};
+
+// ---------------------------------------------------------------------------
+// Future<T> / SharedPromise<T>: one-shot value with any number of awaiters.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class Future {
+ public:
+  struct State {
+    explicit State(Simulation& sim) : sim(sim) {}
+    Simulation& sim;
+    std::optional<T> value;
+    std::vector<std::coroutine_handle<>> waiters;
+  };
+
+  explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  bool ready() const { return state_->value.has_value(); }
+  const T& Get() const {
+    FW_CHECK(ready());
+    return *state_->value;
+  }
+
+  class Awaiter {
+   public:
+    explicit Awaiter(std::shared_ptr<State> s) : s_(std::move(s)) {}
+    bool await_ready() const noexcept { return s_->value.has_value(); }
+    void await_suspend(std::coroutine_handle<> h) { s_->waiters.push_back(h); }
+    T await_resume() const { return *s_->value; }
+
+   private:
+    std::shared_ptr<State> s_;
+  };
+
+  Awaiter operator co_await() const { return Awaiter(state_); }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+template <typename T>
+class SharedPromise {
+ public:
+  explicit SharedPromise(Simulation& sim)
+      : state_(std::make_shared<typename Future<T>::State>(sim)) {}
+
+  Future<T> GetFuture() const { return Future<T>(state_); }
+
+  void Set(T value) {
+    FW_CHECK_MSG(!state_->value.has_value(), "SharedPromise set twice");
+    state_->value.emplace(std::move(value));
+    for (auto h : state_->waiters) {
+      state_->sim.ScheduleResume(Duration::Zero(), h);
+    }
+    state_->waiters.clear();
+  }
+
+  bool set() const { return state_->value.has_value(); }
+
+ private:
+  std::shared_ptr<typename Future<T>::State> state_;
+};
+
+}  // namespace fwsim
+
+#endif  // FIREWORKS_SRC_SIMCORE_PRIMITIVES_H_

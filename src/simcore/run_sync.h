@@ -1,0 +1,40 @@
+// Drives a coroutine to completion on a Simulation and returns its result.
+// The synchronous entry point used by tests, benches, and examples.
+#ifndef FIREWORKS_SRC_SIMCORE_RUN_SYNC_H_
+#define FIREWORKS_SRC_SIMCORE_RUN_SYNC_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/simcore/simulation.h"
+
+namespace fwsim {
+
+// Spawns `co` and steps the simulation until it completes, then returns its
+// result. Events scheduled beyond the completion point (e.g. keep-alive
+// expiry timers) stay queued — they belong to simulated future, not to this
+// call. FW_CHECKs that the coroutine actually completed (deadlock otherwise).
+template <typename T>
+T RunSync(Simulation& sim, Co<T> co) {
+  auto result = std::make_shared<std::optional<T>>();
+  sim.Spawn([](Co<T> c, std::shared_ptr<std::optional<T>> out) -> Co<void> {
+    out->emplace(co_await std::move(c));
+  }(std::move(co), result));
+  while (!result->has_value() && sim.StepOne()) {
+  }
+  FW_CHECK_MSG(result->has_value(), "coroutine did not complete (deadlock?)");
+  return std::move(**result);
+}
+
+inline void RunSyncVoid(Simulation& sim, Co<void> co) {
+  const uint64_t root = sim.Spawn(std::move(co));
+  while (!sim.IsDone(root) && sim.StepOne()) {
+  }
+  FW_CHECK_MSG(sim.IsDone(root), "coroutine did not complete (deadlock?)");
+}
+
+}  // namespace fwsim
+
+#endif  // FIREWORKS_SRC_SIMCORE_RUN_SYNC_H_

@@ -1,0 +1,124 @@
+// Discrete-event simulation kernel.
+//
+// Simulation owns a virtual clock and a time-ordered event queue. Events at
+// equal timestamps execute in schedule (FIFO) order, which makes runs fully
+// deterministic. Work is expressed either as plain callbacks (Schedule) or as
+// C++20 coroutines (Spawn + co_await Delay/primitives from primitives.h).
+//
+// Spawned root coroutines are owned by the Simulation: their frames are
+// reclaimed as soon as they complete, and any still-suspended roots are
+// destroyed (recursively, including children they are awaiting) when the
+// Simulation is destroyed.
+#ifndef FIREWORKS_SRC_SIMCORE_SIMULATION_H_
+#define FIREWORKS_SRC_SIMCORE_SIMULATION_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/units.h"
+#include "src/simcore/coro.h"
+
+namespace fwsim {
+
+using fwbase::Duration;
+using fwbase::SimTime;
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 42);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+  fwbase::Rng& rng() { return rng_; }
+
+  // Schedules a plain callback `delay` after the current time (>= 0).
+  void Schedule(Duration delay, std::function<void()> fn);
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedules a suspended coroutine to be resumed `delay` after now. Used by
+  // the synchronisation primitives; resumption always flows through the event
+  // queue so primitives never re-enter each other.
+  void ScheduleResume(Duration delay, std::coroutine_handle<> h);
+
+  // Starts a root coroutine. The first step runs at the current time (as a
+  // queued event, not synchronously). Returns an id usable with IsDone.
+  uint64_t Spawn(Co<void> co);
+  bool IsDone(uint64_t root_id) const;
+
+  // Runs until the event queue is empty or Stop() is called.
+  void Run();
+  // Runs events with timestamp <= `t`; afterwards Now() == t unless the queue
+  // drained earlier or Stop() was called. Returns true if events remain.
+  bool RunUntil(SimTime t);
+  bool RunFor(Duration d) { return RunUntil(Now() + d); }
+  // Requests the run loop to return after the current event.
+  void Stop() { stop_requested_ = true; }
+
+  // Executes exactly one event (the earliest). Returns false if the queue is
+  // empty. Building block for run-until-condition drivers (see run_sync.h).
+  bool StepOne();
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t live_roots() const { return roots_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // A self-reclaiming driver for one root coroutine (defined in .cc).
+  struct Root;
+  friend struct Root;
+
+  void ReclaimDeadRoots();
+  void OnRootDone(uint64_t id);
+  void InstallLogTimeSource();
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_root_id_ = 1;
+  uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_map<uint64_t, std::coroutine_handle<>> roots_;
+  std::vector<uint64_t> dead_roots_;
+  fwbase::Rng rng_;
+};
+
+// Awaitable returned by Delay(): suspends the coroutine and resumes it through
+// the event queue after `d` of simulated time.
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Simulation& sim, Duration d) : sim_(sim), d_(d) {}
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const { sim_.ScheduleResume(d_, h); }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulation& sim_;
+  Duration d_;
+};
+
+inline DelayAwaiter Delay(Simulation& sim, Duration d) { return DelayAwaiter(sim, d); }
+
+}  // namespace fwsim
+
+#endif  // FIREWORKS_SRC_SIMCORE_SIMULATION_H_

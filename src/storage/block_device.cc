@@ -1,0 +1,36 @@
+#include "src/storage/block_device.h"
+
+namespace fwstore {
+
+BlockDevice::BlockDevice(fwsim::Simulation& sim, const Config& config)
+    : sim_(sim), config_(config), queue_(sim, config.parallelism) {}
+
+Duration BlockDevice::ReadCost(uint64_t bytes) const {
+  return config_.read_latency +
+         Duration::SecondsF(static_cast<double>(bytes) / config_.read_bw_bytes_per_sec);
+}
+
+Duration BlockDevice::WriteCost(uint64_t bytes) const {
+  return config_.write_latency +
+         Duration::SecondsF(static_cast<double>(bytes) / config_.write_bw_bytes_per_sec);
+}
+
+fwsim::Co<void> BlockDevice::DoOp(Duration cost) {
+  co_await queue_.Acquire();
+  co_await fwsim::Delay(sim_, cost);
+  queue_.Release();
+}
+
+fwsim::Co<void> BlockDevice::Read(uint64_t bytes) {
+  bytes_read_ += bytes;
+  ++read_ops_;
+  co_await DoOp(ReadCost(bytes));
+}
+
+fwsim::Co<void> BlockDevice::Write(uint64_t bytes) {
+  bytes_written_ += bytes;
+  ++write_ops_;
+  co_await DoOp(WriteCost(bytes));
+}
+
+}  // namespace fwstore

@@ -1,0 +1,60 @@
+#include "src/storage/filesystem.h"
+
+namespace fwstore {
+
+const char* FsKindName(FsKind kind) {
+  switch (kind) {
+    case FsKind::kHostDirect:
+      return "host";
+    case FsKind::kOverlayFs:
+      return "overlayfs";
+    case FsKind::kVirtio:
+      return "virtio";
+    case FsKind::kP9fs:
+      return "9p";
+    case FsKind::kGofer:
+      return "gofer";
+  }
+  return "?";
+}
+
+Filesystem::Config Filesystem::ConfigFor(FsKind kind) {
+  // Per-op path costs loosely calibrated from the gVisor performance guide
+  // and Firecracker's block-device documentation: direct syscalls are a few
+  // microseconds; overlay adds dentry indirection; a paravirtual exit adds
+  // tens of microseconds; Sentry+Gofer adds two extra process hops per op.
+  switch (kind) {
+    case FsKind::kHostDirect:
+      return Config{Duration::Micros(4), 1.0};
+    case FsKind::kOverlayFs:
+      return Config{Duration::Micros(7), 0.95};
+    case FsKind::kVirtio:
+      return Config{Duration::Micros(30), 0.80};
+    case FsKind::kP9fs:
+      return Config{Duration::Micros(45), 0.70};
+    case FsKind::kGofer:
+      // Sentry syscall interception + RPC to the Gofer per file operation.
+      return Config{Duration::Micros(620), 0.35};
+  }
+  return Config{Duration::Micros(4), 1.0};
+}
+
+Filesystem::Filesystem(fwsim::Simulation& sim, BlockDevice& device, FsKind kind)
+    : sim_(sim), device_(device), kind_(kind), config_(ConfigFor(kind)) {}
+
+fwsim::Co<void> Filesystem::ReadFile(uint64_t bytes) {
+  ++ops_;
+  co_await fwsim::Delay(sim_, config_.per_op_overhead);
+  // Bandwidth degradation is modelled as inflating the transferred size.
+  co_await device_.Read(static_cast<uint64_t>(static_cast<double>(bytes) /
+                                              config_.bandwidth_scale));
+}
+
+fwsim::Co<void> Filesystem::WriteFile(uint64_t bytes) {
+  ++ops_;
+  co_await fwsim::Delay(sim_, config_.per_op_overhead);
+  co_await device_.Write(static_cast<uint64_t>(static_cast<double>(bytes) /
+                                               config_.bandwidth_scale));
+}
+
+}  // namespace fwstore

@@ -1,0 +1,57 @@
+// Filesystem personalities: the per-operation software overhead of the I/O
+// stack between a sandboxed function and the block device.
+//
+// The paper's disk benchmark (§5.2.1 (2)) finds I/O latency ordered
+//   OverlayFS/chroot (OpenWhisk)  <  microVM virtio/9p (Firecracker,
+//   Fireworks)  <  gVisor Sentry+Gofer,
+// because each stack adds a different interception cost per syscall. Each
+// personality adds a fixed per-op overhead and scales effective bandwidth.
+#ifndef FIREWORKS_SRC_STORAGE_FILESYSTEM_H_
+#define FIREWORKS_SRC_STORAGE_FILESYSTEM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/storage/block_device.h"
+
+namespace fwstore {
+
+enum class FsKind {
+  kHostDirect,  // Bare host filesystem.
+  kOverlayFs,   // Container overlay + chroot (OpenWhisk).
+  kVirtio,      // microVM paravirtual block (Firecracker / Fireworks).
+  kP9fs,        // 9p shared folder (crosvm-style).
+  kGofer,       // gVisor Sentry syscall interception + Gofer file proxy.
+};
+
+const char* FsKindName(FsKind kind);
+
+class Filesystem {
+ public:
+  struct Config {
+    Duration per_op_overhead;  // Syscall + interception path, per operation.
+    double bandwidth_scale;    // Fraction of device bandwidth achievable.
+  };
+
+  // Calibrated defaults per personality.
+  static Config ConfigFor(FsKind kind);
+
+  Filesystem(fwsim::Simulation& sim, BlockDevice& device, FsKind kind);
+
+  fwsim::Co<void> ReadFile(uint64_t bytes);
+  fwsim::Co<void> WriteFile(uint64_t bytes);
+
+  FsKind kind() const { return kind_; }
+  uint64_t ops() const { return ops_; }
+
+ private:
+  fwsim::Simulation& sim_;
+  BlockDevice& device_;
+  FsKind kind_;
+  Config config_;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace fwstore
+
+#endif  // FIREWORKS_SRC_STORAGE_FILESYSTEM_H_

@@ -1,0 +1,154 @@
+// Hypervisor: the Firecracker-like VMM this reproduction runs on.
+//
+// Mechanisms provided (policies live in the platform layer):
+//   * microVM creation: REST API handling, VMM process spawn, KVM setup,
+//     virtio device configuration;
+//   * guest OS boot: kernel + init costs, dirtying the kernel/OS segments of
+//     the guest-physical address space;
+//   * pause / resume;
+//   * snapshot creation: pause, serialize vmstate, write the guest memory
+//     file into the SnapshotStore (§3.3);
+//   * snapshot restore: spawn a fresh VMM, map the memory file MAP_PRIVATE
+//     (pages fault in lazily, CoW on write), restore vmstate (§3.4);
+//   * fault servicing: converts FaultCounts from the memory model into
+//     simulated time, distinguishing page-cache-warm images from cold ones;
+//   * REAP-style working-set prefetch (related-work extension, used by the
+//     ablation bench).
+#ifndef FIREWORKS_SRC_VMM_HYPERVISOR_H_
+#define FIREWORKS_SRC_VMM_HYPERVISOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/mem/address_space.h"
+#include "src/mem/host_memory.h"
+#include "src/simcore/simulation.h"
+#include "src/storage/snapshot_store.h"
+#include "src/vmm/microvm.h"
+
+namespace fwvmm {
+
+using fwbase::Duration;
+
+// Names of the guest segments the hypervisor itself manages. The language
+// runtime layers add their own segments on top.
+inline constexpr char kSegGuestKernel[] = "guest_kernel";
+inline constexpr char kSegGuestOs[] = "guest_os";
+
+class Hypervisor {
+ public:
+  struct Config {
+    Config() {}
+
+    // REST API request handling (one per control-plane call).
+    Duration api_request_cost = Duration::Micros(120);
+    // Spawning the VMM process (+ jailer) and setting up KVM.
+    Duration process_spawn_cost = Duration::Millis(55);
+    Duration kvm_setup_cost = Duration::Millis(18);
+    Duration device_setup_cost = Duration::Millis(8);
+    // Guest kernel decompress + boot and userspace init (full rootfs with
+    // the serverless agent, as in the paper's Firecracker baseline).
+    Duration guest_kernel_boot_cost = Duration::Millis(1500);
+    Duration guest_init_cost = Duration::Millis(380);
+    // Memory the guest dirties during kernel boot / early userspace.
+    uint64_t kernel_boot_bytes = 64 * fwbase::kMiB;
+    uint64_t os_services_bytes = 44 * fwbase::kMiB;
+
+    Duration pause_cost = Duration::Millis(6);
+    // Resuming a paused (warm) VM: API connection, vCPU restart, network
+    // refresh and request plumbing — the paper's warm-start path.
+    Duration resume_cost = Duration::Millis(60);
+    // Serializing device/vCPU state at snapshot time; parsing it at restore.
+    Duration snapshot_vmstate_cost = Duration::Millis(14);
+    Duration restore_vmstate_cost = Duration::Millis(4);
+    // Spinning up the VMM for a snapshot restore: a trimmed path (config is
+    // read from the snapshot, memory is mmap'ed) — far lighter than a cold
+    // process spawn + KVM + device setup.
+    Duration restore_process_cost = Duration::Millis(9);
+
+    // Per-page fault service costs.
+    // Minor faults amortised by Linux fault-around + file readahead.
+    Duration minor_fault_cost = Duration::Nanos(180);
+    Duration major_fault_cost = Duration::Micros(24);  // 4 KiB random disk read.
+    Duration cow_fault_cost = Duration::Nanos(1800);   // Copy + PTE update.
+    Duration zero_fault_cost = Duration::Nanos(500);
+
+    // Guest-side MMDS HTTP read.
+    Duration mmds_read_cost = Duration::Micros(180);
+  };
+
+  Hypervisor(fwsim::Simulation& sim, fwmem::HostMemory& host_memory,
+             fwstore::SnapshotStore& snapshot_store);
+  Hypervisor(fwsim::Simulation& sim, fwmem::HostMemory& host_memory,
+             fwstore::SnapshotStore& snapshot_store, const Config& config);
+
+  // --- Lifecycle -----------------------------------------------------------
+
+  // Creates a fresh (cold) microVM: API + process + KVM + devices. The guest
+  // is not booted yet. The returned pointer stays valid until Destroy().
+  fwsim::Co<MicroVm*> CreateMicroVm(const std::string& name, const MicroVmConfig& config);
+
+  // Boots the guest kernel and early userspace; dirties the kernel/OS
+  // segments. Requires kConfigured.
+  fwsim::Co<Status> BootGuestOs(MicroVm& vm);
+
+  fwsim::Co<Status> Pause(MicroVm& vm);
+  fwsim::Co<Status> Resume(MicroVm& vm);
+
+  // Pauses the VM, serializes vmstate, snapshots guest memory into the store
+  // under `snapshot_name`, and leaves the VM paused.
+  fwsim::Co<fwbase::Result<std::shared_ptr<fwmem::SnapshotImage>>> CreateSnapshot(
+      MicroVm& vm, const std::string& snapshot_name);
+
+  // Restores a new microVM from a stored snapshot: fresh VMM process, memory
+  // file mapped MAP_PRIVATE (lazy faults + CoW), vmstate restored. The guest
+  // continues from exactly the snapshot point.
+  fwsim::Co<fwbase::Result<MicroVm*>> RestoreMicroVm(const std::string& snapshot_name,
+                                                     const std::string& vm_name);
+
+  // Tears the VM down and releases all its frames.
+  Status Destroy(MicroVm& vm);
+
+  // --- Memory-access services ---------------------------------------------
+
+  // Time to service the given faults against `vm`'s backing image (if any).
+  Duration FaultServiceTime(const MicroVm& vm, const fwmem::FaultCounts& faults) const;
+  // Convenience: charge the fault time on the simulation clock.
+  fwsim::Co<void> ServiceFaults(const MicroVm& vm, const fwmem::FaultCounts& faults);
+
+  // REAP-style prefetch: bulk sequential read of the image's recorded working
+  // set, after which its pages are cache-warm.
+  fwsim::Co<void> PrefetchWorkingSet(fwmem::SnapshotImage& image, uint64_t working_set_bytes);
+
+  // Guest-side MMDS read (charges the in-guest HTTP cost).
+  fwsim::Co<fwbase::Result<std::string>> GuestReadMmds(MicroVm& vm, const std::string& key);
+
+  const Config& config() const { return config_; }
+  fwsim::Simulation& sim() { return sim_; }
+  fwmem::HostMemory& host_memory() { return host_memory_; }
+  fwstore::SnapshotStore& snapshot_store() { return snapshot_store_; }
+
+  uint64_t vms_created() const { return vms_created_; }
+  uint64_t vms_restored() const { return vms_restored_; }
+  uint64_t snapshots_taken() const { return snapshots_taken_; }
+  size_t live_vm_count() const { return vms_.size(); }
+
+ private:
+  fwsim::Simulation& sim_;
+  fwmem::HostMemory& host_memory_;
+  fwstore::SnapshotStore& snapshot_store_;
+  Config config_;
+  std::map<uint64_t, std::unique_ptr<MicroVm>> vms_;
+  uint64_t next_vm_id_ = 1;
+  uint64_t vms_created_ = 0;
+  uint64_t vms_restored_ = 0;
+  uint64_t snapshots_taken_ = 0;
+};
+
+}  // namespace fwvmm
+
+#endif  // FIREWORKS_SRC_VMM_HYPERVISOR_H_

@@ -1,0 +1,93 @@
+// MicroVm: one Firecracker-style microVM instance.
+//
+// A microVM owns its guest-physical AddressSpace, a state machine for its
+// lifecycle, and an MMDS (microVM Metadata Service) key/value store that the
+// host writes and the guest reads — the mechanism Fireworks uses to tell each
+// snapshot clone its instance identity (fcID) so it can find its parameter
+// queue (§3.5–3.6).
+#ifndef FIREWORKS_SRC_VMM_MICROVM_H_
+#define FIREWORKS_SRC_VMM_MICROVM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/mem/address_space.h"
+
+namespace fwvmm {
+
+using fwbase::Result;
+using fwbase::Status;
+
+struct MicroVmConfig {
+  MicroVmConfig() = default;
+  MicroVmConfig(int vcpus, uint64_t mem_bytes, uint64_t disk_bytes)
+      : vcpus(vcpus), mem_bytes(mem_bytes), disk_bytes(disk_bytes) {}
+
+  // The paper's standard configuration: 1 vCPU, 512 MB, 2 GB disk (§5.1).
+  int vcpus = 1;
+  uint64_t mem_bytes = 512 * fwbase::kMiB;
+  uint64_t disk_bytes = 2 * fwbase::kGiB;
+};
+
+enum class VmState {
+  kConfigured,  // VMM process up, devices configured, guest not started.
+  kBooting,     // Guest kernel boot in progress.
+  kRunning,
+  kPaused,
+  kDead,
+};
+
+const char* VmStateName(VmState state);
+
+class MicroVm {
+ public:
+  MicroVm(uint64_t id, std::string name, const MicroVmConfig& config,
+          std::unique_ptr<fwmem::AddressSpace> space, bool restored_from_snapshot);
+
+  MicroVm(const MicroVm&) = delete;
+  MicroVm& operator=(const MicroVm&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const MicroVmConfig& config() const { return config_; }
+  VmState state() const { return state_; }
+  bool restored_from_snapshot() const { return restored_from_snapshot_; }
+
+  fwmem::AddressSpace& address_space() { return *space_; }
+  const fwmem::AddressSpace& address_space() const { return *space_; }
+
+  // MMDS. Host-side writes are free (REST API cost charged by Hypervisor);
+  // guest-side reads pay an HTTP round trip inside the guest (cost charged by
+  // the guest-process model).
+  void SetMetadata(const std::string& key, std::string value);
+  Result<std::string> GetMetadata(const std::string& key) const;
+
+  // Network attachment bookkeeping (wired by the platform layer).
+  void set_netns_id(uint64_t id) { netns_id_ = id; }
+  uint64_t netns_id() const { return netns_id_; }
+  void set_tap_name(std::string name) { tap_name_ = std::move(name); }
+  const std::string& tap_name() const { return tap_name_; }
+
+ private:
+  friend class Hypervisor;
+
+  void set_state(VmState s) { state_ = s; }
+
+  uint64_t id_;
+  std::string name_;
+  MicroVmConfig config_;
+  std::unique_ptr<fwmem::AddressSpace> space_;
+  bool restored_from_snapshot_;
+  VmState state_ = VmState::kConfigured;
+  std::map<std::string, std::string> mmds_;
+  uint64_t netns_id_ = 0;
+  std::string tap_name_;
+};
+
+}  // namespace fwvmm
+
+#endif  // FIREWORKS_SRC_VMM_MICROVM_H_

@@ -1,0 +1,98 @@
+#include "src/workloads/faasdom.h"
+
+#include <string>
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+
+namespace fwwork {
+
+using fwbase::kKiB;
+using fwbase::kMiB;
+using fwlang::FunctionSource;
+using fwlang::Language;
+using fwlang::MethodDef;
+using fwlang::Op;
+
+const char* FaasdomBenchName(FaasdomBench bench) {
+  switch (bench) {
+    case FaasdomBench::kFact:
+      return "fact";
+    case FaasdomBench::kMatrixMult:
+      return "matrix-mult";
+    case FaasdomBench::kDiskIo:
+      return "diskio";
+    case FaasdomBench::kNetLatency:
+      return "netlatency";
+  }
+  return "?";
+}
+
+std::vector<FaasdomBench> AllFaasdomBenches() {
+  return {FaasdomBench::kFact, FaasdomBench::kMatrixMult, FaasdomBench::kDiskIo,
+          FaasdomBench::kNetLatency};
+}
+
+bool IsComputeIntensive(FaasdomBench bench) {
+  return bench == FaasdomBench::kFact || bench == FaasdomBench::kMatrixMult;
+}
+
+FunctionSource MakeFaasdom(FaasdomBench bench, Language language) {
+  const std::string name = std::string("faas-") + FaasdomBenchName(bench) + "-" +
+                           fwlang::LanguageName(language);
+  std::vector<MethodDef> methods;
+  switch (bench) {
+    case FaasdomBench::kFact: {
+      // Integer factorisation of many inputs: 100 kernel calls, allocation
+      // churn from big-integer temporaries.
+      methods.emplace_back(
+          "factorize",
+          std::vector<Op>{Op::Compute(300'000, /*friendliness=*/0.97),
+                          Op::AllocHeap(448 * kKiB)},
+          /*code_bytes=*/2 * kKiB);
+      methods.emplace_back(
+          "main",
+          std::vector<Op>{Op::Call("factorize", 100), Op::AllocHeap(6 * kMiB),
+                          Op::NetSend(579)},
+          /*code_bytes=*/1 * kKiB);
+      break;
+    }
+    case FaasdomBench::kMatrixMult: {
+      // Fewer, larger kernels; big matrix buffers.
+      methods.emplace_back(
+          "multiply",
+          std::vector<Op>{Op::Compute(600'000, /*friendliness=*/0.999),
+                          Op::AllocHeap(128 * kKiB)},
+          /*code_bytes=*/3 * kKiB);
+      methods.emplace_back(
+          "main",
+          std::vector<Op>{Op::Call("multiply", 60), Op::AllocHeap(8 * kMiB), Op::NetSend(579)},
+          /*code_bytes=*/1 * kKiB);
+      break;
+    }
+    case FaasdomBench::kDiskIo: {
+      // 10 KB file read + write, 100 times, with a small checksum per pair
+      // (§5.2.1(2)). Execution is dominated by the sandbox I/O path.
+      methods.emplace_back(
+          "io_pair",
+          std::vector<Op>{Op::DiskRead(10 * kKiB), Op::DiskWrite(10 * kKiB),
+                          Op::Compute(1'500, /*friendliness=*/0.9)},
+          /*code_bytes=*/1 * kKiB);
+      methods.emplace_back(
+          "main",
+          std::vector<Op>{Op::Call("io_pair", 100), Op::AllocHeap(1 * kMiB), Op::NetSend(579)},
+          /*code_bytes=*/1 * kKiB);
+      break;
+    }
+    case FaasdomBench::kNetLatency: {
+      // Respond immediately: 79-byte body + 500-byte header.
+      methods.emplace_back("main", std::vector<Op>{Op::Compute(300), Op::NetSend(579)},
+                           /*code_bytes=*/512);
+      break;
+    }
+  }
+  const uint64_t package_bytes = language == Language::kNodeJs ? 2 * kMiB : 1 * kMiB;
+  return FunctionSource(name, language, std::move(methods), "main", package_bytes);
+}
+
+}  // namespace fwwork

@@ -1,0 +1,38 @@
+// FaaSdom micro-benchmark suite (Table 2, §5.2): two compute-intensive
+// functions (integer factorisation, large-matrix multiplication) and two
+// I/O-intensive functions (disk I/O, network latency), each available in
+// Node.js and Python.
+//
+// Workload shapes are chosen so the runtime models reproduce the paper's
+// qualitative JIT behaviour:
+//   * faas-fact / faas-matrix-mult call their kernel repeatedly, so V8 tiers
+//     up partway through a cold execution (modest exec gains for Node.js,
+//     §5.2.1) while CPython never does (huge post-JIT gains, §5.2.2);
+//   * faas-diskio interleaves tiny compute with 100 × 10 KB read+write pairs,
+//     so execution time is dominated by the sandbox's I/O path and JIT gains
+//     are marginal (§5.2.1(2));
+//   * faas-netlatency responds immediately (79-byte body + 500-byte header)
+//     and measures pure start-up/response path (§5.2.1(3)).
+#ifndef FIREWORKS_SRC_WORKLOADS_FAASDOM_H_
+#define FIREWORKS_SRC_WORKLOADS_FAASDOM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/function_ir.h"
+
+namespace fwwork {
+
+enum class FaasdomBench { kFact, kMatrixMult, kDiskIo, kNetLatency };
+
+const char* FaasdomBenchName(FaasdomBench bench);
+std::vector<FaasdomBench> AllFaasdomBenches();
+bool IsComputeIntensive(FaasdomBench bench);
+
+// Builds the benchmark function for the given language. Function names are
+// "faas-<bench>-<language>".
+fwlang::FunctionSource MakeFaasdom(FaasdomBench bench, fwlang::Language language);
+
+}  // namespace fwwork
+
+#endif  // FIREWORKS_SRC_WORKLOADS_FAASDOM_H_

@@ -1,0 +1,151 @@
+#include "src/workloads/serverlessbench.h"
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+
+namespace fwwork {
+
+using fwbase::kKiB;
+using fwbase::kMiB;
+using fwlang::FunctionSource;
+using fwlang::Language;
+using fwlang::MethodDef;
+using fwlang::Op;
+
+const std::vector<std::string>& ChainApp::Chain(const std::string& chain_name) const {
+  auto it = chains.find(chain_name);
+  FW_CHECK_MSG(it != chains.end(), ("no chain " + chain_name + " in app " + name).c_str());
+  return it->second;
+}
+
+namespace {
+
+FunctionSource NodeFn(std::string name, std::vector<MethodDef> methods,
+                      uint64_t package_bytes) {
+  return FunctionSource(std::move(name), Language::kNodeJs, std::move(methods), "main",
+                        package_bytes);
+}
+
+}  // namespace
+
+ChainApp MakeAlexaSkills() {
+  std::vector<FunctionSource> functions;
+
+  // Voice-intent analysis: tokenize + classify the transcribed request.
+  {
+    std::vector<MethodDef> methods;
+    methods.emplace_back("tokenize", std::vector<Op>{Op::Compute(140'000, /*friendliness=*/0.97)}, 2 * kKiB);
+    methods.emplace_back("classify_intent",
+                         std::vector<Op>{Op::Compute(380'000, /*friendliness=*/0.97), Op::AllocHeap(1 * kMiB)},
+                         3 * kKiB);
+    methods.emplace_back(
+        "main",
+        std::vector<Op>{Op::Call("tokenize", 4), Op::Call("classify_intent", 1),
+                        Op::NetSend(350)},
+        1 * kKiB);
+    functions.push_back(NodeFn("alexa-frontend", std::move(methods), 5 * kMiB));
+  }
+  // Fact skill: answer simple common sense.
+  {
+    std::vector<MethodDef> methods;
+    methods.emplace_back("pick_fact", std::vector<Op>{Op::Compute(95'000, /*friendliness=*/0.97)}, 1 * kKiB);
+    methods.emplace_back("main",
+                         std::vector<Op>{Op::Call("pick_fact", 3), Op::NetSend(420)},
+                         1 * kKiB);
+    functions.push_back(NodeFn("alexa-fact", std::move(methods), 3 * kMiB));
+  }
+  // Reminder skill: search/enter schedules in CouchDB (item, place, URL).
+  {
+    std::vector<MethodDef> methods;
+    methods.emplace_back("load_schedule",
+                         std::vector<Op>{Op::DbGet("reminders", "schedule"),
+                                         Op::Compute(70'000, /*friendliness=*/0.97)},
+                         2 * kKiB);
+    methods.emplace_back("store_entry",
+                         std::vector<Op>{Op::Compute(60'000, /*friendliness=*/0.97), Op::DbPut("reminders", 640)},
+                         2 * kKiB);
+    methods.emplace_back(
+        "main",
+        std::vector<Op>{Op::Call("load_schedule", 1), Op::Call("store_entry", 1),
+                        Op::AllocHeap(512 * kKiB), Op::NetSend(460)},
+        1 * kKiB);
+    functions.push_back(NodeFn("alexa-reminder", std::move(methods), 4 * kMiB));
+  }
+  // Smart-home skill: report on/off status of light, door, TV.
+  {
+    std::vector<MethodDef> methods;
+    methods.emplace_back("query_device",
+                         std::vector<Op>{Op::DbGet("devices", "state"), Op::Compute(50'000, /*friendliness=*/0.97)},
+                         2 * kKiB);
+    methods.emplace_back(
+        "main",
+        std::vector<Op>{Op::Call("query_device", 3), Op::Compute(110'000, /*friendliness=*/0.97), Op::NetSend(380)},
+        1 * kKiB);
+    functions.push_back(NodeFn("alexa-smarthome", std::move(methods), 4 * kMiB));
+  }
+
+  std::map<std::string, std::vector<std::string>> chains;
+  chains["fact"] = {"alexa-frontend", "alexa-fact"};
+  chains["reminder"] = {"alexa-frontend", "alexa-reminder"};
+  chains["smarthome"] = {"alexa-frontend", "alexa-smarthome"};
+  return ChainApp("alexa-skills", std::move(functions), std::move(chains));
+}
+
+ChainApp MakeDataAnalysis() {
+  std::vector<FunctionSource> functions;
+
+  // Validate incoming wage records (name, ID, role, base payment).
+  {
+    std::vector<MethodDef> methods;
+    methods.emplace_back("validate", std::vector<Op>{Op::Compute(130'000, /*friendliness=*/0.97)}, 2 * kKiB);
+    methods.emplace_back("main",
+                         std::vector<Op>{Op::Call("validate", 5), Op::NetSend(280)},
+                         1 * kKiB);
+    functions.push_back(NodeFn("da-input-check", std::move(methods), 3 * kMiB));
+  }
+  // Reformat and insert into CouchDB.
+  {
+    std::vector<MethodDef> methods;
+    methods.emplace_back("reformat",
+                         std::vector<Op>{Op::Compute(180'000, /*friendliness=*/0.97), Op::AllocHeap(512 * kKiB)},
+                         2 * kKiB);
+    methods.emplace_back(
+        "main",
+        std::vector<Op>{Op::Call("reformat", 5), Op::DbPut("wages", 820), Op::NetSend(300)},
+        1 * kKiB);
+    functions.push_back(NodeFn("da-format", std::move(methods), 3 * kMiB));
+  }
+  // Analysis chain (DB-update triggered): bonuses, taxes, statistics.
+  {
+    std::vector<MethodDef> methods;
+    methods.emplace_back("compute_bonus_tax",
+                         std::vector<Op>{Op::Compute(230'000, /*friendliness=*/0.97), Op::AllocHeap(256 * kKiB)},
+                         3 * kKiB);
+    methods.emplace_back(
+        "main",
+        std::vector<Op>{Op::DbScan("wages"), Op::Call("compute_bonus_tax", 8),
+                        Op::NetSend(320)},
+        1 * kKiB);
+    functions.push_back(NodeFn("da-analyze", std::move(methods), 4 * kMiB));
+  }
+  {
+    std::vector<MethodDef> methods;
+    methods.emplace_back("aggregate", std::vector<Op>{Op::Compute(160'000, /*friendliness=*/0.97)}, 2 * kKiB);
+    methods.emplace_back(
+        "main",
+        std::vector<Op>{Op::Call("aggregate", 4), Op::DbPut("wage-stats", 540),
+                        Op::NetSend(290)},
+        1 * kKiB);
+    functions.push_back(NodeFn("da-stats", std::move(methods), 3 * kMiB));
+  }
+
+  std::map<std::string, std::vector<std::string>> chains;
+  chains["insert"] = {"da-input-check", "da-format"};
+  chains["analysis"] = {"da-analyze", "da-stats"};
+  ChainApp app("data-analysis", std::move(functions), std::move(chains));
+  app.trigger_db = "wages";
+  app.trigger_chain = "analysis";
+  return app;
+}
+
+}  // namespace fwwork

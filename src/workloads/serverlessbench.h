@@ -1,0 +1,54 @@
+// ServerlessBench real-world applications (Table 2, §5.3, Fig 8): the two
+// Node.js applications the paper evaluates, each a chain of serverless
+// functions interacting through pipes and CouchDB.
+//
+// Alexa Skills (Fig 8(a)): a frontend performs voice-intent analysis, then
+// dispatches to one of three skills — fact (answers trivia), reminder (reads/
+// writes schedules in CouchDB), smart home (reports device on/off state).
+// Invocations carry varied argument shapes (door passwords, schedule
+// details), the paper's worst case for JITted code (de-optimisation, §6).
+//
+// Data analysis (Fig 8(b)): wage records are validated and formatted into
+// CouchDB; a database-update trigger launches the analysis chain, which scans
+// the records, computes bonuses/taxes, and stores statistics.
+#ifndef FIREWORKS_SRC_WORKLOADS_SERVERLESSBENCH_H_
+#define FIREWORKS_SRC_WORKLOADS_SERVERLESSBENCH_H_
+
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/lang/function_ir.h"
+
+namespace fwwork {
+
+struct ChainApp {
+  ChainApp() = default;
+  ChainApp(std::string name, std::vector<fwlang::FunctionSource> functions,
+           std::map<std::string, std::vector<std::string>> chains)
+      : name(std::move(name)), functions(std::move(functions)), chains(std::move(chains)) {}
+
+  // Function names of one named chain, in invocation order.
+  const std::vector<std::string>& Chain(const std::string& chain_name) const;
+
+  std::string name;
+  std::vector<fwlang::FunctionSource> functions;
+  // chain name → ordered function names.
+  std::map<std::string, std::vector<std::string>> chains;
+  // Name of the database whose updates trigger `trigger_chain` (empty: none).
+  std::string trigger_db;
+  std::string trigger_chain;
+};
+static_assert(!std::is_aggregate_v<ChainApp>);
+
+// Alexa Skills: chains "fact", "reminder", "smarthome" (each frontend→skill).
+ChainApp MakeAlexaSkills();
+
+// Data analysis: chain "insert" (input-check → format-and-store); DB updates
+// on "wages" trigger chain "analysis" (analyze → stats).
+ChainApp MakeDataAnalysis();
+
+}  // namespace fwwork
+
+#endif  // FIREWORKS_SRC_WORKLOADS_SERVERLESSBENCH_H_

@@ -1,0 +1,412 @@
+// Tests for the baseline platforms: Firecracker (plain and +OS-snapshot),
+// OpenWhisk, gVisor, and the isolate platform — including the cold/warm
+// semantics and the cross-platform orderings the paper's figures rest on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baselines/container_platform.h"
+#include "src/baselines/firecracker.h"
+#include "src/baselines/isolate.h"
+#include "src/core/fireworks.h"
+#include "src/core/platform.h"
+#include "src/workloads/faasdom.h"
+#include "tests/test_util.h"
+
+namespace fwbaselines {
+namespace {
+
+using fwcore::HostEnv;
+using fwcore::InvokeOptions;
+using fwlang::FunctionSource;
+using fwlang::Language;
+using fwtest::RunSync;
+using fwwork::FaasdomBench;
+using namespace fwbase::literals;
+
+FunctionSource FactFn(Language language = Language::kNodeJs) {
+  return fwwork::MakeFaasdom(FaasdomBench::kFact, language);
+}
+
+// ---------------------------------------------------------------------------
+// Firecracker.
+// ---------------------------------------------------------------------------
+
+class FirecrackerTest : public ::testing::Test {
+ protected:
+  HostEnv env_;
+  FirecrackerPlatform platform_{env_};
+};
+
+TEST_F(FirecrackerTest, ColdStartBootsEverything) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform_.Install(fn));
+  auto result = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->cold);
+  // VM create + OS boot + runtime + app load: seconds.
+  EXPECT_GT(result->startup.seconds(), 1.0);
+}
+
+TEST_F(FirecrackerTest, WarmStartAfterKeepAlive) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform_.Install(fn));
+  auto cold = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(platform_.HasWarmSandbox(fn.name));
+  auto warm = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm->cold);
+  EXPECT_LT(warm->startup.millis(), 100.0);
+  EXPECT_LT(warm->startup, cold->startup / 20);
+}
+
+TEST_F(FirecrackerTest, PrewarmMatchesPaperMethodology) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Prewarm(fn.name)).ok());
+  EXPECT_TRUE(platform_.HasWarmSandbox(fn.name));
+  auto warm = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm->cold);
+  // Prewarmed sandbox never executed: the first warm run still JITs.
+  EXPECT_GE(warm->exec_stats.jit_compiles, 1u);
+}
+
+TEST_F(FirecrackerTest, ForceColdIgnoresWarmSandbox) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform_.Install(fn));
+  RunSync(env_.sim(), platform_.Prewarm(fn.name));
+  InvokeOptions options;
+  options.force_cold = true;
+  auto result = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", options));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->cold);
+}
+
+TEST_F(FirecrackerTest, NoChainSupport) {
+  EXPECT_FALSE(platform_.SupportsChains());
+  auto results =
+      RunSync(env_.sim(), platform_.InvokeChain({"a", "b"}, "{}", InvokeOptions()));
+  EXPECT_EQ(results.status().code(), fwbase::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FirecrackerTest, ReleaseFreesAllMemory) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform_.Install(fn));
+  InvokeOptions keep;
+  keep.keep_instance = true;
+  keep.force_cold = true;
+  RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep));
+  RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep));
+  EXPECT_GT(platform_.MeasurePssBytes(), 0.0);
+  platform_.ReleaseInstances();
+  EXPECT_EQ(env_.memory().used_bytes(), 0u);
+}
+
+TEST_F(FirecrackerTest, OsSnapshotModeRestoresFasterThanColdBoot) {
+  FirecrackerPlatform::Config config;
+  config.mode = FirecrackerMode::kOsSnapshot;
+  FirecrackerPlatform os_snap(env_, config);
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), os_snap.Install(fn));
+  EXPECT_TRUE(env_.snapshot_store().Contains("fcos-" + fn.name));
+
+  auto snap_result = RunSync(env_.sim(), os_snap.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(snap_result.ok());
+
+  auto cold_result = RunSync(
+      env_.sim(), platform_.Install(fn)).ok()
+      ? RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()))
+      : fwcore::Result<fwcore::InvocationResult>(fwbase::Status::Internal("install failed"));
+  ASSERT_TRUE(cold_result.ok());
+  // OS snapshot removes VM+OS boot but still pays runtime + app load.
+  EXPECT_LT(snap_result->startup, cold_result->startup);
+  EXPECT_GT(snap_result->startup.millis(), 300.0);  // Runtime boot remains.
+}
+
+// ---------------------------------------------------------------------------
+// Container platforms (OpenWhisk / gVisor).
+// ---------------------------------------------------------------------------
+
+class ContainerPlatformsTest : public ::testing::Test {
+ protected:
+  HostEnv env_;
+  OpenWhiskPlatform openwhisk_{env_};
+  GvisorPlatform gvisor_{env_};
+};
+
+TEST_F(ContainerPlatformsTest, OpenWhiskColdIncludesControllerOverhead) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), openwhisk_.Install(fn));
+  auto result = RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->cold);
+  // Controller (auth + message queue) + container + runtime + app.
+  EXPECT_GT(result->startup.millis(), 700.0);
+}
+
+TEST_F(ContainerPlatformsTest, OpenWhiskWarmIsFast) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), openwhisk_.Install(fn));
+  RunSync(env_.sim(), openwhisk_.Prewarm(fn.name));
+  auto warm = RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm->cold);
+  EXPECT_LT(warm->startup.millis(), 80.0);
+}
+
+TEST_F(ContainerPlatformsTest, OpenWhiskSupportsChainsGvisorDoesNot) {
+  EXPECT_TRUE(openwhisk_.SupportsChains());
+  EXPECT_FALSE(gvisor_.SupportsChains());
+}
+
+TEST_F(ContainerPlatformsTest, GvisorColdSlowerThanOpenWhiskSandboxPart) {
+  // gVisor pays Sentry+Gofer spawn; OpenWhisk pays the controller. Compare
+  // sandbox-only start-up by subtracting controller costs: gVisor's sandbox
+  // creation must be slower than runc's.
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), openwhisk_.Install(fn));
+  RunSync(env_.sim(), gvisor_.Install(fn));
+  auto ow = RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", InvokeOptions()));
+  auto gv = RunSync(env_.sim(), gvisor_.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(ow.ok());
+  ASSERT_TRUE(gv.ok());
+  const auto ow_sandbox = ow->startup - fwbase::Duration::Millis(420);
+  EXPECT_GT(gv->startup, ow_sandbox);
+}
+
+TEST_F(ContainerPlatformsTest, GvisorDiskIoSlowerThanOpenWhisk) {
+  const FunctionSource fn = fwwork::MakeFaasdom(FaasdomBench::kDiskIo, Language::kNodeJs);
+  RunSync(env_.sim(), openwhisk_.Install(fn));
+  RunSync(env_.sim(), gvisor_.Install(fn));
+  RunSync(env_.sim(), openwhisk_.Prewarm(fn.name));
+  RunSync(env_.sim(), gvisor_.Prewarm(fn.name));
+  auto ow = RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", InvokeOptions()));
+  auto gv = RunSync(env_.sim(), gvisor_.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(ow.ok());
+  ASSERT_TRUE(gv.ok());
+  // Sentry+Gofer interception vs OverlayFS (§5.2.1(2)).
+  EXPECT_GT(gv->exec / ow->exec, 2.0);
+}
+
+TEST_F(ContainerPlatformsTest, ContainersShareRuntimeText) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), openwhisk_.Install(fn));
+  InvokeOptions keep;
+  keep.keep_instance = true;
+  keep.force_cold = true;
+  RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", keep));
+  const double pss_one = openwhisk_.MeasurePssBytes();
+  RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", keep));
+  const double pss_two = openwhisk_.MeasurePssBytes();
+  // Runtime text shared via the rootfs image: less than 2× memory.
+  EXPECT_LT(pss_two, 1.95 * pss_one);
+  EXPECT_GT(pss_two, 1.2 * pss_one);  // But most memory is private.
+}
+
+// ---------------------------------------------------------------------------
+// Warm-pool keep-alive expiry (§2.2: sandboxes are terminated after a period
+// without requests).
+// ---------------------------------------------------------------------------
+
+class KeepAliveTest : public ::testing::Test {
+ protected:
+  static ContainerPlatform::Params ParamsWithKeepAlive(fwbase::Duration window) {
+    ContainerPlatform::Params params = OpenWhiskPlatform::MakeParams();
+    params.keep_alive = window;
+    return params;
+  }
+
+  HostEnv env_;
+};
+
+TEST_F(KeepAliveTest, WarmContainerExpiresAfterWindow) {
+  ContainerPlatform platform(env_, ParamsWithKeepAlive(10_s));
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform.Install(fn));
+  RunSync(env_.sim(), platform.Prewarm(fn.name));
+  EXPECT_TRUE(platform.HasWarmContainer(fn.name));
+  const uint64_t held = env_.memory().used_bytes();
+  EXPECT_GT(held, 0u);
+  // No requests for the whole window: the sandbox is terminated.
+  env_.sim().RunFor(11_s);
+  EXPECT_FALSE(platform.HasWarmContainer(fn.name));
+  EXPECT_EQ(env_.memory().used_bytes(), 0u);
+}
+
+TEST_F(KeepAliveTest, UseWithinWindowReArmsIt) {
+  ContainerPlatform platform(env_, ParamsWithKeepAlive(10_s));
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform.Install(fn));
+  RunSync(env_.sim(), platform.Prewarm(fn.name));
+  env_.sim().RunFor(8_s);
+  // A request 8 s in reuses the warm sandbox and restarts the window.
+  auto warm = RunSync(env_.sim(), platform.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm->cold);
+  env_.sim().RunFor(8_s);  // Old window would have fired by now.
+  EXPECT_TRUE(platform.HasWarmContainer(fn.name));
+  env_.sim().RunFor(4_s);  // New window fires.
+  EXPECT_FALSE(platform.HasWarmContainer(fn.name));
+}
+
+TEST_F(KeepAliveTest, ExpiryMakesNextRequestCold) {
+  ContainerPlatform platform(env_, ParamsWithKeepAlive(5_s));
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform.Install(fn));
+  RunSync(env_.sim(), platform.Prewarm(fn.name));
+  env_.sim().RunFor(6_s);
+  auto result = RunSync(env_.sim(), platform.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->cold);  // §2.2's unpopular-function penalty.
+}
+
+TEST_F(KeepAliveTest, PlatformDestructionDisarmsPendingExpiry) {
+  {
+    ContainerPlatform platform(env_, ParamsWithKeepAlive(10_s));
+    const FunctionSource fn = FactFn();
+    RunSync(env_.sim(), platform.Install(fn));
+    RunSync(env_.sim(), platform.Prewarm(fn.name));
+  }  // Platform destroyed with the expiry event still queued.
+  env_.sim().RunFor(20_s);  // Firing the stale event must be harmless.
+  EXPECT_EQ(env_.memory().used_bytes(), 0u);
+}
+
+TEST_F(KeepAliveTest, DefaultNeverExpires) {
+  OpenWhiskPlatform platform(env_);
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform.Install(fn));
+  RunSync(env_.sim(), platform.Prewarm(fn.name));
+  env_.sim().RunFor(fwbase::Duration::Seconds(3600));
+  EXPECT_TRUE(platform.HasWarmContainer(fn.name));
+}
+
+// ---------------------------------------------------------------------------
+// gVisor with checkpoint/restore starts (Catalyzer-style, Table 1).
+// ---------------------------------------------------------------------------
+
+class GvisorSnapshotTest : public ::testing::Test {
+ protected:
+  HostEnv env_;
+  GvisorSnapshotPlatform platform_{env_};
+};
+
+TEST_F(GvisorSnapshotTest, InstallCreatesCheckpoint) {
+  const FunctionSource fn = FactFn();
+  auto install = RunSync(env_.sim(), platform_.Install(fn));
+  ASSERT_TRUE(install.ok());
+  EXPECT_TRUE(env_.snapshot_store().Contains("gvisor-snapshot-" + fn.name));
+  // Install paid the full prepare (boot + load + checkpoint): seconds.
+  EXPECT_GT(install->total.seconds(), 0.5);
+}
+
+TEST_F(GvisorSnapshotTest, StartsRestoreInsteadOfBooting) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform_.Install(fn));
+  GvisorPlatform plain(env_);
+  RunSync(env_.sim(), plain.Install(fn));
+
+  InvokeOptions cold;
+  cold.force_cold = true;
+  auto restored = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", cold));
+  auto booted = RunSync(env_.sim(), plain.Invoke(fn.name, "{}", cold));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(booted.ok());
+  // Restoring skips the runtime boot + app load (~450 ms for Node.js)...
+  EXPECT_LT(restored->startup + fwbase::Duration::Millis(300), booted->startup);
+  // ...but still pays the full Sentry/Gofer spawn, so Fireworks stays far
+  // ahead (Table 1: gVisor "Medium (snapshot)" vs Fireworks "Extreme").
+  EXPECT_GT(restored->startup.millis(), 400.0);
+  // The checkpointed app state carries over: no JIT compiles beyond what the
+  // prepared container already did... the prepared container never executed,
+  // so the first run still tiers up.
+  EXPECT_GE(restored->exec_stats.jit_compiles, 1u);
+}
+
+TEST_F(GvisorSnapshotTest, CheckpointCloneSharesPagesAcrossStarts) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform_.Install(fn));
+  InvokeOptions keep;
+  keep.keep_instance = true;
+  keep.force_cold = true;
+  RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep));
+  const double pss_one = platform_.MeasurePssBytes();
+  RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep));
+  const double pss_two = platform_.MeasurePssBytes();
+  // Checkpoint pages (runtime + app) shared CoW: well under 2x.
+  EXPECT_LT(pss_two, 1.7 * pss_one);
+}
+
+// ---------------------------------------------------------------------------
+// Isolate platform.
+// ---------------------------------------------------------------------------
+
+class IsolateTest : public ::testing::Test {
+ protected:
+  HostEnv env_;
+  IsolatePlatform platform_{env_};
+};
+
+TEST_F(IsolateTest, FirstInvocationCreatesIsolate) {
+  const FunctionSource fn = FactFn();
+  RunSync(env_.sim(), platform_.Install(fn));
+  EXPECT_FALSE(platform_.HasIsolate(fn.name));
+  auto cold = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(cold->cold);
+  // Isolate creation + script load, no runtime boot: tens of ms at most.
+  EXPECT_LT(cold->startup.millis(), 250.0);
+  EXPECT_TRUE(platform_.HasIsolate(fn.name));
+  auto warm = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm->cold);
+  EXPECT_LT(warm->startup, cold->startup);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's headline orderings, across platforms on one host.
+// ---------------------------------------------------------------------------
+
+TEST(CrossPlatformTest, ColdStartupOrdering) {
+  // Fig 6: Fireworks ⋘ OpenWhisk < gVisor-ish < Firecracker (cold).
+  HostEnv env;
+  fwcore::FireworksPlatform fireworks(env);
+  FirecrackerPlatform firecracker(env);
+  OpenWhiskPlatform openwhisk(env);
+  const FunctionSource fn = FactFn();
+  RunSync(env.sim(), fireworks.Install(fn));
+  RunSync(env.sim(), firecracker.Install(fn));
+  RunSync(env.sim(), openwhisk.Install(fn));
+
+  auto fw = RunSync(env.sim(), fireworks.Invoke(fn.name, "{}", InvokeOptions()));
+  auto fc = RunSync(env.sim(), firecracker.Invoke(fn.name, "{}", InvokeOptions()));
+  auto ow = RunSync(env.sim(), openwhisk.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(fw.ok());
+  ASSERT_TRUE(fc.ok());
+  ASSERT_TRUE(ow.ok());
+  EXPECT_LT(fw->startup, ow->startup / 10);
+  EXPECT_LT(ow->startup, fc->startup);   // Container beats VM cold boot.
+  EXPECT_GT(fc->startup / fw->startup, 50.0);  // Paper: up to 133×.
+}
+
+TEST(CrossPlatformTest, FireworksBeatsWarmStarts) {
+  HostEnv env;
+  fwcore::FireworksPlatform fireworks(env);
+  FirecrackerPlatform firecracker(env);
+  const FunctionSource fn = FactFn();
+  RunSync(env.sim(), fireworks.Install(fn));
+  RunSync(env.sim(), firecracker.Install(fn));
+  RunSync(env.sim(), firecracker.Prewarm(fn.name));
+
+  auto fw = RunSync(env.sim(), fireworks.Invoke(fn.name, "{}", InvokeOptions()));
+  auto fc_warm = RunSync(env.sim(), firecracker.Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(fw.ok());
+  ASSERT_TRUE(fc_warm.ok());
+  EXPECT_FALSE(fc_warm->cold);
+  // Paper: comparable to or faster than warm starts (up to 3.8×).
+  EXPECT_LT(fw->startup, fc_warm->startup * 1.2);
+}
+
+}  // namespace
+}  // namespace fwbaselines

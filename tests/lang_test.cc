@@ -1,0 +1,404 @@
+// Unit tests for the language layer: function IR, runtime cost models, and
+// the guest process (tiered JIT, Numba annotation semantics, deopt, snapshot
+// clone behaviour, memory layout).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/lang/function_ir.h"
+#include "src/lang/guest_process.h"
+#include "src/lang/runtime_model.h"
+#include "src/mem/host_memory.h"
+#include "src/storage/block_device.h"
+#include "src/storage/filesystem.h"
+#include "tests/test_util.h"
+
+namespace fwlang {
+namespace {
+
+using fwbase::Duration;
+using fwbase::kKiB;
+using fwbase::kMiB;
+using fwsim::Simulation;
+using fwtest::RunSync;
+using fwtest::RunSyncVoid;
+using namespace fwbase::literals;
+
+// A compute function: main calls work() `calls` times, each doing `units`.
+FunctionSource ComputeFn(Language language, uint64_t calls, uint64_t units) {
+  std::vector<MethodDef> methods;
+  methods.emplace_back("work", std::vector<Op>{Op::Compute(units)}, 2 * kKiB);
+  methods.emplace_back("main",
+                       std::vector<Op>{Op::Call("work", calls), Op::AllocHeap(512 * kKiB)},
+                       1 * kKiB);
+  return FunctionSource("compute-fn", language, std::move(methods), "main", 1 * kMiB);
+}
+
+// ---------------------------------------------------------------------------
+// Function IR.
+// ---------------------------------------------------------------------------
+
+TEST(FunctionIrTest, OpFactories) {
+  const Op c = Op::Compute(100);
+  EXPECT_EQ(c.kind, OpKind::kCompute);
+  EXPECT_EQ(c.amount, 100u);
+  const Op d = Op::DiskRead(10 * kKiB, 100);
+  EXPECT_EQ(d.repeat, 100u);
+  const Op g = Op::DbGet("reminders", "r1");
+  EXPECT_EQ(g.target, "reminders/r1");
+  const Op call = Op::Call("work", 7);
+  EXPECT_EQ(call.kind, OpKind::kCall);
+  EXPECT_EQ(call.repeat, 7u);
+}
+
+TEST(FunctionIrTest, FindAndTotals) {
+  const FunctionSource fn = ComputeFn(Language::kNodeJs, 10, 100);
+  EXPECT_TRUE(fn.HasMethod("main"));
+  EXPECT_TRUE(fn.HasMethod("work"));
+  EXPECT_FALSE(fn.HasMethod("nope"));
+  EXPECT_EQ(fn.TotalCodeBytes(), 3 * kKiB);
+  EXPECT_EQ(fn.UserMethodNames().size(), 2u);
+}
+
+TEST(FunctionIrTest, Names) {
+  EXPECT_STREQ(LanguageName(Language::kPython), "python");
+  EXPECT_STREQ(OpKindName(OpKind::kDbScan), "db_scan");
+}
+
+// ---------------------------------------------------------------------------
+// RuntimeCosts.
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeCostsTest, NodeVsPythonShapes) {
+  const auto node = RuntimeCosts::For(Language::kNodeJs);
+  const auto python = RuntimeCosts::For(Language::kPython);
+  // Node boots slower but interprets faster.
+  EXPECT_GT(node.runtime_boot_cost, python.runtime_boot_cost);
+  EXPECT_LT(node.per_unit_interp, python.per_unit_interp);
+  // Node tiers automatically; Python only via annotation.
+  EXPECT_TRUE(node.auto_jit);
+  EXPECT_FALSE(python.auto_jit);
+  // Numba compiles are far more expensive but pay off far more.
+  EXPECT_GT(python.jit_compile_per_kib, node.jit_compile_per_kib * 5);
+  EXPECT_GT(python.jit_speedup, node.jit_speedup);
+  // V8 code objects share; Numba duplicates (Fig 12).
+  EXPECT_GT(node.jit_code_shareable_fraction, 0.9);
+  EXPECT_LT(python.jit_code_shareable_fraction, 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// GuestProcess fixture.
+// ---------------------------------------------------------------------------
+
+class GuestProcessTest : public ::testing::Test {
+ protected:
+  GuestProcessTest() {
+    env_ = ExecEnv(&fs_, nullptr, nullptr, Duration::Micros(400));
+  }
+
+  GuestProcess::FaultCharger Charger() {
+    return [](const fwmem::FaultCounts& f) {
+      return Duration::Nanos(1500) * static_cast<int64_t>(f.Faults());
+    };
+  }
+
+  std::unique_ptr<GuestProcess> MakeProcess(Language language, fwmem::AddressSpace& space) {
+    return std::make_unique<GuestProcess>(sim_, language, space, env_, Charger());
+  }
+
+  // Boots + loads `fn` into a fresh space.
+  std::unique_ptr<GuestProcess> BootAndLoad(const FunctionSource& fn,
+                                            fwmem::AddressSpace& space) {
+    auto process = MakeProcess(fn.language, space);
+    RunSyncVoid(sim_, process->BootRuntime());
+    RunSyncVoid(sim_, process->LoadApplication(fn));
+    return process;
+  }
+
+  Simulation sim_;
+  fwmem::HostMemory host_{64_GiB};
+  fwstore::BlockDevice dev_{sim_, fwstore::BlockDevice::Config{}};
+  fwstore::Filesystem fs_{sim_, dev_, fwstore::FsKind::kVirtio};
+  ExecEnv env_;
+};
+
+TEST_F(GuestProcessTest, BootDirtiesRuntimeSegments) {
+  fwmem::AddressSpace space(host_);
+  auto process = MakeProcess(Language::kNodeJs, space);
+  EXPECT_FALSE(process->runtime_booted());
+  const auto t0 = sim_.Now();
+  RunSyncVoid(sim_, process->BootRuntime());
+  EXPECT_TRUE(process->runtime_booted());
+  EXPECT_GT((sim_.Now() - t0).millis(), 300.0);
+  EXPECT_TRUE(space.HasSegment(kSegRuntimeText));
+  EXPECT_TRUE(space.HasSegment(kSegRuntimeHeap));
+  const auto node = RuntimeCosts::For(Language::kNodeJs);
+  EXPECT_EQ(space.uss_bytes(), node.runtime_text_bytes + node.runtime_boot_heap_bytes);
+}
+
+TEST_F(GuestProcessTest, LoadRequiresBoot) {
+  fwmem::AddressSpace space(host_);
+  auto process = MakeProcess(Language::kNodeJs, space);
+  const FunctionSource fn = ComputeFn(Language::kNodeJs, 1, 1);
+  EXPECT_DEATH(RunSyncVoid(sim_, process->LoadApplication(fn)), "booted runtime");
+}
+
+TEST_F(GuestProcessTest, LoadAllocatesBytecode) {
+  fwmem::AddressSpace space(host_);
+  const FunctionSource fn = ComputeFn(Language::kNodeJs, 1, 1);
+  auto process = BootAndLoad(fn, space);
+  EXPECT_TRUE(process->app_loaded());
+  EXPECT_TRUE(space.HasSegment(kSegBytecode));
+  EXPECT_TRUE(space.HasSegment(kSegAppHeap));
+}
+
+TEST_F(GuestProcessTest, InstallPackagesCostScalesWithSize) {
+  fwmem::AddressSpace space(host_);
+  auto process = MakeProcess(Language::kNodeJs, space);
+  FunctionSource fn = ComputeFn(Language::kNodeJs, 1, 1);
+  fn.package_bytes = 10 * kMiB;
+  const auto t0 = sim_.Now();
+  RunSyncVoid(sim_, process->InstallPackages(fn));
+  // 10 MiB at 340 ms/MiB ≈ 3.4 s.
+  EXPECT_GT((sim_.Now() - t0).seconds(), 3.0);
+}
+
+// --- Node.js tiering ------------------------------------------------------
+
+TEST_F(GuestProcessTest, NodeTiersUpAfterThreshold) {
+  fwmem::AddressSpace space(host_);
+  const FunctionSource fn = ComputeFn(Language::kNodeJs, 100, 10'000);
+  auto process = BootAndLoad(fn, space);
+  EXPECT_EQ(process->TierOf("work"), ExecTier::kInterpreter);
+  ExecStats stats = RunSync(sim_, process->CallMethod("main", "default"));
+  // "work" ran 100 times: it must have crossed the threshold and compiled.
+  EXPECT_EQ(process->TierOf("work"), ExecTier::kJit);
+  EXPECT_GE(stats.jit_compiles, 1u);
+  EXPECT_EQ(process->InvocationCount("work"), 100u);
+  EXPECT_GT(space.SegmentPages(space.SegmentByName(kSegJitCode)), 0u);
+}
+
+TEST_F(GuestProcessTest, NodeJitSpeedsUpSecondInvocation) {
+  fwmem::AddressSpace space(host_);
+  const FunctionSource fn = ComputeFn(Language::kNodeJs, 100, 10'000);
+  auto process = BootAndLoad(fn, space);
+  ExecStats cold = RunSync(sim_, process->CallMethod("main", "default"));
+  ExecStats warm = RunSync(sim_, process->CallMethod("main", "default"));
+  EXPECT_GT(cold.total, warm.total);
+  EXPECT_EQ(warm.jit_compiles, 0u);
+  // Warm compute is close to 1/speedup of pure-interp time.
+  EXPECT_LT(warm.compute_time, cold.compute_time);
+}
+
+TEST_F(GuestProcessTest, NodeFewCallsStayInterpreted) {
+  fwmem::AddressSpace space(host_);
+  const FunctionSource fn = ComputeFn(Language::kNodeJs, 2, 10'000);  // Below threshold.
+  auto process = BootAndLoad(fn, space);
+  ExecStats stats = RunSync(sim_, process->CallMethod("main", "default"));
+  EXPECT_EQ(process->TierOf("work"), ExecTier::kInterpreter);
+  EXPECT_EQ(stats.jit_compiles, 0u);
+}
+
+// --- Python / Numba semantics ----------------------------------------------
+
+TEST_F(GuestProcessTest, PythonNeverAutoJits) {
+  fwmem::AddressSpace space(host_);
+  const FunctionSource fn = ComputeFn(Language::kPython, 200, 10'000);
+  auto process = BootAndLoad(fn, space);
+  RunSync(sim_, process->CallMethod("main", "default"));
+  EXPECT_EQ(process->TierOf("work"), ExecTier::kInterpreter);
+  EXPECT_EQ(process->jit_code_bytes_used(), 0u);
+}
+
+TEST_F(GuestProcessTest, PythonAnnotatedMethodCompilesOnFirstCall) {
+  fwmem::AddressSpace space(host_);
+  FunctionSource fn = ComputeFn(Language::kPython, 50, 10'000);
+  for (auto& m : fn.methods) {
+    m.jit_annotated = true;  // @jit(cache=True) on every method.
+  }
+  auto process = BootAndLoad(fn, space);
+  ExecStats stats = RunSync(sim_, process->CallMethod("main", "default"));
+  EXPECT_EQ(process->TierOf("work"), ExecTier::kJit);
+  EXPECT_GE(stats.jit_compiles, 2u);  // main + work.
+  EXPECT_GT(stats.jit_compile_time.millis(), 50.0);  // LLVM is slow.
+}
+
+TEST_F(GuestProcessTest, PythonJitGivesLargeSpeedup) {
+  fwmem::AddressSpace space_interp(host_);
+  const FunctionSource interp_fn = ComputeFn(Language::kPython, 50, 100'000);
+  auto interp = BootAndLoad(interp_fn, space_interp);
+  ExecStats interp_stats = RunSync(sim_, interp->CallMethod("main", "default"));
+
+  fwmem::AddressSpace space_jit(host_);
+  FunctionSource jit_fn = ComputeFn(Language::kPython, 50, 100'000);
+  for (auto& m : jit_fn.methods) {
+    m.jit_annotated = true;
+  }
+  auto jit = BootAndLoad(jit_fn, space_jit);
+  RunSync(sim_, jit->CallMethod("main", "default"));  // Pays compile.
+  ExecStats jit_stats = RunSync(sim_, jit->CallMethod("main", "default"));
+  // Default ops are 0.95 JIT-friendly: effective speedup ≈ 1/(0.95/70+0.05).
+  EXPECT_GT(interp_stats.compute_time / jit_stats.compute_time, 12.0);
+}
+
+// --- De-optimisation --------------------------------------------------------
+
+TEST_F(GuestProcessTest, TypeChangeTriggersDeopt) {
+  fwmem::AddressSpace space(host_);
+  FunctionSource fn = ComputeFn(Language::kNodeJs, 100, 10'000);
+  for (auto& m : fn.methods) {
+    m.jit_annotated = true;
+  }
+  auto process = BootAndLoad(fn, space);
+  RunSync(sim_, process->CallMethod("main", "int"));
+  EXPECT_EQ(process->TierOf("work"), ExecTier::kJit);
+  ExecStats stats = RunSync(sim_, process->CallMethod("main", "string"));
+  EXPECT_GE(stats.deopts, 1u);
+  // Annotated methods recompile immediately for the new signature.
+  EXPECT_EQ(process->TierOf("work"), ExecTier::kJit);
+  // Same signature again: no more deopts.
+  ExecStats stable = RunSync(sim_, process->CallMethod("main", "string"));
+  EXPECT_EQ(stable.deopts, 0u);
+}
+
+TEST_F(GuestProcessTest, DeoptStillFasterThanInterpOverall) {
+  // §6: evaluations use varied arguments and still always improve.
+  fwmem::AddressSpace jit_space(host_);
+  FunctionSource fn = ComputeFn(Language::kNodeJs, 100, 10'000);
+  for (auto& m : fn.methods) {
+    m.jit_annotated = true;
+  }
+  auto jitted = BootAndLoad(fn, jit_space);
+  RunSync(sim_, jitted->CallMethod("main", "sigA"));
+  ExecStats deopt_run = RunSync(sim_, jitted->CallMethod("main", "sigB"));
+
+  fwmem::AddressSpace interp_space(host_);
+  const FunctionSource plain = ComputeFn(Language::kNodeJs, 2, 500'000);
+  auto interp = BootAndLoad(plain, interp_space);
+  ExecStats interp_run = RunSync(sim_, interp->CallMethod("main", "sigA"));
+  // Same total units (100*10k vs 2*500k): the deopt run must still win.
+  EXPECT_LT(deopt_run.compute_time + deopt_run.jit_compile_time, interp_run.compute_time);
+}
+
+// --- Snapshot clones --------------------------------------------------------
+
+TEST_F(GuestProcessTest, CloneKeepsJitStateAndSharesCodePages) {
+  fwmem::AddressSpace space(host_);
+  FunctionSource fn = ComputeFn(Language::kNodeJs, 100, 10'000);
+  for (auto& m : fn.methods) {
+    m.jit_annotated = true;
+  }
+  auto process = BootAndLoad(fn, space);
+  // The platform's JIT pass would call __fireworks_jit; calling main directly
+  // exercises the same compile-then-snapshot flow here.
+  RunSync(sim_, process->CallMethod("main", "default"));
+  auto image = space.TakeSnapshot("post-jit");
+  image->set_cache_warm(true);
+
+  fwmem::AddressSpace clone_space(host_, image);
+  auto clone = process->CloneFor(clone_space, Charger());
+  EXPECT_TRUE(clone->runtime_booted());
+  EXPECT_TRUE(clone->app_loaded());
+  EXPECT_EQ(clone->TierOf("work"), ExecTier::kJit);
+
+  ExecStats stats = RunSync(sim_, clone->CallMethod("main", "default"));
+  EXPECT_EQ(stats.jit_compiles, 0u);  // Already compiled in the image.
+  // Node: nearly all JIT code pages read shared, few CoW copies.
+  const auto seg_stats = clone_space.PerSegmentStats();
+  for (const auto& s : seg_stats) {
+    if (s.name == kSegJitCode) {
+      EXPECT_GT(s.resident_shared, 0u);
+    }
+  }
+}
+
+TEST_F(GuestProcessTest, PythonCloneDuplicatesJitCode) {
+  fwmem::AddressSpace space(host_);
+  FunctionSource fn = ComputeFn(Language::kPython, 10, 10'000);
+  for (auto& m : fn.methods) {
+    m.jit_annotated = true;
+  }
+  auto process = BootAndLoad(fn, space);
+  RunSync(sim_, process->CallMethod("main", "default"));
+  auto image = space.TakeSnapshot("post-jit-py");
+  image->set_cache_warm(true);
+
+  fwmem::AddressSpace clone_space(host_, image);
+  auto clone = process->CloneFor(clone_space, Charger());
+  RunSync(sim_, clone->CallMethod("main", "default"));
+  // Numba relocation dirtied most JIT pages: private copies in the clone.
+  uint64_t jit_private = 0;
+  uint64_t jit_shared = 0;
+  for (const auto& s : clone_space.PerSegmentStats()) {
+    if (s.name == kSegJitCode) {
+      jit_private = s.private_pages;
+      jit_shared = s.resident_shared;
+    }
+  }
+  EXPECT_GT(jit_private, jit_shared);
+}
+
+TEST_F(GuestProcessTest, ClonesOfNodeShareMoreThanClonesOfPython) {
+  auto run_language = [&](Language language, bool annotate) -> double {
+    fwmem::AddressSpace space(host_);
+    FunctionSource fn = ComputeFn(language, 100, 10'000);
+    if (annotate) {
+      for (auto& m : fn.methods) {
+        m.jit_annotated = true;
+      }
+    }
+    auto process = BootAndLoad(fn, space);
+    RunSync(sim_, process->CallMethod("main", "default"));
+    auto image = space.TakeSnapshot(std::string("img-") + LanguageName(language));
+    image->set_cache_warm(true);
+
+    // PSS only drops below RSS with at least two sharers.
+    fwmem::AddressSpace clone_space_a(host_, image);
+    fwmem::AddressSpace clone_space_b(host_, image);
+    auto clone_a = process->CloneFor(clone_space_a, Charger());
+    auto clone_b = process->CloneFor(clone_space_b, Charger());
+    clone_b->set_mem_salt(99);
+    RunSync(sim_, clone_a->CallMethod("main", "default"));
+    RunSync(sim_, clone_b->CallMethod("main", "default"));
+    return clone_space_a.pss_bytes() / static_cast<double>(clone_space_a.rss_bytes());
+  };
+  const double node_pss_ratio = run_language(Language::kNodeJs, true);
+  const double python_pss_ratio = run_language(Language::kPython, true);
+  // Lower PSS/RSS ⇒ more sharing. Node must share better.
+  EXPECT_LT(node_pss_ratio, python_pss_ratio);
+}
+
+// --- Parameterized compute-scaling sweep -----------------------------------
+
+class ComputeScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ComputeScaleTest, ScaleMultipliesComputeTime) {
+  Simulation sim;
+  fwmem::HostMemory host(8_GiB);
+  fwstore::BlockDevice dev(sim, fwstore::BlockDevice::Config{});
+  fwstore::Filesystem fs(sim, dev, fwstore::FsKind::kOverlayFs);
+  ExecEnv env(&fs, nullptr, nullptr, Duration::Micros(400));
+  auto charger = [](const fwmem::FaultCounts& f) {
+    return Duration::Nanos(1500) * static_cast<int64_t>(f.Faults());
+  };
+
+  fwmem::AddressSpace base_space(host);
+  const FunctionSource fn = ComputeFn(Language::kNodeJs, 2, 100'000);
+  GuestProcess base(sim, Language::kNodeJs, base_space, env, charger, 1.0);
+  RunSyncVoid(sim, base.BootRuntime());
+  RunSyncVoid(sim, base.LoadApplication(fn));
+  const ExecStats s1 = RunSync(sim, base.CallMethod("main", "d"));
+
+  fwmem::AddressSpace scaled_space(host);
+  GuestProcess scaled(sim, Language::kNodeJs, scaled_space, env, charger, GetParam());
+  RunSyncVoid(sim, scaled.BootRuntime());
+  RunSyncVoid(sim, scaled.LoadApplication(fn));
+  const ExecStats s2 = RunSync(sim, scaled.CallMethod("main", "d"));
+
+  EXPECT_NEAR(s2.compute_time / s1.compute_time, GetParam(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ComputeScaleTest, ::testing::Values(1.0, 1.18, 1.5, 2.0));
+
+}  // namespace
+}  // namespace fwlang

@@ -1,0 +1,388 @@
+// Unit & property tests for the host memory model: page sets, frame
+// accounting, CoW snapshot mappings, and smem-style PSS/RSS/USS metrics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/mem/address_space.h"
+#include "src/mem/backing_store.h"
+#include "src/mem/host_memory.h"
+#include "src/mem/page_set.h"
+
+namespace fwmem {
+namespace {
+
+using fwbase::kPageSize;
+using namespace fwbase::literals;
+
+// ---------------------------------------------------------------------------
+// PageSet.
+// ---------------------------------------------------------------------------
+
+TEST(PageSetTest, SetTestClear) {
+  PageSet s(128);
+  EXPECT_FALSE(s.Test(5));
+  s.Set(5);
+  EXPECT_TRUE(s.Test(5));
+  EXPECT_EQ(s.Count(), 1u);
+  s.Set(5);  // Idempotent.
+  EXPECT_EQ(s.Count(), 1u);
+  s.Clear(5);
+  EXPECT_FALSE(s.Test(5));
+  EXPECT_EQ(s.Count(), 0u);
+}
+
+TEST(PageSetTest, RangeOpsAndClamping) {
+  PageSet s(100);
+  s.SetRange(90, 50);  // Clamps at 100.
+  EXPECT_EQ(s.Count(), 10u);
+  EXPECT_TRUE(s.Test(99));
+  s.ClearRange(95, 100);
+  EXPECT_EQ(s.Count(), 5u);
+}
+
+TEST(PageSetTest, CountRange) {
+  PageSet s(256);
+  s.SetRange(10, 20);
+  EXPECT_EQ(s.CountRange(0, 256), 20u);
+  EXPECT_EQ(s.CountRange(15, 10), 10u);
+  EXPECT_EQ(s.CountRange(0, 10), 0u);
+}
+
+TEST(PageSetTest, ForEachSetAscending) {
+  PageSet s(200);
+  s.Set(3);
+  s.Set(64);
+  s.Set(199);
+  std::vector<uint64_t> seen;
+  s.ForEachSet([&](uint64_t p) { seen.push_back(p); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{3, 64, 199}));
+}
+
+TEST(PageSetTest, UnionWith) {
+  PageSet a(128);
+  PageSet b(128);
+  a.SetRange(0, 10);
+  b.SetRange(5, 10);
+  a.UnionWith(b);
+  EXPECT_EQ(a.Count(), 15u);
+}
+
+TEST(PageSetTest, GrowPreservesBits) {
+  PageSet s(64);
+  s.Set(63);
+  s.Grow(1024);
+  EXPECT_TRUE(s.Test(63));
+  EXPECT_FALSE(s.Test(500));
+  s.Set(1000);
+  EXPECT_EQ(s.Count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// HostMemory.
+// ---------------------------------------------------------------------------
+
+TEST(HostMemoryTest, AllocFreeAccounting) {
+  HostMemory host(1_GiB);
+  host.AllocFrames(100);
+  EXPECT_EQ(host.used_bytes(), 100 * kPageSize);
+  host.FreeFrames(40);
+  EXPECT_EQ(host.used_frames(), 60u);
+  EXPECT_EQ(host.peak_used_bytes(), 100 * kPageSize);
+  EXPECT_EQ(host.total_allocated_frames(), 100u);
+  EXPECT_EQ(host.total_freed_frames(), 40u);
+}
+
+TEST(HostMemoryTest, SwapThreshold) {
+  HostMemory host(100 * kPageSize, /*swap_start_fraction=*/0.6);
+  host.AllocFrames(60);
+  EXPECT_FALSE(host.swapping());
+  host.AllocFrames(1);
+  EXPECT_TRUE(host.swapping());
+  EXPECT_EQ(host.swap_threshold_bytes(), 60 * kPageSize);
+}
+
+TEST(HostMemoryDeathTest, OverFreeAborts) {
+  HostMemory host(1_GiB);
+  host.AllocFrames(1);
+  EXPECT_DEATH(host.FreeFrames(2), "freeing more frames");
+}
+
+// ---------------------------------------------------------------------------
+// BackingStore.
+// ---------------------------------------------------------------------------
+
+TEST(BackingStoreTest, FirstTouchIsMajor) {
+  HostMemory host(1_GiB);
+  {
+    BackingStore store(host, 10);
+    EXPECT_TRUE(store.IncResident(0));
+    EXPECT_EQ(host.used_frames(), 1u);
+    EXPECT_FALSE(store.IncResident(0));  // Second mapper: minor.
+    EXPECT_EQ(host.used_frames(), 1u);   // Still one frame.
+    EXPECT_EQ(store.ResidentRefs(0), 2u);
+    store.DecResident(0);
+    EXPECT_EQ(host.used_frames(), 1u);
+    store.DecResident(0);
+    EXPECT_EQ(host.used_frames(), 0u);
+  }
+  EXPECT_EQ(host.used_frames(), 0u);
+}
+
+TEST(BackingStoreTest, DestructorReleasesResidentFrames) {
+  HostMemory host(1_GiB);
+  {
+    BackingStore store(host, 10);
+    store.IncResident(1);
+    store.IncResident(2);
+    EXPECT_EQ(host.used_frames(), 2u);
+  }
+  EXPECT_EQ(host.used_frames(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// AddressSpace: fresh (cold-boot) spaces.
+// ---------------------------------------------------------------------------
+
+TEST(AddressSpaceTest, FreshSpaceTouchAllocatesPrivateFrames) {
+  HostMemory host(1_GiB);
+  AddressSpace space(host);
+  const SegmentId seg = space.AddSegment("kernel", 16 * kPageSize);
+  const FaultCounts fc = space.Touch(seg, 0, 16);
+  EXPECT_EQ(fc.fresh_writes, 16u);
+  EXPECT_EQ(space.uss_bytes(), 16 * kPageSize);
+  EXPECT_EQ(space.rss_bytes(), 16 * kPageSize);
+  EXPECT_DOUBLE_EQ(space.pss_bytes(), 16.0 * kPageSize);
+  EXPECT_EQ(host.used_frames(), 16u);
+}
+
+TEST(AddressSpaceTest, RepeatAccessIsFree) {
+  HostMemory host(1_GiB);
+  AddressSpace space(host);
+  const SegmentId seg = space.AddSegment("heap", 8 * kPageSize);
+  space.Dirty(seg, 0, 8);
+  const FaultCounts fc = space.Dirty(seg, 0, 8);
+  EXPECT_EQ(fc.already_mapped, 8u);
+  EXPECT_EQ(fc.Faults(), 0u);
+  EXPECT_EQ(host.used_frames(), 8u);
+}
+
+TEST(AddressSpaceTest, UnmapReleasesEverything) {
+  HostMemory host(1_GiB);
+  auto space = std::make_unique<AddressSpace>(host);
+  const SegmentId seg = space->AddSegment("heap", 32 * kPageSize);
+  space->Dirty(seg, 0, 32);
+  EXPECT_EQ(host.used_frames(), 32u);
+  space.reset();
+  EXPECT_EQ(host.used_frames(), 0u);
+}
+
+TEST(AddressSpaceTest, SegmentLookupByName) {
+  HostMemory host(1_GiB);
+  AddressSpace space(host);
+  space.AddSegment("a", kPageSize);
+  const SegmentId b = space.AddSegment("b", kPageSize);
+  EXPECT_EQ(space.SegmentByName("b"), b);
+  EXPECT_TRUE(space.HasSegment("a"));
+  EXPECT_FALSE(space.HasSegment("zzz"));
+}
+
+TEST(AddressSpaceDeathTest, AccessBeyondSegmentAborts) {
+  HostMemory host(1_GiB);
+  AddressSpace space(host);
+  const SegmentId seg = space.AddSegment("small", 4 * kPageSize);
+  EXPECT_DEATH(space.Touch(seg, 0, 5), "beyond segment");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / restore: the CoW sharing paths of §3.3 and Fig. 4.
+// ---------------------------------------------------------------------------
+
+class SnapshotFixture : public ::testing::Test {
+ protected:
+  // Builds a "guest" with 64 OS pages + 32 runtime pages, snapshots it.
+  void SetUp() override {
+    source_ = std::make_unique<AddressSpace>(host_);
+    os_ = source_->AddSegment("os", 64 * kPageSize);
+    rt_ = source_->AddSegment("runtime", 32 * kPageSize);
+    source_->Dirty(os_, 0, 64);
+    source_->Dirty(rt_, 0, 32);
+    image_ = source_->TakeSnapshot("post-boot");
+    source_.reset();  // The source VM is torn down after snapshotting.
+  }
+
+  HostMemory host_{1_GiB};
+  std::unique_ptr<AddressSpace> source_;
+  SegmentId os_ = 0;
+  SegmentId rt_ = 0;
+  std::shared_ptr<SnapshotImage> image_;
+};
+
+TEST_F(SnapshotFixture, ImageRecordsValidPagesAndFileSize) {
+  EXPECT_EQ(image_->valid_pages(), 96u);
+  EXPECT_EQ(image_->file_bytes(), 96 * kPageSize);
+  EXPECT_EQ(image_->segments().size(), 2u);
+  EXPECT_EQ(host_.used_frames(), 0u);  // Nothing resident until a restore touches pages.
+}
+
+TEST_F(SnapshotFixture, FirstRestoreFaultsMajorSecondMinor) {
+  AddressSpace vm1(host_, image_);
+  const FaultCounts f1 = vm1.Touch(vm1.SegmentByName("os"), 0, 64);
+  EXPECT_EQ(f1.major_faults, 64u);
+  EXPECT_EQ(host_.used_frames(), 64u);
+
+  AddressSpace vm2(host_, image_);
+  const FaultCounts f2 = vm2.Touch(vm2.SegmentByName("os"), 0, 64);
+  EXPECT_EQ(f2.minor_shared, 64u);
+  EXPECT_EQ(f2.major_faults, 0u);
+  // Shared pages charge one frame total.
+  EXPECT_EQ(host_.used_frames(), 64u);
+}
+
+TEST_F(SnapshotFixture, PssSplitsSharedPagesEvenly) {
+  AddressSpace vm1(host_, image_);
+  AddressSpace vm2(host_, image_);
+  vm1.Touch(0, 0, 64);
+  vm2.Touch(0, 0, 64);
+  EXPECT_DOUBLE_EQ(vm1.pss_bytes(), 32.0 * kPageSize);
+  EXPECT_DOUBLE_EQ(vm2.pss_bytes(), 32.0 * kPageSize);
+  EXPECT_EQ(vm1.rss_bytes(), 64 * kPageSize);
+  EXPECT_EQ(vm1.uss_bytes(), 0u);
+}
+
+TEST_F(SnapshotFixture, CowOnWriteUnshares) {
+  AddressSpace vm1(host_, image_);
+  AddressSpace vm2(host_, image_);
+  vm1.Touch(0, 0, 64);
+  vm2.Touch(0, 0, 64);
+  // vm1 writes 16 of its 64 shared pages.
+  const FaultCounts fc = vm1.Dirty(0, 0, 16);
+  EXPECT_EQ(fc.cow_copies, 16u);
+  // 64 shared frames still resident (vm2 references all), plus 16 private.
+  EXPECT_EQ(host_.used_frames(), 80u);
+  EXPECT_EQ(vm1.uss_bytes(), 16 * kPageSize);
+  // vm1: 16 private + 48 shared/2; vm2: 16 exclusive-shared + 48 shared/2.
+  EXPECT_DOUBLE_EQ(vm1.pss_bytes(), (16 + 24) * static_cast<double>(kPageSize));
+  EXPECT_DOUBLE_EQ(vm2.pss_bytes(), (16 + 24) * static_cast<double>(kPageSize));
+}
+
+TEST_F(SnapshotFixture, WriteToUnfaultedImagePageIsDirectCow) {
+  AddressSpace vm(host_, image_);
+  const FaultCounts fc = vm.Dirty(0, 0, 4);
+  EXPECT_EQ(fc.cow_copies, 4u);
+  EXPECT_EQ(vm.uss_bytes(), 4 * kPageSize);
+  EXPECT_EQ(image_->backing().resident_pages(), 0u);
+}
+
+TEST_F(SnapshotFixture, ReadOfInvalidImagePageIsZeroFill) {
+  AddressSpace vm(host_, image_);
+  const SegmentId heap = vm.AddSegment("heap", 8 * kPageSize);
+  const FaultCounts fc = vm.Touch(heap, 0, 8);
+  EXPECT_EQ(fc.zero_fills, 8u);
+  EXPECT_EQ(host_.used_frames(), 0u);             // Zero pages are free.
+  EXPECT_EQ(vm.rss_bytes(), 8 * kPageSize);       // But count in RSS.
+  const FaultCounts fw = vm.Dirty(heap, 0, 8);
+  EXPECT_EQ(fw.fresh_writes, 8u);
+  EXPECT_EQ(host_.used_frames(), 8u);
+}
+
+TEST_F(SnapshotFixture, UnmapOfRestoredVmReleasesSharedRefs) {
+  auto vm1 = std::make_unique<AddressSpace>(host_, image_);
+  auto vm2 = std::make_unique<AddressSpace>(host_, image_);
+  vm1->Touch(0, 0, 64);
+  vm2->Touch(0, 0, 64);
+  vm1.reset();
+  EXPECT_EQ(host_.used_frames(), 64u);  // vm2 keeps the cache warm.
+  vm2.reset();
+  EXPECT_EQ(host_.used_frames(), 0u);
+}
+
+TEST_F(SnapshotFixture, ResnapshotOfResumedVm) {
+  // §6: periodically re-generating the snapshot (ASLR mitigation). A resumed
+  // VM that dirtied pages can be re-snapshotted; the new image contains the
+  // union of its resident and private pages.
+  AddressSpace vm(host_, image_);
+  vm.Touch(0, 0, 64);
+  vm.Dirty(1, 0, 10);
+  auto image2 = vm.TakeSnapshot("regen");
+  EXPECT_EQ(image2->valid_pages(), 74u);
+}
+
+TEST_F(SnapshotFixture, PerSegmentStats) {
+  AddressSpace vm(host_, image_);
+  vm.Touch(0, 0, 64);
+  vm.Dirty(1, 0, 8);
+  const auto stats = vm.PerSegmentStats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "os");
+  EXPECT_EQ(stats[0].resident_shared, 64u);
+  EXPECT_EQ(stats[1].private_pages, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// DirtyRandomFraction: distinct sandboxes must dirty distinct subsets.
+// ---------------------------------------------------------------------------
+
+TEST_F(SnapshotFixture, RandomDirtySubsetsDifferBySalt) {
+  AddressSpace vm1(host_, image_);
+  AddressSpace vm2(host_, image_);
+  const FaultCounts f1 = vm1.DirtyRandomFraction(0, 0.5, /*salt=*/111);
+  const FaultCounts f2 = vm2.DirtyRandomFraction(0, 0.5, /*salt=*/222);
+  // Roughly half the 64 pages each.
+  EXPECT_GT(f1.NewPrivatePages(), 20u);
+  EXPECT_LT(f1.NewPrivatePages(), 44u);
+  EXPECT_GT(f2.NewPrivatePages(), 20u);
+  EXPECT_LT(f2.NewPrivatePages(), 44u);
+  // The same salt must reproduce the same subset.
+  AddressSpace vm3(host_, image_);
+  const FaultCounts f3 = vm3.DirtyRandomFraction(0, 0.5, /*salt=*/111);
+  EXPECT_EQ(f3.NewPrivatePages(), f1.NewPrivatePages());
+}
+
+TEST(AddressSpaceTest, FractionZeroAndOne) {
+  HostMemory host(1_GiB);
+  AddressSpace space(host);
+  const SegmentId seg = space.AddSegment("s", 32 * kPageSize);
+  EXPECT_EQ(space.DirtyRandomFraction(seg, 0.0, 1).NewPrivatePages(), 0u);
+  EXPECT_EQ(space.DirtyRandomFraction(seg, 1.0, 1).NewPrivatePages(), 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: for any mix of sharers, the host frame count equals
+// (#resident image pages) + (sum of private pages), and PSS sums to it.
+// ---------------------------------------------------------------------------
+
+class PssConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PssConservationTest, PssSumsToHostFrames) {
+  const int num_vms = GetParam();
+  HostMemory host(4_GiB);
+  std::shared_ptr<SnapshotImage> image;
+  {
+    AddressSpace src(host);
+    const SegmentId seg = src.AddSegment("all", 256 * kPageSize);
+    src.Dirty(seg, 0, 256);
+    image = src.TakeSnapshot("img");
+  }
+  std::vector<std::unique_ptr<AddressSpace>> vms;
+  for (int i = 0; i < num_vms; ++i) {
+    vms.push_back(std::make_unique<AddressSpace>(host, image));
+    // Each VM touches a random ~75% and dirties a random ~25%.
+    vms.back()->TouchRandomFraction(0, 0.75, /*salt=*/1000 + i);
+    vms.back()->DirtyRandomFraction(0, 0.25, /*salt=*/2000 + i);
+  }
+  double pss_sum = 0.0;
+  uint64_t private_sum = 0;
+  for (const auto& vm : vms) {
+    pss_sum += vm->pss_bytes();
+    private_sum += vm->private_pages();
+  }
+  const uint64_t expect_frames = image->backing().resident_pages() + private_sum;
+  EXPECT_EQ(host.used_frames(), expect_frames);
+  EXPECT_NEAR(pss_sum, static_cast<double>(host.used_bytes()), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(VmCounts, PssConservationTest, ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace fwmem

@@ -1,0 +1,158 @@
+// Unit tests for the message bus: topic management, produce/consume ordering,
+// and the kafkacat-style "consume last" parameter-passing pattern (§3.6).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/msgbus/broker.h"
+#include "tests/test_util.h"
+
+namespace fwbus {
+namespace {
+
+using fwbase::StatusCode;
+using fwsim::Co;
+using fwsim::Simulation;
+using fwtest::RunSync;
+using namespace fwbase::literals;
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  Simulation sim_;
+  Broker broker_{sim_};
+};
+
+TEST_F(BrokerTest, CreateAndDeleteTopics) {
+  EXPECT_TRUE(broker_.CreateTopic("t", 2).ok());
+  EXPECT_TRUE(broker_.HasTopic("t"));
+  EXPECT_EQ(broker_.PartitionCount("t"), 2);
+  EXPECT_EQ(broker_.CreateTopic("t").code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(broker_.DeleteTopic("t").ok());
+  EXPECT_FALSE(broker_.HasTopic("t"));
+  EXPECT_EQ(broker_.DeleteTopic("t").code(), StatusCode::kNotFound);
+}
+
+TEST_F(BrokerTest, ProduceAssignsMonotonicOffsets) {
+  broker_.CreateTopic("t");
+  auto o0 = RunSync(sim_, broker_.Produce("t", 0, {"k", "v0"}));
+  auto o1 = RunSync(sim_, broker_.Produce("t", 0, {"k", "v1"}));
+  ASSERT_TRUE(o0.ok());
+  ASSERT_TRUE(o1.ok());
+  EXPECT_EQ(*o0, 0);
+  EXPECT_EQ(*o1, 1);
+  EXPECT_EQ(*broker_.EndOffset("t", 0), 2);
+}
+
+TEST_F(BrokerTest, ProduceToMissingTopicFails) {
+  auto result = RunSync(sim_, broker_.Produce("none", 0, {"k", "v"}));
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BrokerTest, ProduceToBadPartitionFails) {
+  broker_.CreateTopic("t", 1);
+  auto result = RunSync(sim_, broker_.Produce("t", 3, {"k", "v"}));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BrokerTest, ConsumeAtReturnsExactRecord) {
+  broker_.CreateTopic("t");
+  RunSync(sim_, broker_.Produce("t", 0, {"a", "1"}));
+  RunSync(sim_, broker_.Produce("t", 0, {"b", "2"}));
+  auto record = RunSync(sim_, broker_.ConsumeAt("t", 0, 1));
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->key, "b");
+  EXPECT_EQ(record->offset, 1);
+}
+
+TEST_F(BrokerTest, ConsumeLastReturnsNewestRecord) {
+  broker_.CreateTopic("params-fc42");
+  RunSync(sim_, broker_.Produce("params-fc42", 0, {"", "{\"old\":1}"}));
+  RunSync(sim_, broker_.Produce("params-fc42", 0, {"", "{\"new\":2}"}));
+  auto record = RunSync(sim_, broker_.ConsumeLast("params-fc42", 0));
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->value, "{\"new\":2}");
+}
+
+TEST_F(BrokerTest, ConsumeBlocksUntilProduced) {
+  // The paper's protocol produces params *before* resume, but a consumer that
+  // races ahead must block, not fail.
+  broker_.CreateTopic("t");
+  std::vector<std::string> got;
+  sim_.Spawn([](Broker& b, std::vector<std::string>& out) -> Co<void> {
+    auto record = co_await b.ConsumeLast("t", 0);
+    out.push_back(record->value);
+  }(broker_, got));
+  sim_.RunFor(10_ms);
+  EXPECT_TRUE(got.empty());
+  sim_.Spawn([](Broker& b) -> Co<void> {
+    auto result = co_await b.Produce("t", 0, {"", "late"});
+    FW_CHECK(result.ok());
+  }(broker_));
+  sim_.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "late");
+}
+
+TEST_F(BrokerTest, ConsumeAtBlocksForFutureOffset) {
+  broker_.CreateTopic("t");
+  std::vector<int64_t> got;
+  sim_.Spawn([](Broker& b, std::vector<int64_t>& out) -> Co<void> {
+    auto record = co_await b.ConsumeAt("t", 0, 2);
+    out.push_back(record->offset);
+  }(broker_, got));
+  sim_.Spawn([](Broker& b) -> Co<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await b.Produce("t", 0, {"", std::to_string(i)});
+    }
+  }(broker_));
+  sim_.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 2);
+}
+
+TEST_F(BrokerTest, PartitionsAreIndependent) {
+  broker_.CreateTopic("t", 2);
+  RunSync(sim_, broker_.Produce("t", 0, {"", "p0"}));
+  RunSync(sim_, broker_.Produce("t", 1, {"", "p1"}));
+  EXPECT_EQ(RunSync(sim_, broker_.ConsumeLast("t", 0))->value, "p0");
+  EXPECT_EQ(RunSync(sim_, broker_.ConsumeLast("t", 1))->value, "p1");
+  EXPECT_EQ(*broker_.EndOffset("t", 0), 1);
+}
+
+TEST_F(BrokerTest, ProduceConsumeAdvanceTime) {
+  broker_.CreateTopic("t");
+  const auto t0 = sim_.Now();
+  RunSync(sim_, broker_.Produce("t", 0, {"", std::string(1000, 'x')}));
+  auto after_produce = sim_.Now() - t0;
+  EXPECT_GT(after_produce.micros(), 400.0);  // produce cost + transfer.
+  RunSync(sim_, broker_.ConsumeLast("t", 0));
+  EXPECT_GT((sim_.Now() - t0).micros(), after_produce.micros() + 300.0);
+}
+
+TEST_F(BrokerTest, CountersTrack) {
+  broker_.CreateTopic("t");
+  RunSync(sim_, broker_.Produce("t", 0, {"", "a"}));
+  RunSync(sim_, broker_.Produce("t", 0, {"", "b"}));
+  RunSync(sim_, broker_.ConsumeLast("t", 0));
+  EXPECT_EQ(broker_.records_produced(), 2u);
+  EXPECT_EQ(broker_.records_consumed(), 1u);
+}
+
+TEST_F(BrokerTest, ManyInstanceTopicsPattern) {
+  // One topic per microVM instance, as Fireworks does with fcIDs.
+  for (int fc = 0; fc < 20; ++fc) {
+    EXPECT_TRUE(broker_.CreateTopic("topic" + std::to_string(fc)).ok());
+  }
+  for (int fc = 0; fc < 20; ++fc) {
+    RunSync(sim_, broker_.Produce("topic" + std::to_string(fc), 0,
+                                  {"", "args" + std::to_string(fc)}));
+  }
+  for (int fc = 0; fc < 20; ++fc) {
+    auto record = RunSync(sim_, broker_.ConsumeLast("topic" + std::to_string(fc), 0));
+    EXPECT_EQ(record->value, "args" + std::to_string(fc));
+  }
+}
+
+}  // namespace
+}  // namespace fwbus

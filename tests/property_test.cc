@@ -1,0 +1,305 @@
+// Property-style test sweeps (TEST_P) over the system's core invariants:
+// memory conservation across arbitrary platform mixes, snapshot idempotence,
+// latency determinism, fault-count accounting, and primitive stress.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/baselines/container_platform.h"
+#include "src/baselines/firecracker.h"
+#include "src/core/fireworks.h"
+#include "src/core/platform.h"
+#include "src/mem/address_space.h"
+#include "src/mem/host_memory.h"
+#include "src/simcore/primitives.h"
+#include "src/workloads/faasdom.h"
+#include "tests/test_util.h"
+
+namespace fwcore {
+namespace {
+
+using fwlang::FunctionSource;
+using fwlang::Language;
+using fwtest::RunSync;
+using fwwork::FaasdomBench;
+using namespace fwbase::literals;
+
+enum class Kind { kFireworks, kFirecracker, kOpenWhisk, kGvisor };
+
+std::unique_ptr<ServerlessPlatform> Make(Kind kind, HostEnv& env) {
+  switch (kind) {
+    case Kind::kFireworks:
+      return std::make_unique<FireworksPlatform>(env);
+    case Kind::kFirecracker:
+      return std::make_unique<fwbaselines::FirecrackerPlatform>(env);
+    case Kind::kOpenWhisk:
+      return std::make_unique<fwbaselines::OpenWhiskPlatform>(env);
+    case Kind::kGvisor:
+      return std::make_unique<fwbaselines::GvisorPlatform>(env);
+  }
+  return nullptr;
+}
+
+
+// gtest parameterized-test names must be alphanumeric.
+std::string SanitizeName(std::string s) {
+  std::string out;
+  for (char c : s) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+        c == '_') {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kFireworks:
+      return "fireworks";
+    case Kind::kFirecracker:
+      return "firecracker";
+    case Kind::kOpenWhisk:
+      return "openwhisk";
+    case Kind::kGvisor:
+      return "gvisor";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Property: for every platform, every benchmark, every language — install +
+// invoke succeeds, the latency breakdown is self-consistent, and teardown
+// returns the host to zero memory.
+// ---------------------------------------------------------------------------
+
+class PlatformMatrixTest
+    : public ::testing::TestWithParam<std::tuple<Kind, FaasdomBench, Language>> {};
+
+TEST_P(PlatformMatrixTest, InvokeBreakdownConsistentAndTeardownClean) {
+  const auto [kind, bench, language] = GetParam();
+  const FunctionSource fn = fwwork::MakeFaasdom(bench, language);
+  HostEnv env;
+  auto platform = Make(kind, env);
+  ASSERT_TRUE(RunSync(env.sim(), platform->Install(fn)).ok());
+  auto result = RunSync(env.sim(), platform->Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(result.ok());
+
+  // Breakdown must sum to the total (exactly — the platform measures all
+  // phases with the same clock).
+  const int64_t sum =
+      result->startup.nanos() + result->exec.nanos() + result->others.nanos();
+  EXPECT_EQ(sum, result->total.nanos());
+  EXPECT_GT(result->startup.nanos(), 0);
+  EXPECT_GT(result->exec.nanos(), 0);
+
+  platform->ReleaseInstances();
+  platform.reset();
+  EXPECT_EQ(env.memory().used_bytes(), 0u) << KindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PlatformMatrixTest,
+    ::testing::Combine(::testing::Values(Kind::kFireworks, Kind::kFirecracker,
+                                         Kind::kOpenWhisk, Kind::kGvisor),
+                       ::testing::Values(FaasdomBench::kFact, FaasdomBench::kMatrixMult,
+                                         FaasdomBench::kDiskIo, FaasdomBench::kNetLatency),
+                       ::testing::Values(Language::kNodeJs, Language::kPython)),
+    [](const auto& info) {
+      return SanitizeName(std::string(KindName(std::get<0>(info.param))) + "_" +
+                          fwwork::FaasdomBenchName(std::get<1>(info.param)) + "_" +
+                          fwlang::LanguageName(std::get<2>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: with N concurrent Fireworks instances, total PSS equals the
+// host's used memory attributable to those instances, and per-instance PSS is
+// monotonically non-increasing in N (more sharers, smaller shares).
+// ---------------------------------------------------------------------------
+
+class PssMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PssMonotonicityTest, PerInstancePssShrinksWithSharers) {
+  const int n = GetParam();
+  HostEnv env;
+  FireworksPlatform platform(env);
+  const FunctionSource fn = fwwork::MakeFaasdom(FaasdomBench::kFact, Language::kNodeJs);
+  ASSERT_TRUE(RunSync(env.sim(), platform.Install(fn)).ok());
+  InvokeOptions keep;
+  keep.keep_instance = true;
+  double last_per_instance = 1e18;
+  for (int i = 1; i <= n; ++i) {
+    ASSERT_TRUE(RunSync(env.sim(), platform.Invoke(fn.name, "{}", keep)).ok());
+    const double per_instance = platform.MeasurePssBytes() / i;
+    EXPECT_LE(per_instance, last_per_instance * 1.0001) << "at " << i;
+    last_per_instance = per_instance;
+  }
+  // PSS must equal total host frames minus the (uninstanced) shared rest:
+  // every resident frame belongs to either an instance mapping or the image.
+  EXPECT_LE(platform.MeasurePssBytes(), static_cast<double>(env.memory().used_bytes()) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PssMonotonicityTest, ::testing::Values(2, 4, 8));
+
+// ---------------------------------------------------------------------------
+// Property: installation is deterministic — same function, same host seed →
+// byte-identical snapshot sizes and identical install timing.
+// ---------------------------------------------------------------------------
+
+class InstallDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<FaasdomBench, Language>> {};
+
+TEST_P(InstallDeterminismTest, SnapshotSizeAndTimingReproducible) {
+  const auto [bench, language] = GetParam();
+  const FunctionSource fn = fwwork::MakeFaasdom(bench, language);
+  auto run_install = [&fn] {
+    HostEnv env;
+    FireworksPlatform platform(env);
+    auto install = RunSync(env.sim(), platform.Install(fn));
+    FW_CHECK(install.ok());
+    return std::make_pair(install->snapshot_bytes, install->total.nanos());
+  };
+  const auto a = run_install();
+  const auto b = run_install();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InstallDeterminismTest,
+    ::testing::Combine(::testing::Values(FaasdomBench::kFact, FaasdomBench::kNetLatency),
+                       ::testing::Values(Language::kNodeJs, Language::kPython)),
+    [](const auto& info) {
+      return SanitizeName(std::string(fwwork::FaasdomBenchName(std::get<0>(info.param))) +
+                          "_" + fwlang::LanguageName(std::get<1>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: AddressSpace access accounting — for any (touch, dirty) sequence,
+// every page is charged at most one frame, repeated access is free, and
+// Unmap returns the exact number of frames taken.
+// ---------------------------------------------------------------------------
+
+class AccessSequenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AccessSequenceTest, FrameAccountingBalances) {
+  const uint64_t salt = GetParam();
+  fwmem::HostMemory host(8_GiB);
+  std::shared_ptr<fwmem::SnapshotImage> image;
+  {
+    fwmem::AddressSpace builder(host);
+    auto seg = builder.AddSegment("mem", 512 * fwbase::kPageSize);
+    builder.DirtyRandomFraction(seg, 0.8, salt);  // Partially-valid image.
+    image = builder.TakeSnapshot("img");
+  }
+  EXPECT_EQ(host.used_frames(), 0u);
+  {
+    fwmem::AddressSpace space(host, image);
+    // Random interleavings of reads and writes, twice each (idempotence).
+    for (int round = 0; round < 2; ++round) {
+      space.TouchRandomFraction(0, 0.5, salt * 31 + 1);
+      space.DirtyRandomFraction(0, 0.3, salt * 31 + 2);
+      space.TouchRandomFraction(0, 0.7, salt * 31 + 3);
+      space.DirtyRandomFraction(0, 0.6, salt * 31 + 4);
+    }
+    // Every used frame is accounted either to the image's resident pages or
+    // to this space's private pages.
+    EXPECT_EQ(host.used_frames(),
+              image->backing().resident_pages() + space.private_pages());
+    // RSS covers every page we can see; USS only the private ones.
+    EXPECT_GE(space.rss_bytes(), space.uss_bytes());
+  }
+  // Space destroyed: only (possibly zero) image cache frames remain... which
+  // are freed when the last mapper goes; with no mappers the backing holds
+  // nothing.
+  EXPECT_EQ(host.used_frames(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Salts, AccessSequenceTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+// ---------------------------------------------------------------------------
+// Property: simulation primitives under stress — N producers and M consumers
+// over one channel lose nothing and preserve per-producer ordering.
+// ---------------------------------------------------------------------------
+
+class ChannelStressTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ChannelStressTest, NoLossUnderManyProducersConsumers) {
+  const auto [producers, consumers] = GetParam();
+  const int per_producer = 50;
+  fwsim::Simulation sim;
+  fwsim::Channel<std::pair<int, int>> channel(sim);
+  std::vector<std::pair<int, int>> received;
+
+  for (int c = 0; c < consumers; ++c) {
+    sim.Spawn([](fwsim::Channel<std::pair<int, int>>& ch,
+                 std::vector<std::pair<int, int>>& out, int count) -> fwsim::Co<void> {
+      for (int i = 0; i < count; ++i) {
+        out.push_back(co_await ch.Recv());
+      }
+    }(channel, received, producers * per_producer / consumers));
+  }
+  for (int p = 0; p < producers; ++p) {
+    sim.Spawn([](fwsim::Simulation& s, fwsim::Channel<std::pair<int, int>>& ch, int id,
+                 int count) -> fwsim::Co<void> {
+      for (int i = 0; i < count; ++i) {
+        co_await fwsim::Delay(s, fwbase::Duration::Micros(1 + (id * 7 + i) % 13));
+        ch.Send({id, i});
+      }
+    }(sim, channel, p, per_producer));
+  }
+  sim.Run();
+  ASSERT_EQ(received.size(), static_cast<size_t>(producers * per_producer));
+  // Per-producer sequence numbers must arrive in order.
+  std::vector<int> next(producers, 0);
+  for (const auto& [id, seq] : received) {
+    EXPECT_EQ(seq, next[id]) << "producer " << id;
+    next[id] = seq + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, ChannelStressTest,
+                         ::testing::Values(std::make_pair(1, 1), std::make_pair(5, 1),
+                                           std::make_pair(2, 2), std::make_pair(10, 5)));
+
+// ---------------------------------------------------------------------------
+// Property: warm invocations are never slower than cold ones, on any
+// cold/warm-capable platform and benchmark.
+// ---------------------------------------------------------------------------
+
+class WarmNotSlowerTest
+    : public ::testing::TestWithParam<std::tuple<Kind, FaasdomBench>> {};
+
+TEST_P(WarmNotSlowerTest, WarmTotalBelowColdTotal) {
+  const auto [kind, bench] = GetParam();
+  const FunctionSource fn = fwwork::MakeFaasdom(bench, Language::kNodeJs);
+  HostEnv env;
+  auto platform = Make(kind, env);
+  ASSERT_TRUE(RunSync(env.sim(), platform->Install(fn)).ok());
+  InvokeOptions cold_options;
+  cold_options.force_cold = true;
+  auto cold = RunSync(env.sim(), platform->Invoke(fn.name, "{}", cold_options));
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(RunSync(env.sim(), platform->Prewarm(fn.name)).ok());
+  auto warm = RunSync(env.sim(), platform->Invoke(fn.name, "{}", InvokeOptions()));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LT(warm->total.nanos(), cold->total.nanos());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WarmNotSlowerTest,
+    ::testing::Combine(::testing::Values(Kind::kFirecracker, Kind::kOpenWhisk,
+                                         Kind::kGvisor),
+                       ::testing::Values(FaasdomBench::kFact, FaasdomBench::kDiskIo,
+                                         FaasdomBench::kNetLatency)),
+    [](const auto& info) {
+      return SanitizeName(std::string(KindName(std::get<0>(info.param))) + "_" +
+                          fwwork::FaasdomBenchName(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace fwcore

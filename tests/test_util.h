@@ -1,0 +1,14 @@
+// Shared helpers for driving coroutines to completion inside tests.
+#ifndef FIREWORKS_TESTS_TEST_UTIL_H_
+#define FIREWORKS_TESTS_TEST_UTIL_H_
+
+#include "src/simcore/run_sync.h"
+
+namespace fwtest {
+
+using fwsim::RunSync;
+using fwsim::RunSyncVoid;
+
+}  // namespace fwtest
+
+#endif  // FIREWORKS_TESTS_TEST_UTIL_H_

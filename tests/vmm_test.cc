@@ -1,0 +1,216 @@
+// Unit tests for the hypervisor: microVM lifecycle, snapshot create/restore,
+// MMDS, fault-time accounting, and page-cache warmth semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/mem/host_memory.h"
+#include "src/storage/block_device.h"
+#include "src/storage/snapshot_store.h"
+#include "src/vmm/hypervisor.h"
+#include "src/vmm/microvm.h"
+#include "tests/test_util.h"
+
+namespace fwvmm {
+namespace {
+
+using fwbase::Duration;
+using fwbase::kMiB;
+using fwbase::kPageSize;
+using fwsim::Co;
+using fwsim::Simulation;
+using fwtest::RunSync;
+using fwtest::RunSyncVoid;
+using namespace fwbase::literals;
+
+class HypervisorTest : public ::testing::Test {
+ protected:
+  Duration Elapsed(fwbase::SimTime t0) const { return sim_.Now() - t0; }
+
+  MicroVm* CreateBooted(const std::string& name) {
+    MicroVm* vm = RunSync(sim_, hv_.CreateMicroVm(name, MicroVmConfig()));
+    FW_CHECK(RunSync(sim_, hv_.BootGuestOs(*vm)).ok());
+    return vm;
+  }
+
+  Simulation sim_;
+  fwmem::HostMemory host_{128_GiB};
+  fwstore::BlockDevice dev_{sim_, fwstore::BlockDevice::Config{}};
+  fwstore::SnapshotStore store_{sim_, dev_, 64_GiB};
+  Hypervisor hv_{sim_, host_, store_};
+};
+
+TEST_F(HypervisorTest, CreateMicroVmTakesSetupTime) {
+  const auto t0 = sim_.Now();
+  MicroVm* vm = RunSync(sim_, hv_.CreateMicroVm("vm0", MicroVmConfig()));
+  ASSERT_NE(vm, nullptr);
+  EXPECT_EQ(vm->state(), VmState::kConfigured);
+  // api + process + kvm + devices ≈ 81 ms with default config.
+  EXPECT_GT(Elapsed(t0).millis(), 60.0);
+  EXPECT_LT(Elapsed(t0).millis(), 120.0);
+  EXPECT_EQ(hv_.vms_created(), 1u);
+  EXPECT_EQ(hv_.live_vm_count(), 1u);
+}
+
+TEST_F(HypervisorTest, BootGuestOsDirtiesKernelPages) {
+  MicroVm* vm = RunSync(sim_, hv_.CreateMicroVm("vm0", MicroVmConfig()));
+  EXPECT_EQ(host_.used_bytes(), 0u);
+  const auto t0 = sim_.Now();
+  EXPECT_TRUE(RunSync(sim_, hv_.BootGuestOs(*vm)).ok());
+  EXPECT_EQ(vm->state(), VmState::kRunning);
+  // Kernel boot ~620ms + init ~170ms + fault service.
+  EXPECT_GT(Elapsed(t0).millis(), 700.0);
+  // 46 + 30 MiB dirtied.
+  EXPECT_EQ(host_.used_bytes(),
+            hv_.config().kernel_boot_bytes + hv_.config().os_services_bytes);
+}
+
+TEST_F(HypervisorTest, BootRequiresConfiguredState) {
+  MicroVm* vm = CreateBooted("vm0");
+  const auto status = RunSync(sim_, hv_.BootGuestOs(*vm));
+  EXPECT_EQ(status.code(), fwbase::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(HypervisorTest, PauseResumeRoundTrip) {
+  MicroVm* vm = CreateBooted("vm0");
+  EXPECT_TRUE(RunSync(sim_, hv_.Pause(*vm)).ok());
+  EXPECT_EQ(vm->state(), VmState::kPaused);
+  EXPECT_FALSE(RunSync(sim_, hv_.Pause(*vm)).ok());
+  EXPECT_TRUE(RunSync(sim_, hv_.Resume(*vm)).ok());
+  EXPECT_EQ(vm->state(), VmState::kRunning);
+  EXPECT_FALSE(RunSync(sim_, hv_.Resume(*vm)).ok());
+}
+
+TEST_F(HypervisorTest, SnapshotStoresImageAndLeavesVmPaused) {
+  MicroVm* vm = CreateBooted("vm0");
+  auto image = RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0"));
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(vm->state(), VmState::kPaused);
+  EXPECT_TRUE(store_.Contains("snap0"));
+  EXPECT_EQ((*image)->file_bytes(),
+            hv_.config().kernel_boot_bytes + hv_.config().os_services_bytes);
+  EXPECT_TRUE((*image)->cache_warm());
+  EXPECT_EQ(hv_.snapshots_taken(), 1u);
+}
+
+TEST_F(HypervisorTest, SnapshotOfConfiguredVmFails) {
+  MicroVm* vm = RunSync(sim_, hv_.CreateMicroVm("vm0", MicroVmConfig()));
+  auto image = RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0"));
+  EXPECT_FALSE(image.ok());
+}
+
+TEST_F(HypervisorTest, RestoreIsMuchFasterThanColdBoot) {
+  MicroVm* vm = CreateBooted("vm0");
+  RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0"));
+
+  const auto t0 = sim_.Now();
+  auto restored = RunSync(sim_, hv_.RestoreMicroVm("snap0", "clone1"));
+  ASSERT_TRUE(restored.ok());
+  const Duration restore_time = Elapsed(t0);
+  EXPECT_EQ((*restored)->state(), VmState::kRunning);
+  EXPECT_TRUE((*restored)->restored_from_snapshot());
+  // Restore (~86 ms of VMM setup) must be far below cold boot (~870 ms).
+  EXPECT_LT(restore_time.millis(), 150.0);
+  EXPECT_EQ(hv_.vms_restored(), 1u);
+}
+
+TEST_F(HypervisorTest, RestoredVmSharesPagesWithSiblings) {
+  MicroVm* vm = CreateBooted("vm0");
+  RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0"));
+  EXPECT_TRUE(hv_.Destroy(*vm).ok());
+  EXPECT_EQ(host_.used_bytes(), 0u);
+
+  MicroVm* c1 = *RunSync(sim_, hv_.RestoreMicroVm("snap0", "c1"));
+  MicroVm* c2 = *RunSync(sim_, hv_.RestoreMicroVm("snap0", "c2"));
+  auto& s1 = c1->address_space();
+  auto& s2 = c2->address_space();
+  const uint64_t kernel_bytes = hv_.config().kernel_boot_bytes;
+  s1.TouchBytes(s1.SegmentByName(kSegGuestKernel), kernel_bytes);
+  s2.TouchBytes(s2.SegmentByName(kSegGuestKernel), kernel_bytes);
+  // Both mapped all kernel pages; the host holds one copy.
+  EXPECT_EQ(host_.used_bytes(), kernel_bytes);
+  EXPECT_DOUBLE_EQ(s1.pss_bytes(), kernel_bytes / 2.0);
+}
+
+TEST_F(HypervisorTest, RestoreOfMissingSnapshotFails) {
+  auto restored = RunSync(sim_, hv_.RestoreMicroVm("nope", "c1"));
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), fwbase::StatusCode::kNotFound);
+}
+
+TEST_F(HypervisorTest, DestroyReleasesFramesAndForgetsVm) {
+  MicroVm* vm = CreateBooted("vm0");
+  EXPECT_GT(host_.used_bytes(), 0u);
+  EXPECT_TRUE(hv_.Destroy(*vm).ok());
+  EXPECT_EQ(host_.used_bytes(), 0u);
+  EXPECT_EQ(hv_.live_vm_count(), 0u);
+}
+
+TEST_F(HypervisorTest, MmdsHostWriteGuestRead) {
+  MicroVm* vm = CreateBooted("vm0");
+  vm->SetMetadata("fcID", "42");
+  const auto t0 = sim_.Now();
+  auto value = RunSync(sim_, hv_.GuestReadMmds(*vm, "fcID"));
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "42");
+  EXPECT_GT(Elapsed(t0).micros(), 100.0);  // In-guest HTTP round trip.
+  EXPECT_FALSE(RunSync(sim_, hv_.GuestReadMmds(*vm, "none")).ok());
+}
+
+TEST_F(HypervisorTest, WarmImageFaultsAreCheap) {
+  MicroVm* vm = CreateBooted("vm0");
+  auto image = RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0"));
+  ASSERT_TRUE(image.ok());
+  MicroVm* clone = *RunSync(sim_, hv_.RestoreMicroVm("snap0", "c1"));
+
+  fwmem::FaultCounts faults;
+  faults.major_faults = 1000;
+  const Duration warm = hv_.FaultServiceTime(*clone, faults);
+  (*image)->set_cache_warm(false);
+  const Duration cold = hv_.FaultServiceTime(*clone, faults);
+  EXPECT_GT(cold / warm, 10.0);  // Disk-bound vs page-cache-bound.
+}
+
+TEST_F(HypervisorTest, PrefetchWarmsImage) {
+  MicroVm* vm = CreateBooted("vm0");
+  auto image = RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0"));
+  (*image)->set_cache_warm(false);
+  RunSyncVoid(sim_, hv_.PrefetchWorkingSet(**image, 64 * kMiB));
+  EXPECT_TRUE((*image)->cache_warm());
+}
+
+TEST_F(HypervisorTest, FaultServiceTimeComposition) {
+  MicroVm* vm = CreateBooted("vm0");
+  fwmem::FaultCounts faults;
+  faults.minor_shared = 10;
+  faults.cow_copies = 5;
+  faults.zero_fills = 2;
+  const Duration t = hv_.FaultServiceTime(*vm, faults);
+  const auto& cfg = hv_.config();
+  const Duration expect = cfg.minor_fault_cost * 10 + cfg.cow_fault_cost * 5 +
+                          cfg.zero_fault_cost * 2;
+  EXPECT_EQ(t.nanos(), expect.nanos());
+}
+
+TEST_F(HypervisorTest, ManyClonesFromOneSnapshot) {
+  MicroVm* vm = CreateBooted("vm0");
+  RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0"));
+  hv_.Destroy(*vm);
+  for (int i = 0; i < 20; ++i) {
+    auto clone = RunSync(sim_, hv_.RestoreMicroVm("snap0", "c" + std::to_string(i)));
+    ASSERT_TRUE(clone.ok());
+    auto& space = (*clone)->address_space();
+    space.TouchBytes(space.SegmentByName(kSegGuestKernel), hv_.config().kernel_boot_bytes);
+  }
+  EXPECT_EQ(hv_.live_vm_count(), 20u);
+  // All twenty share one copy of the kernel pages.
+  EXPECT_EQ(host_.used_bytes(), hv_.config().kernel_boot_bytes);
+}
+
+TEST_F(HypervisorTest, VmStateNames) {
+  EXPECT_STREQ(VmStateName(VmState::kRunning), "running");
+  EXPECT_STREQ(VmStateName(VmState::kDead), "dead");
+}
+
+}  // namespace
+}  // namespace fwvmm

@@ -1,0 +1,181 @@
+// Tests for the workload generators: FaaSdom benchmark structure and the
+// ServerlessBench chain applications.
+#include <gtest/gtest.h>
+
+#include "src/workloads/faasdom.h"
+#include "src/workloads/serverlessbench.h"
+
+namespace fwwork {
+namespace {
+
+using fwlang::Language;
+using fwlang::OpKind;
+
+TEST(FaasdomTest, AllBenchesEnumerated) {
+  const auto all = AllFaasdomBenches();
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_TRUE(IsComputeIntensive(FaasdomBench::kFact));
+  EXPECT_TRUE(IsComputeIntensive(FaasdomBench::kMatrixMult));
+  EXPECT_FALSE(IsComputeIntensive(FaasdomBench::kDiskIo));
+  EXPECT_FALSE(IsComputeIntensive(FaasdomBench::kNetLatency));
+}
+
+TEST(FaasdomTest, NamesFollowConvention) {
+  const auto fn = MakeFaasdom(FaasdomBench::kFact, Language::kNodeJs);
+  EXPECT_EQ(fn.name, "faas-fact-nodejs");
+  const auto py = MakeFaasdom(FaasdomBench::kDiskIo, Language::kPython);
+  EXPECT_EQ(py.name, "faas-diskio-python");
+}
+
+TEST(FaasdomTest, EveryBenchHasMainEntry) {
+  for (const auto bench : AllFaasdomBenches()) {
+    for (const auto language : {Language::kNodeJs, Language::kPython}) {
+      const auto fn = MakeFaasdom(bench, language);
+      EXPECT_EQ(fn.entry_method, "main") << fn.name;
+      EXPECT_TRUE(fn.HasMethod("main")) << fn.name;
+      EXPECT_FALSE(fn.annotated) << fn.name;
+      EXPECT_GT(fn.package_bytes, 0u) << fn.name;
+    }
+  }
+}
+
+TEST(FaasdomTest, DiskIoDoes100ReadWritePairs) {
+  const auto fn = MakeFaasdom(FaasdomBench::kDiskIo, Language::kNodeJs);
+  const fwlang::MethodDef* main = fn.FindMethod("main");
+  ASSERT_NE(main, nullptr);
+  bool found = false;
+  for (const auto& op : main->ops) {
+    if (op.kind == OpKind::kCall && op.target == "io_pair") {
+      EXPECT_EQ(op.repeat, 100u);  // §5.2.1(2): 100 × 10 KB read+write.
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  const fwlang::MethodDef* pair = fn.FindMethod("io_pair");
+  ASSERT_NE(pair, nullptr);
+  EXPECT_EQ(pair->ops[0].kind, OpKind::kDiskRead);
+  EXPECT_EQ(pair->ops[0].amount, 10u * 1024);
+  EXPECT_EQ(pair->ops[1].kind, OpKind::kDiskWrite);
+}
+
+TEST(FaasdomTest, NetLatencyRespondsWith579Bytes) {
+  const auto fn = MakeFaasdom(FaasdomBench::kNetLatency, Language::kPython);
+  const fwlang::MethodDef* main = fn.FindMethod("main");
+  ASSERT_NE(main, nullptr);
+  bool responds = false;
+  for (const auto& op : main->ops) {
+    if (op.kind == OpKind::kNetSend) {
+      EXPECT_EQ(op.amount, 579u);  // 79-byte body + 500-byte header.
+      responds = true;
+    }
+  }
+  EXPECT_TRUE(responds);
+}
+
+TEST(FaasdomTest, ComputeBenchesAreJitFriendly) {
+  for (const auto bench : {FaasdomBench::kFact, FaasdomBench::kMatrixMult}) {
+    const auto fn = MakeFaasdom(bench, Language::kPython);
+    bool has_friendly_kernel = false;
+    for (const auto& method : fn.methods) {
+      for (const auto& op : method.ops) {
+        if (op.kind == OpKind::kCompute && op.friendliness > 0.95) {
+          has_friendly_kernel = true;
+        }
+      }
+    }
+    EXPECT_TRUE(has_friendly_kernel) << fn.name;
+  }
+}
+
+TEST(AlexaTest, StructureMatchesFig8a) {
+  const ChainApp app = MakeAlexaSkills();
+  EXPECT_EQ(app.name, "alexa-skills");
+  EXPECT_EQ(app.functions.size(), 4u);
+  EXPECT_EQ(app.chains.size(), 3u);
+  for (const char* chain : {"fact", "reminder", "smarthome"}) {
+    const auto& fns = app.Chain(chain);
+    ASSERT_EQ(fns.size(), 2u) << chain;
+    EXPECT_EQ(fns[0], "alexa-frontend") << chain;  // All go through intent analysis.
+  }
+  EXPECT_TRUE(app.trigger_db.empty());
+}
+
+TEST(AlexaTest, AllFunctionsAreNodeJs) {
+  // §5.3: the real-world applications are written in Node.js.
+  for (const auto& fn : MakeAlexaSkills().functions) {
+    EXPECT_EQ(fn.language, Language::kNodeJs) << fn.name;
+    EXPECT_TRUE(fn.HasMethod("main")) << fn.name;
+  }
+}
+
+TEST(AlexaTest, ReminderUsesDocumentDb) {
+  const ChainApp app = MakeAlexaSkills();
+  const fwlang::FunctionSource* reminder = nullptr;
+  for (const auto& fn : app.functions) {
+    if (fn.name == "alexa-reminder") {
+      reminder = &fn;
+    }
+  }
+  ASSERT_NE(reminder, nullptr);
+  bool reads = false;
+  bool writes = false;
+  for (const auto& method : reminder->methods) {
+    for (const auto& op : method.ops) {
+      reads |= op.kind == OpKind::kDbGet;
+      writes |= op.kind == OpKind::kDbPut;
+    }
+  }
+  EXPECT_TRUE(reads);   // Searches the schedule.
+  EXPECT_TRUE(writes);  // Enters a schedule item.
+}
+
+TEST(DataAnalysisTest, StructureMatchesFig8b) {
+  const ChainApp app = MakeDataAnalysis();
+  EXPECT_EQ(app.functions.size(), 4u);
+  EXPECT_EQ(app.Chain("insert"), (std::vector<std::string>{"da-input-check", "da-format"}));
+  EXPECT_EQ(app.Chain("analysis"), (std::vector<std::string>{"da-analyze", "da-stats"}));
+  // The analysis chain is triggered by wage-database updates.
+  EXPECT_EQ(app.trigger_db, "wages");
+  EXPECT_EQ(app.trigger_chain, "analysis");
+}
+
+TEST(DataAnalysisTest, InsertChainWritesTriggerDb) {
+  const ChainApp app = MakeDataAnalysis();
+  bool writes_wages = false;
+  for (const auto& fn : app.functions) {
+    if (fn.name != "da-format") {
+      continue;
+    }
+    for (const auto& method : fn.methods) {
+      for (const auto& op : method.ops) {
+        if (op.kind == OpKind::kDbPut && op.target == "wages") {
+          writes_wages = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(writes_wages);
+}
+
+TEST(DataAnalysisTest, AnalyzeScansWages) {
+  const ChainApp app = MakeDataAnalysis();
+  bool scans = false;
+  for (const auto& fn : app.functions) {
+    for (const auto& method : fn.methods) {
+      for (const auto& op : method.ops) {
+        if (op.kind == OpKind::kDbScan && op.target == "wages") {
+          scans = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(scans);
+}
+
+TEST(ChainAppDeathTest, UnknownChainAborts) {
+  const ChainApp app = MakeAlexaSkills();
+  EXPECT_DEATH(app.Chain("nope"), "no chain");
+}
+
+}  // namespace
+}  // namespace fwwork
