@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_snapshot_store.dir/ablation_snapshot_store.cc.o"
+  "CMakeFiles/ablation_snapshot_store.dir/ablation_snapshot_store.cc.o.d"
+  "ablation_snapshot_store"
+  "ablation_snapshot_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snapshot_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warm_pool.dir/ablation_warm_pool.cc.o"
+  "CMakeFiles/ablation_warm_pool.dir/ablation_warm_pool.cc.o.d"
+  "ablation_warm_pool"
+  "ablation_warm_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warm_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_throughput.dir/ext_throughput.cc.o"
+  "CMakeFiles/ext_throughput.dir/ext_throughput.cc.o.d"
+  "ext_throughput"
+  "ext_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

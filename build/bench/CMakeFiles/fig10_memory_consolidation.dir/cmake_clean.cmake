@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_memory_consolidation.dir/fig10_memory_consolidation.cc.o"
+  "CMakeFiles/fig10_memory_consolidation.dir/fig10_memory_consolidation.cc.o.d"
+  "fig10_memory_consolidation"
+  "fig10_memory_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_memory_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

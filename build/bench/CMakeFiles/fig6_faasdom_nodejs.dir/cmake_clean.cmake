@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_faasdom_nodejs.dir/fig6_faasdom_nodejs.cc.o"
+  "CMakeFiles/fig6_faasdom_nodejs.dir/fig6_faasdom_nodejs.cc.o.d"
+  "fig6_faasdom_nodejs"
+  "fig6_faasdom_nodejs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_faasdom_nodejs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_faasdom_python.dir/fig7_faasdom_python.cc.o"
+  "CMakeFiles/fig7_faasdom_python.dir/fig7_faasdom_python.cc.o.d"
+  "fig7_faasdom_python"
+  "fig7_faasdom_python.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_faasdom_python.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_bench_common.dir/common.cc.o"
+  "CMakeFiles/fw_bench_common.dir/common.cc.o.d"
+  "CMakeFiles/fw_bench_common.dir/faasdom_figure.cc.o"
+  "CMakeFiles/fw_bench_common.dir/faasdom_figure.cc.o.d"
+  "libfw_bench_common.a"
+  "libfw_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

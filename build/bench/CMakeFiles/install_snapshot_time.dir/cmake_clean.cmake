@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/install_snapshot_time.dir/install_snapshot_time.cc.o"
+  "CMakeFiles/install_snapshot_time.dir/install_snapshot_time.cc.o.d"
+  "install_snapshot_time"
+  "install_snapshot_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/install_snapshot_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

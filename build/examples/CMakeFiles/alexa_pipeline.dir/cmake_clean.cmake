@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alexa_pipeline.dir/alexa_pipeline.cpp.o"
+  "CMakeFiles/alexa_pipeline.dir/alexa_pipeline.cpp.o.d"
+  "alexa_pipeline"
+  "alexa_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alexa_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/define_function.dir/define_function.cpp.o"
+  "CMakeFiles/define_function.dir/define_function.cpp.o.d"
+  "define_function"
+  "define_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/define_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("simcore")
+subdirs("mem")
+subdirs("storage")
+subdirs("net")
+subdirs("msgbus")
+subdirs("vmm")
+subdirs("sandbox")
+subdirs("lang")
+subdirs("core")
+subdirs("baselines")
+subdirs("workloads")

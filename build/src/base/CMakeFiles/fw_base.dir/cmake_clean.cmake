@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_base.dir/logging.cc.o"
+  "CMakeFiles/fw_base.dir/logging.cc.o.d"
+  "CMakeFiles/fw_base.dir/rng.cc.o"
+  "CMakeFiles/fw_base.dir/rng.cc.o.d"
+  "CMakeFiles/fw_base.dir/stats.cc.o"
+  "CMakeFiles/fw_base.dir/stats.cc.o.d"
+  "CMakeFiles/fw_base.dir/status.cc.o"
+  "CMakeFiles/fw_base.dir/status.cc.o.d"
+  "CMakeFiles/fw_base.dir/strings.cc.o"
+  "CMakeFiles/fw_base.dir/strings.cc.o.d"
+  "CMakeFiles/fw_base.dir/units.cc.o"
+  "CMakeFiles/fw_base.dir/units.cc.o.d"
+  "libfw_base.a"
+  "libfw_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_baselines.dir/container_platform.cc.o"
+  "CMakeFiles/fw_baselines.dir/container_platform.cc.o.d"
+  "CMakeFiles/fw_baselines.dir/firecracker.cc.o"
+  "CMakeFiles/fw_baselines.dir/firecracker.cc.o.d"
+  "CMakeFiles/fw_baselines.dir/isolate.cc.o"
+  "CMakeFiles/fw_baselines.dir/isolate.cc.o.d"
+  "CMakeFiles/fw_baselines.dir/util.cc.o"
+  "CMakeFiles/fw_baselines.dir/util.cc.o.d"
+  "libfw_baselines.a"
+  "libfw_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

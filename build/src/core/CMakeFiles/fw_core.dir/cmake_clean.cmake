@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_core.dir/annotator.cc.o"
+  "CMakeFiles/fw_core.dir/annotator.cc.o.d"
+  "CMakeFiles/fw_core.dir/cloud_trigger.cc.o"
+  "CMakeFiles/fw_core.dir/cloud_trigger.cc.o.d"
+  "CMakeFiles/fw_core.dir/fireworks.cc.o"
+  "CMakeFiles/fw_core.dir/fireworks.cc.o.d"
+  "CMakeFiles/fw_core.dir/frontend.cc.o"
+  "CMakeFiles/fw_core.dir/frontend.cc.o.d"
+  "CMakeFiles/fw_core.dir/platform.cc.o"
+  "CMakeFiles/fw_core.dir/platform.cc.o.d"
+  "libfw_core.a"
+  "libfw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/function_ir.cc" "src/lang/CMakeFiles/fw_lang.dir/function_ir.cc.o" "gcc" "src/lang/CMakeFiles/fw_lang.dir/function_ir.cc.o.d"
+  "/root/repo/src/lang/guest_process.cc" "src/lang/CMakeFiles/fw_lang.dir/guest_process.cc.o" "gcc" "src/lang/CMakeFiles/fw_lang.dir/guest_process.cc.o.d"
+  "/root/repo/src/lang/json.cc" "src/lang/CMakeFiles/fw_lang.dir/json.cc.o" "gcc" "src/lang/CMakeFiles/fw_lang.dir/json.cc.o.d"
+  "/root/repo/src/lang/runtime_model.cc" "src/lang/CMakeFiles/fw_lang.dir/runtime_model.cc.o" "gcc" "src/lang/CMakeFiles/fw_lang.dir/runtime_model.cc.o.d"
+  "/root/repo/src/lang/source_text.cc" "src/lang/CMakeFiles/fw_lang.dir/source_text.cc.o" "gcc" "src/lang/CMakeFiles/fw_lang.dir/source_text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fw_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fw_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fw_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

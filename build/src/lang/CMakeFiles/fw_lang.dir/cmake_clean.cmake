@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_lang.dir/function_ir.cc.o"
+  "CMakeFiles/fw_lang.dir/function_ir.cc.o.d"
+  "CMakeFiles/fw_lang.dir/guest_process.cc.o"
+  "CMakeFiles/fw_lang.dir/guest_process.cc.o.d"
+  "CMakeFiles/fw_lang.dir/json.cc.o"
+  "CMakeFiles/fw_lang.dir/json.cc.o.d"
+  "CMakeFiles/fw_lang.dir/runtime_model.cc.o"
+  "CMakeFiles/fw_lang.dir/runtime_model.cc.o.d"
+  "CMakeFiles/fw_lang.dir/source_text.cc.o"
+  "CMakeFiles/fw_lang.dir/source_text.cc.o.d"
+  "libfw_lang.a"
+  "libfw_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

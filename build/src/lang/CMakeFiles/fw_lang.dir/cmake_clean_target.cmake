@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfw_lang.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/mem/CMakeFiles/fw_mem.dir/address_space.cc.o" "gcc" "src/mem/CMakeFiles/fw_mem.dir/address_space.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/mem/CMakeFiles/fw_mem.dir/backing_store.cc.o" "gcc" "src/mem/CMakeFiles/fw_mem.dir/backing_store.cc.o.d"
+  "/root/repo/src/mem/host_memory.cc" "src/mem/CMakeFiles/fw_mem.dir/host_memory.cc.o" "gcc" "src/mem/CMakeFiles/fw_mem.dir/host_memory.cc.o.d"
+  "/root/repo/src/mem/page_set.cc" "src/mem/CMakeFiles/fw_mem.dir/page_set.cc.o" "gcc" "src/mem/CMakeFiles/fw_mem.dir/page_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fw_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

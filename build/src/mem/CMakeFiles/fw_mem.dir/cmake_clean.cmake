@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_mem.dir/address_space.cc.o"
+  "CMakeFiles/fw_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/fw_mem.dir/backing_store.cc.o"
+  "CMakeFiles/fw_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/fw_mem.dir/host_memory.cc.o"
+  "CMakeFiles/fw_mem.dir/host_memory.cc.o.d"
+  "CMakeFiles/fw_mem.dir/page_set.cc.o"
+  "CMakeFiles/fw_mem.dir/page_set.cc.o.d"
+  "libfw_mem.a"
+  "libfw_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

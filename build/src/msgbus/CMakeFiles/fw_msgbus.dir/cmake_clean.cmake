@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_msgbus.dir/broker.cc.o"
+  "CMakeFiles/fw_msgbus.dir/broker.cc.o.d"
+  "libfw_msgbus.a"
+  "libfw_msgbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_msgbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_net.dir/addr.cc.o"
+  "CMakeFiles/fw_net.dir/addr.cc.o.d"
+  "CMakeFiles/fw_net.dir/network.cc.o"
+  "CMakeFiles/fw_net.dir/network.cc.o.d"
+  "libfw_net.a"
+  "libfw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

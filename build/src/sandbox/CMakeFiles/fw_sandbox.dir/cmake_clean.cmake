@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_sandbox.dir/container.cc.o"
+  "CMakeFiles/fw_sandbox.dir/container.cc.o.d"
+  "libfw_sandbox.a"
+  "libfw_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_simcore.dir/simulation.cc.o"
+  "CMakeFiles/fw_simcore.dir/simulation.cc.o.d"
+  "libfw_simcore.a"
+  "libfw_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_device.cc" "src/storage/CMakeFiles/fw_storage.dir/block_device.cc.o" "gcc" "src/storage/CMakeFiles/fw_storage.dir/block_device.cc.o.d"
+  "/root/repo/src/storage/document_db.cc" "src/storage/CMakeFiles/fw_storage.dir/document_db.cc.o" "gcc" "src/storage/CMakeFiles/fw_storage.dir/document_db.cc.o.d"
+  "/root/repo/src/storage/filesystem.cc" "src/storage/CMakeFiles/fw_storage.dir/filesystem.cc.o" "gcc" "src/storage/CMakeFiles/fw_storage.dir/filesystem.cc.o.d"
+  "/root/repo/src/storage/snapshot_store.cc" "src/storage/CMakeFiles/fw_storage.dir/snapshot_store.cc.o" "gcc" "src/storage/CMakeFiles/fw_storage.dir/snapshot_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fw_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fw_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fw_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_storage.dir/block_device.cc.o"
+  "CMakeFiles/fw_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/fw_storage.dir/document_db.cc.o"
+  "CMakeFiles/fw_storage.dir/document_db.cc.o.d"
+  "CMakeFiles/fw_storage.dir/filesystem.cc.o"
+  "CMakeFiles/fw_storage.dir/filesystem.cc.o.d"
+  "CMakeFiles/fw_storage.dir/snapshot_store.cc.o"
+  "CMakeFiles/fw_storage.dir/snapshot_store.cc.o.d"
+  "libfw_storage.a"
+  "libfw_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

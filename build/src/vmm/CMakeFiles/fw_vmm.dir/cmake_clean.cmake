@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_vmm.dir/hypervisor.cc.o"
+  "CMakeFiles/fw_vmm.dir/hypervisor.cc.o.d"
+  "libfw_vmm.a"
+  "libfw_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_workloads.dir/faasdom.cc.o"
+  "CMakeFiles/fw_workloads.dir/faasdom.cc.o.d"
+  "CMakeFiles/fw_workloads.dir/serverlessbench.cc.o"
+  "CMakeFiles/fw_workloads.dir/serverlessbench.cc.o.d"
+  "libfw_workloads.a"
+  "libfw_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgbus_test.dir/msgbus_test.cc.o"
+  "CMakeFiles/msgbus_test.dir/msgbus_test.cc.o.d"
+  "msgbus_test"
+  "msgbus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgbus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fw_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fw_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgbus/CMakeFiles/fw_msgbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/fw_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/fw_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/fw_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fw_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fw_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_text_test.dir/source_text_test.cc.o"
+  "CMakeFiles/source_text_test.dir/source_text_test.cc.o.d"
+  "source_text_test"
+  "source_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

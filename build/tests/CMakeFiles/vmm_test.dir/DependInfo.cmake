@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vmm_test.cc" "tests/CMakeFiles/vmm_test.dir/vmm_test.cc.o" "gcc" "tests/CMakeFiles/vmm_test.dir/vmm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmm/CMakeFiles/fw_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fw_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fw_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
