@@ -1,13 +1,65 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/base/check.h"
 #include "src/base/strings.h"
+#include "src/obs/export.h"
 
 namespace fwbench {
 
 using fwbase::StrFormat;
+
+namespace {
+
+std::string g_trace_path;                 // Empty: tracing off.
+fwobs::ChromeTraceBuilder g_trace_builder;
+
+// One merged-trace process per measured run (each run is a fresh HostEnv whose
+// sim clock starts at t=0, so they must not share a pid timeline).
+void CollectTrace(const std::string& label, HostEnv& env) {
+  if (!g_trace_path.empty()) {
+    g_trace_builder.AddProcess(label, env.tracer());
+  }
+}
+
+}  // namespace
+
+void InitBenchmark(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      g_trace_path = arg + 8;
+      if (g_trace_path.empty()) {
+        std::fprintf(stderr, "--trace needs a file path\n");
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s (supported: --trace=<file>)\n", arg);
+      std::exit(2);
+    }
+  }
+}
+
+bool TraceActive() { return !g_trace_path.empty(); }
+
+void FinishBenchmark() {
+  if (g_trace_path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(g_trace_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open trace file %s\n", g_trace_path.c_str());
+    std::exit(1);
+  }
+  const std::string json = g_trace_builder.ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %zu trace events to %s (open in chrome://tracing or Perfetto)\n",
+              g_trace_builder.event_count(), g_trace_path.c_str());
+}
 
 const char* PlatformName(PlatformKind kind) {
   switch (kind) {
@@ -57,6 +109,9 @@ bool AlwaysWarm(PlatformKind kind) { return kind == PlatformKind::kFireworks; }
 InvocationResult MeasureCold(PlatformKind kind, const fwlang::FunctionSource& fn,
                              const std::string& type_sig) {
   HostEnv env;
+  if (TraceActive()) {
+    env.tracer().Enable();
+  }
   auto platform = MakePlatform(kind, env);
   auto install = fwsim::RunSync(env.sim(), platform->Install(fn));
   FW_CHECK_MSG(install.ok(), install.status().ToString().c_str());
@@ -65,12 +120,16 @@ InvocationResult MeasureCold(PlatformKind kind, const fwlang::FunctionSource& fn
   options.type_sig = type_sig;
   auto result = fwsim::RunSync(env.sim(), platform->Invoke(fn.name, "{}", options));
   FW_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  CollectTrace(StrFormat("%s:%s:cold", PlatformName(kind), fn.name.c_str()), env);
   return *result;
 }
 
 InvocationResult MeasureWarm(PlatformKind kind, const fwlang::FunctionSource& fn,
                              const std::string& type_sig) {
   HostEnv env;
+  if (TraceActive()) {
+    env.tracer().Enable();
+  }
   auto platform = MakePlatform(kind, env);
   auto install = fwsim::RunSync(env.sim(), platform->Install(fn));
   FW_CHECK_MSG(install.ok(), install.status().ToString().c_str());
@@ -79,6 +138,7 @@ InvocationResult MeasureWarm(PlatformKind kind, const fwlang::FunctionSource& fn
   options.type_sig = type_sig;
   auto result = fwsim::RunSync(env.sim(), platform->Invoke(fn.name, "{}", options));
   FW_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  CollectTrace(StrFormat("%s:%s:warm", PlatformName(kind), fn.name.c_str()), env);
   return *result;
 }
 

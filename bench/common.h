@@ -39,6 +39,18 @@ std::unique_ptr<ServerlessPlatform> MakePlatform(PlatformKind kind, HostEnv& env
 // True for platforms with no cold/warm distinction (Fireworks).
 bool AlwaysWarm(PlatformKind kind);
 
+// ---------------------------------------------------------------------------
+// Tracing (--trace=<file>).
+// ---------------------------------------------------------------------------
+
+// Parses bench flags (currently just --trace=<file>). When the flag is given,
+// MeasureCold/MeasureWarm run with tracing enabled and accumulate each run's
+// spans as one process in a merged Chrome trace.
+void InitBenchmark(int argc, char** argv);
+// Writes the accumulated trace (if --trace was given) and reports the path.
+void FinishBenchmark();
+bool TraceActive();
+
 // Installs `fn` on a fresh host+platform and measures one cold invocation.
 InvocationResult MeasureCold(PlatformKind kind, const fwlang::FunctionSource& fn,
                              const std::string& type_sig = "default");

@@ -3,10 +3,13 @@
 // Fig 6(e) geometric-mean summary.
 #include <cstdio>
 
+#include "bench/common.h"
 #include "bench/faasdom_figure.h"
 
-int main() {
+int main(int argc, char** argv) {
+  fwbench::InitBenchmark(argc, argv);
   std::printf("=== Figure 6: FaaSdom micro-benchmarks, Node.js ===\n");
   fwbench::RunFaasdomFigure("6", fwlang::Language::kNodeJs);
+  fwbench::FinishBenchmark();
   return 0;
 }

@@ -3,10 +3,13 @@
 // Fig 7(e) geometric-mean summary.
 #include <cstdio>
 
+#include "bench/common.h"
 #include "bench/faasdom_figure.h"
 
-int main() {
+int main(int argc, char** argv) {
+  fwbench::InitBenchmark(argc, argv);
   std::printf("=== Figure 7: FaaSdom micro-benchmarks, Python ===\n");
   fwbench::RunFaasdomFigure("7", fwlang::Language::kPython);
+  fwbench::FinishBenchmark();
   return 0;
 }

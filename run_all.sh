@@ -2,8 +2,21 @@
 # Regenerates the captured outputs checked into the repo root:
 #   test_output.txt  — full ctest run
 #   bench_output.txt — every bench binary (paper tables/figures + ablations)
+#
+# Flags:
+#   --with-trace-smoke  also runs fig6_faasdom_nodejs with --trace=<tmp file>
+#                       and fails unless the Chrome trace comes out non-empty.
 set -e
 cd "$(dirname "$0")"
+
+with_trace_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --with-trace-smoke) with_trace_smoke=1 ;;
+    *) echo "unknown flag: $arg (supported: --with-trace-smoke)" >&2; exit 2 ;;
+  esac
+done
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
@@ -16,3 +29,18 @@ for b in build/bench/*; do
   fi
 done
 echo "wrote test_output.txt and bench_output.txt"
+
+if [ "$with_trace_smoke" = 1 ]; then
+  trace_file=build/trace_smoke.json
+  rm -f "$trace_file"
+  build/bench/fig6_faasdom_nodejs --trace="$trace_file" > /dev/null
+  if [ ! -s "$trace_file" ]; then
+    echo "trace smoke FAILED: $trace_file missing or empty" >&2
+    exit 1
+  fi
+  grep -q '"traceEvents"' "$trace_file" || {
+    echo "trace smoke FAILED: $trace_file has no traceEvents" >&2
+    exit 1
+  }
+  echo "trace smoke OK: $trace_file ($(wc -c < "$trace_file") bytes)"
+fi

@@ -29,18 +29,24 @@ double SampleStats::stddev() const {
 }
 
 double SampleStats::min() const {
-  FW_CHECK(count_ > 0);
+  if (count_ == 0) {
+    return std::nan("");
+  }
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double SampleStats::max() const {
-  FW_CHECK(count_ > 0);
+  if (count_ == 0) {
+    return std::nan("");
+  }
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double SampleStats::Percentile(double p) const {
-  FW_CHECK(count_ > 0);
   FW_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) {
+    return std::nan("");
+  }
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
@@ -79,7 +85,12 @@ uint64_t LogHistogram::PercentileUpperBound(double p) const {
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
     if (seen >= target) {
-      return i == 0 ? 0 : (1ULL << i) - 1;
+      if (i == 0) {
+        return 0;
+      }
+      // The top bucket also absorbs clamped values >= 2^63, so its only
+      // honest upper bound is the full range.
+      return i == kBuckets - 1 ? UINT64_MAX : (1ULL << i) - 1;
     }
   }
   return UINT64_MAX;

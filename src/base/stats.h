@@ -18,6 +18,7 @@ class SampleStats {
   int64_t count() const { return count_; }
   double mean() const;
   double stddev() const;
+  // min/max/Percentile return NaN when no samples have been added.
   double min() const;
   double max() const;
   double sum() const { return sum_; }

@@ -17,7 +17,8 @@ using fwlang::GuestProcess;
 ContainerPlatform::ContainerPlatform(HostEnv& env, const Params& params)
     : env_(env),
       params_(params),
-      engine_(env.sim(), env.memory(), env.snapshot_store(), params.engine_config) {}
+      engine_(env.sim(), env.memory(), env.snapshot_store(), params.engine_config),
+      tracer_(&env.tracer()) {}
 
 ContainerPlatform::~ContainerPlatform() {
   *alive_ = false;  // Disarm in-flight keep-alive expiry events.
@@ -177,6 +178,9 @@ fwsim::Co<Result<InvocationResult>> ContainerPlatform::Invoke(const std::string&
   InstalledFunction& fn = it->second;
   InvocationResult result;
   const SimTime t0 = env_.sim().Now();
+  fwobs::ScopedSpan root(tracer_, params_.platform_name + ".invoke", "invoke");
+  root.SetAttribute("function", fn_name);
+  fwobs::ScopedSpan startup_span(tracer_, "invoke.startup", "invoke");
 
   std::unique_ptr<Sandbox> sandbox;
   if (fn.warm != nullptr && !options.force_cold) {
@@ -209,25 +213,36 @@ fwsim::Co<Result<InvocationResult>> ContainerPlatform::Invoke(const std::string&
     sandbox = *std::move(launched);
   }
   ++next_instance_;
+  root.SetAttribute("cold", result.cold ? "true" : "false");
+  startup_span.End();
   const SimTime t_ready = env_.sim().Now();
 
   // Arguments delivered to the action (/run POST).
+  fwobs::ScopedSpan params_span(tracer_, "invoke.params", "invoke");
   co_await fwsim::Delay(env_.sim(), fwbase::Duration::Micros(60) +
                                         env_.network().TransferTime(args.size()));
+  params_span.End();
   const SimTime t_args = env_.sim().Now();
 
+  fwobs::ScopedSpan exec_span(tracer_, "invoke.exec", "invoke");
   result.exec_stats =
       co_await sandbox->process->CallMethod(fn.source->entry_method, options.type_sig);
+  exec_span.End();
   const SimTime t_exec_done = env_.sim().Now();
 
+  fwobs::ScopedSpan response_span(tracer_, "invoke.response", "invoke");
   co_await fwsim::Delay(env_.sim(), fwbase::Duration::Micros(60) +
                                         env_.network().TransferTime(579));
+  response_span.End();
   const SimTime t_done = env_.sim().Now();
 
   result.startup = t_ready - t0;
   result.exec = t_exec_done - t_args;
   result.others = (t_args - t_ready) + (t_done - t_exec_done);
   result.total = t_done - t0;
+  // Close at t_done, before the keep-alive pause.
+  root.End();
+  result.root_span = root.get();
 
   if (options.keep_instance) {
     kept_.push_back(std::move(sandbox));

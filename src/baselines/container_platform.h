@@ -102,6 +102,7 @@ class ContainerPlatform : public fwcore::ServerlessPlatform {
   HostEnv& env_;
   Params params_;
   fwbox::ContainerEngine engine_;
+  fwobs::Tracer* tracer_;
   std::map<std::string, InstalledFunction> installed_;
   std::map<fwlang::Language, std::shared_ptr<fwmem::SnapshotImage>> rootfs_images_;
   std::vector<std::unique_ptr<Sandbox>> kept_;

@@ -18,7 +18,10 @@ FirecrackerPlatform::FirecrackerPlatform(HostEnv& env) : FirecrackerPlatform(env
 FirecrackerPlatform::FirecrackerPlatform(HostEnv& env, const Config& config)
     : env_(env),
       config_(config),
-      hv_(env.sim(), env.memory(), env.snapshot_store(), config.hv_config) {}
+      hv_(env.sim(), env.memory(), env.snapshot_store(), config.hv_config),
+      tracer_(&env.tracer()) {
+  hv_.set_observability(&env.obs());
+}
 
 FirecrackerPlatform::~FirecrackerPlatform() { ReleaseInstances(); }
 
@@ -145,6 +148,9 @@ fwsim::Co<Result<InvocationResult>> FirecrackerPlatform::Invoke(const std::strin
   InstalledFunction& fn = it->second;
   InvocationResult result;
   const SimTime t0 = env_.sim().Now();
+  fwobs::ScopedSpan root(tracer_, "firecracker.invoke", "invoke");
+  root.SetAttribute("function", fn_name);
+  fwobs::ScopedSpan startup_span(tracer_, "invoke.startup", "invoke");
   co_await fwsim::Delay(env_.sim(), config_.request_cost);
 
   std::unique_ptr<Sandbox> sandbox;
@@ -167,27 +173,38 @@ fwsim::Co<Result<InvocationResult>> FirecrackerPlatform::Invoke(const std::strin
     sandbox = *std::move(launched);
   }
   ++next_instance_;
+  root.SetAttribute("cold", result.cold ? "true" : "false");
+  startup_span.End();
   const SimTime t_ready = env_.sim().Now();
 
   // Arguments arrive over the VM's network interface.
+  fwobs::ScopedSpan params_span(tracer_, "invoke.params", "invoke");
   co_await fwsim::Delay(env_.sim(), fwbase::Duration::Micros(60) +
                                         env_.network().TransferTime(args.size()));
+  params_span.End();
   const SimTime t_args = env_.sim().Now();
 
+  fwobs::ScopedSpan exec_span(tracer_, "invoke.exec", "invoke");
   result.exec_stats =
       co_await sandbox->process->CallMethod(fn.source->entry_method, options.type_sig);
+  exec_span.End();
   const SimTime t_exec_done = env_.sim().Now();
 
   // HTTP response back out (579 bytes: §5.2.1's 79-byte body + 500-byte
   // header shape).
+  fwobs::ScopedSpan response_span(tracer_, "invoke.response", "invoke");
   co_await fwsim::Delay(env_.sim(), fwbase::Duration::Micros(60) +
                                         env_.network().TransferTime(579));
+  response_span.End();
   const SimTime t_done = env_.sim().Now();
 
   result.startup = t_ready - t0;
   result.exec = t_exec_done - t_args;
   result.others = (t_args - t_ready) + (t_done - t_exec_done);
   result.total = t_done - t0;
+  // Close at t_done, before keep-alive pause / steady-state work.
+  root.End();
+  result.root_span = root.get();
 
   if (options.keep_instance) {
     if (options.steady_state && config_.mode == FirecrackerMode::kOsSnapshot) {

@@ -93,6 +93,7 @@ class FirecrackerPlatform : public fwcore::ServerlessPlatform {
   HostEnv& env_;
   Config config_;
   fwvmm::Hypervisor hv_;
+  fwobs::Tracer* tracer_;
   std::map<std::string, InstalledFunction> installed_;
   std::vector<std::unique_ptr<Sandbox>> kept_;
   uint64_t next_instance_ = 1;

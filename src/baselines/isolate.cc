@@ -57,6 +57,9 @@ fwsim::Co<Result<InvocationResult>> IsolatePlatform::Invoke(const std::string& f
   InstalledFunction& fn = it->second;
   InvocationResult result;
   const SimTime t0 = env_.sim().Now();
+  fwobs::ScopedSpan root(&env_.tracer(), "isolate.invoke", "invoke");
+  root.SetAttribute("function", fn_name);
+  fwobs::ScopedSpan startup_span(&env_.tracer(), "invoke.startup", "invoke");
   co_await fwsim::Delay(env_.sim(), fwbase::Duration::Micros(120));  // Router.
 
   if (fn.isolate == nullptr || options.force_cold) {
@@ -85,24 +88,34 @@ fwsim::Co<Result<InvocationResult>> IsolatePlatform::Invoke(const std::string& f
   } else {
     result.cold = false;
   }
+  root.SetAttribute("cold", result.cold ? "true" : "false");
+  startup_span.End();
   const SimTime t_ready = env_.sim().Now();
 
+  fwobs::ScopedSpan params_span(&env_.tracer(), "invoke.params", "invoke");
   co_await fwsim::Delay(env_.sim(), fwbase::Duration::Micros(60) +
                                         env_.network().TransferTime(args.size()));
+  params_span.End();
   const SimTime t_args = env_.sim().Now();
 
+  fwobs::ScopedSpan exec_span(&env_.tracer(), "invoke.exec", "invoke");
   result.exec_stats =
       co_await fn.isolate->process->CallMethod(fn.source->entry_method, options.type_sig);
+  exec_span.End();
   const SimTime t_exec_done = env_.sim().Now();
 
+  fwobs::ScopedSpan response_span(&env_.tracer(), "invoke.response", "invoke");
   co_await fwsim::Delay(env_.sim(), fwbase::Duration::Micros(60) +
                                         env_.network().TransferTime(579));
+  response_span.End();
   const SimTime t_done = env_.sim().Now();
 
   result.startup = t_ready - t0;
   result.exec = t_exec_done - t_args;
   result.others = (t_args - t_ready) + (t_done - t_exec_done);
   result.total = t_done - t0;
+  root.End();
+  result.root_span = root.get();
   co_return result;
 }
 

@@ -18,7 +18,10 @@ FireworksPlatform::FireworksPlatform(HostEnv& env) : FireworksPlatform(env, Conf
 FireworksPlatform::FireworksPlatform(HostEnv& env, const Config& config)
     : env_(env),
       config_(config),
-      hv_(env.sim(), env.memory(), env.snapshot_store(), config.hv_config) {}
+      hv_(env.sim(), env.memory(), env.snapshot_store(), config.hv_config),
+      tracer_(&env.tracer()) {
+  hv_.set_observability(&env.obs());
+}
 
 FireworksPlatform::~FireworksPlatform() { ReleaseInstances(); }
 
@@ -61,23 +64,32 @@ fwsim::Co<Result<InstallResult>> FireworksPlatform::Install(const fwlang::Functi
     co_return Status::AlreadyExists("function " + fn.name + " already installed");
   }
   const SimTime t0 = env_.sim().Now();
+  fwobs::ScopedSpan root(tracer_, "fireworks.install", "install");
+  root.SetAttribute("function", fn.name);
 
   // ② Annotate the user source (Fig 3).
+  fwobs::ScopedSpan annotate_span(tracer_, "install.annotate", "install");
   Result<fwlang::FunctionSource> annotated = Annotate(fn);
   if (!annotated.ok()) {
     co_return annotated.status();
   }
   InstalledFunction record;
   record.annotated = std::make_unique<fwlang::FunctionSource>(*std::move(annotated));
+  annotate_span.End();
 
   // ① Create a microVM ready for the runtime and boot it.
+  fwobs::ScopedSpan create_span(tracer_, "install.create_vm", "install");
   MicroVm* vm = co_await hv_.CreateMicroVm("fw-install-" + fn.name, config_.vm_config);
+  create_span.End();
+  fwobs::ScopedSpan boot_span(tracer_, "install.boot", "install");
   Status booted = co_await hv_.BootGuestOs(*vm);
   if (!booted.ok()) {
     co_return booted;
   }
+  boot_span.End();
 
   // Network wiring for the install VM (the snapshot request needs egress).
+  fwobs::ScopedSpan netns_span(tracer_, "install.netns", "install");
   auto wired = co_await WireNetwork();
   if (!wired.ok()) {
     co_return wired.status();
@@ -85,8 +97,10 @@ fwsim::Co<Result<InstallResult>> FireworksPlatform::Install(const fwlang::Functi
   const auto [netns_id, external_ip] = *wired;
   vm->set_netns_id(netns_id);
   vm->set_tap_name(kGuestTapName);
+  netns_span.End();
 
   // ③ Launch the runtime and load the annotated function.
+  fwobs::ScopedSpan load_span(tracer_, "install.load", "install");
   auto fs = std::make_unique<fwstore::Filesystem>(env_.sim(), env_.disk(),
                                                   fwstore::FsKind::kVirtio);
   GuestProcess process(env_.sim(), record.annotated->language, vm->address_space(),
@@ -94,15 +108,20 @@ fwsim::Co<Result<InstallResult>> FireworksPlatform::Install(const fwlang::Functi
   co_await process.InstallPackages(*record.annotated);
   co_await process.BootRuntime();
   co_await process.LoadApplication(*record.annotated);
+  load_span.End();
 
   // ④ __fireworks_jit: JIT-compile every user method (one default-params
   // execution of the whole application).
   const SimTime jit_t0 = env_.sim().Now();
+  fwobs::ScopedSpan jit_span(tracer_, "install.jit", "install");
   fwlang::ExecStats jit_stats =
       co_await process.CallMethod(fwlang::kFireworksJitMethod, "default");
   record.install.jit_time = env_.sim().Now() - jit_t0;
+  jit_span.SetAttribute("jit_compiles", jit_stats.jit_compiles);
+  jit_span.End();
 
   // __fireworks_snapshot: the guest asks the host for a snapshot...
+  fwobs::ScopedSpan snap_span(tracer_, "install.snapshot", "install");
   co_await process.CallMethod(fwlang::kFireworksSnapshotMethod, "default");
   // ...and the host takes it right before the original entry point.
   const SimTime snap_t0 = env_.sim().Now();
@@ -111,6 +130,8 @@ fwsim::Co<Result<InstallResult>> FireworksPlatform::Install(const fwlang::Functi
     co_return image.status();
   }
   record.install.snapshot_time = env_.sim().Now() - snap_t0;
+  snap_span.SetAttribute("snapshot_bytes", (*image)->file_bytes());
+  snap_span.End();
   record.install.snapshot_bytes = (*image)->file_bytes();
   record.image = *image;
   record.snapshot_name = "fw-" + fn.name;
@@ -147,17 +168,26 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
   InvocationResult result;
   result.cold = false;  // Fireworks has no cold/warm distinction (§5.1).
   const SimTime t0 = env_.sim().Now();
+  // The invoke children are contiguous windows: each child ends exactly where
+  // the next begins, so their durations sum to the root span's (= total).
+  fwobs::ScopedSpan root(tracer_, "fireworks.invoke", "invoke");
+  root.SetAttribute("function", fn_name);
 
   // Controller processing (Fig 1) and per-clone network namespace (§3.5).
+  fwobs::ScopedSpan frontend_span(tracer_, "invoke.frontend", "invoke");
   co_await fwsim::Delay(env_.sim(), config_.controller_cost);
+  frontend_span.End();
+  fwobs::ScopedSpan netns_span(tracer_, "invoke.netns", "invoke");
   auto wired = co_await WireNetwork();
   if (!wired.ok()) {
     co_return wired.status();
   }
   const auto [netns_id, external_ip] = *wired;
+  netns_span.End();
   const SimTime t_net_done = env_.sim().Now();
 
   // §3.6: put the arguments into the instance's Kafka topic *before* resume.
+  fwobs::ScopedSpan produce_span(tracer_, "invoke.params.produce", "invoke");
   const uint64_t fc_id = next_fc_id_++;
   const std::string topic = fwbase::StrFormat("topic%llu", static_cast<unsigned long long>(fc_id));
   Status topic_status = env_.broker().CreateTopic(topic);
@@ -168,9 +198,11 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
   if (!produced.ok()) {
     co_return produced.status();
   }
+  produce_span.End();
   const SimTime t_params_queued = env_.sim().Now();
 
   // ⑥ Restore the post-JIT snapshot into a fresh microVM.
+  fwobs::ScopedSpan restore_span(tracer_, "invoke.restore", "invoke");
   auto restored = co_await hv_.RestoreMicroVm(fn.snapshot_name,
                                               fwbase::StrFormat("fw-%s-%llu", fn_name.c_str(),
                                                                 static_cast<unsigned long long>(
@@ -202,7 +234,9 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
                                         2000 + fc_id);
     co_await hv_.ServiceFaults(*vm, faults);
   }
+  restore_span.End();
   const SimTime t_restored = env_.sim().Now();
+  fwobs::ScopedSpan consume_span(tracer_, "invoke.params.consume", "invoke");
 
   // The resumed guest identifies itself via MMDS and fetches its parameters.
   auto instance = std::make_unique<Instance>();
@@ -226,18 +260,23 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
   if (!params.ok()) {
     co_return params.status();
   }
+  consume_span.End();
   const SimTime t_params_read = env_.sim().Now();
 
   // ⑦ Execute the original entry point with the fetched parameters.
+  fwobs::ScopedSpan exec_span(tracer_, "invoke.exec", "invoke");
   result.exec_stats =
       co_await instance->process->CallMethod(fn.annotated->entry_method, options.type_sig);
+  exec_span.End();
   const SimTime t_exec_done = env_.sim().Now();
 
   // HTTP response back through NAT.
+  fwobs::ScopedSpan response_span(tracer_, "invoke.response", "invoke");
   auto sent = co_await env_.network().SendOutbound(netns_id, kGuestIp, 579);
   if (!sent.ok()) {
     co_return sent.status();
   }
+  response_span.End();
   const SimTime t_done = env_.sim().Now();
 
   result.startup = (t_net_done - t0) + (t_restored - t_params_queued);
@@ -245,6 +284,10 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
   result.others = (t_params_queued - t_net_done) + (t_params_read - t_restored) +
                   (t_done - t_exec_done);
   result.total = t_done - t0;
+  // Close the root at t_done, before any keep-instance steady-state work, so
+  // the root span covers exactly the measured invocation.
+  root.End();
+  result.root_span = root.get();
 
   if (options.keep_instance) {
     if (options.steady_state) {

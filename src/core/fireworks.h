@@ -124,6 +124,7 @@ class FireworksPlatform : public ServerlessPlatform {
   HostEnv& env_;
   Config config_;
   fwvmm::Hypervisor hv_;
+  fwobs::Tracer* tracer_;
   std::map<std::string, InstalledFunction> installed_;
   std::vector<std::unique_ptr<Instance>> instances_;  // Kept instances.
   uint64_t next_fc_id_ = 1;

@@ -4,13 +4,18 @@ namespace fwcore {
 
 HostEnv::HostEnv(const Config& config)
     : sim_(config.seed),
+      obs_([this] { return sim_.Now(); }),
       memory_(config.memory_bytes, config.swap_start_fraction),
       disk_(sim_, fwstore::BlockDevice::Config{}),
       snapshot_store_(sim_, disk_, config.snapshot_store_bytes),
       network_(sim_),
       broker_(sim_),
       host_fs_(sim_, disk_, fwstore::FsKind::kHostDirect),
-      db_(sim_, host_fs_) {}
+      db_(sim_, host_fs_) {
+  memory_.set_metrics(&obs_.metrics());
+  snapshot_store_.set_observability(&obs_);
+  broker_.set_observability(&obs_);
+}
 
 InvocationResult& InvocationResult::operator+=(const InvocationResult& o) {
   startup += o.startup;

@@ -21,6 +21,7 @@
 #include "src/mem/host_memory.h"
 #include "src/msgbus/broker.h"
 #include "src/net/network.h"
+#include "src/obs/observability.h"
 #include "src/simcore/simulation.h"
 #include "src/storage/block_device.h"
 #include "src/storage/document_db.h"
@@ -50,6 +51,11 @@ class HostEnv {
   explicit HostEnv(const Config& config);
 
   fwsim::Simulation& sim() { return sim_; }
+  // Host-wide observability: one tracer + metrics registry on the sim clock,
+  // shared by every subsystem and platform running against this host.
+  fwobs::Observability& obs() { return obs_; }
+  fwobs::Tracer& tracer() { return obs_.tracer(); }
+  fwobs::MetricsRegistry& metrics() { return obs_.metrics(); }
   fwmem::HostMemory& memory() { return memory_; }
   fwstore::BlockDevice& disk() { return disk_; }
   fwstore::SnapshotStore& snapshot_store() { return snapshot_store_; }
@@ -60,6 +66,7 @@ class HostEnv {
 
  private:
   fwsim::Simulation sim_;
+  fwobs::Observability obs_;  // Before the subsystems that register metrics.
   fwmem::HostMemory memory_;
   fwstore::BlockDevice disk_;
   fwstore::SnapshotStore snapshot_store_;
@@ -81,6 +88,11 @@ struct InvocationResult {
   Duration total;
   bool cold = false;
   fwlang::ExecStats exec_stats;
+  // Root span of this invocation when the host's tracer was enabled (null
+  // otherwise). Points into the HostEnv's tracer: valid until the tracer is
+  // cleared or the HostEnv is destroyed. Benches and tests walk its children
+  // to assert the latency breakdown instead of trusting the summed fields.
+  const fwobs::Span* root_span = nullptr;
 
   InvocationResult& operator+=(const InvocationResult& o);
 };

@@ -10,11 +10,20 @@ HostMemory::HostMemory(uint64_t total_bytes, double swap_start_fraction)
   FW_CHECK(swap_start_fraction_ > 0.0 && swap_start_fraction_ <= 1.0);
 }
 
+void HostMemory::set_metrics(fwobs::MetricsRegistry* metrics) {
+  used_bytes_gauge_ = &metrics->GetGauge("mem.host.used_bytes");
+  alloc_counter_ = &metrics->GetCounter("mem.frame.alloc.count");
+}
+
 void HostMemory::AllocFrames(uint64_t n) {
   used_frames_ += n;
   total_allocated_frames_ += n;
   if (used_frames_ > peak_used_frames_) {
     peak_used_frames_ = used_frames_;
+  }
+  if (used_bytes_gauge_ != nullptr) {
+    used_bytes_gauge_->Set(static_cast<double>(used_bytes()));
+    alloc_counter_->Increment(n);
   }
 }
 
@@ -22,6 +31,9 @@ void HostMemory::FreeFrames(uint64_t n) {
   FW_CHECK_MSG(n <= used_frames_, "freeing more frames than allocated");
   used_frames_ -= n;
   total_freed_frames_ += n;
+  if (used_bytes_gauge_ != nullptr) {
+    used_bytes_gauge_->Set(static_cast<double>(used_bytes()));
+  }
 }
 
 bool HostMemory::swapping() const { return used_bytes() > swap_threshold_bytes(); }

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/base/units.h"
+#include "src/obs/metrics.h"
 
 namespace fwmem {
 
@@ -20,6 +21,11 @@ class HostMemory {
   // `swap_start_fraction` models the vm.swappiness-style threshold: swapping
   // is reported once used/total exceeds it.
   explicit HostMemory(uint64_t total_bytes, double swap_start_fraction = 0.6);
+
+  // Optional: mirror frame accounting into the host's metrics registry
+  // ("mem.host.used_bytes" gauge, "mem.frame.alloc.count" counter). The
+  // registry must outlive this object.
+  void set_metrics(fwobs::MetricsRegistry* metrics);
 
   void AllocFrames(uint64_t n);
   void FreeFrames(uint64_t n);
@@ -45,6 +51,8 @@ class HostMemory {
   uint64_t peak_used_frames_ = 0;
   uint64_t total_allocated_frames_ = 0;
   uint64_t total_freed_frames_ = 0;
+  fwobs::Gauge* used_bytes_gauge_ = nullptr;
+  fwobs::Counter* alloc_counter_ = nullptr;
 };
 
 }  // namespace fwmem

@@ -10,6 +10,25 @@ Broker::Broker(fwsim::Simulation& sim) : Broker(sim, Config()) {}
 
 Broker::Broker(fwsim::Simulation& sim, const Config& config) : sim_(sim), config_(config) {}
 
+void Broker::set_observability(fwobs::Observability* obs) {
+  tracer_ = &obs->tracer();
+  produce_counter_ = &obs->metrics().GetCounter("bus.produce.count");
+  consume_counter_ = &obs->metrics().GetCounter("bus.consume.count");
+  produce_latency_ = &obs->metrics().GetHistogram("bus.produce.micros");
+  consume_latency_ = &obs->metrics().GetHistogram("bus.consume.micros");
+  depth_gauge_ = &obs->metrics().GetGauge("bus.queue.depth");
+}
+
+void Broker::RecordConsume(fwbase::SimTime t0) {
+  ++records_consumed_;
+  if (consume_counter_ != nullptr) {
+    consume_counter_->Increment();
+    consume_latency_->Observe(static_cast<uint64_t>((sim_.Now() - t0).micros()));
+    depth_gauge_->Set(static_cast<double>(records_produced_) -
+                      static_cast<double>(records_consumed_));
+  }
+}
+
 Status Broker::CreateTopic(const std::string& topic, int partitions) {
   FW_CHECK(partitions > 0);
   if (topics_.count(topic) != 0) {
@@ -58,12 +77,22 @@ fwsim::Co<Result<int64_t>> Broker::Produce(const std::string& topic, int partiti
   if (!part.ok()) {
     co_return part.status();
   }
+  const fwbase::SimTime t0 = sim_.Now();
+  fwobs::ScopedSpan span(tracer_, "bus.produce", "msgbus");
+  span.SetAttribute("topic", topic);
+  span.SetAttribute("bytes", record.SizeBytes());
   co_await fwsim::Delay(sim_, config_.produce_cost + TransferTime(record.SizeBytes()));
   Partition& p = **part;
   record.offset = static_cast<int64_t>(p.log.size());
   const int64_t offset = record.offset;
   p.log.push_back(std::move(record));
   ++records_produced_;
+  if (produce_counter_ != nullptr) {
+    produce_counter_->Increment();
+    produce_latency_->Observe(static_cast<uint64_t>((sim_.Now() - t0).micros()));
+    depth_gauge_->Set(static_cast<double>(records_produced_) -
+                      static_cast<double>(records_consumed_));
+  }
   p.appended.Trigger();
   co_return offset;
 }
@@ -75,6 +104,9 @@ fwsim::Co<Result<Record>> Broker::ConsumeAt(const std::string& topic, int partit
   if (!part.ok()) {
     co_return part.status();
   }
+  const fwbase::SimTime t0 = sim_.Now();
+  fwobs::ScopedSpan span(tracer_, "bus.consume", "msgbus");
+  span.SetAttribute("topic", topic);
   Partition& p = **part;
   while (static_cast<int64_t>(p.log.size()) <= offset) {
     co_await p.appended.Wait();
@@ -83,7 +115,7 @@ fwsim::Co<Result<Record>> Broker::ConsumeAt(const std::string& topic, int partit
   // fetch delay elapses.
   Record record = p.log[static_cast<size_t>(offset)];
   co_await fwsim::Delay(sim_, config_.fetch_cost + TransferTime(record.SizeBytes()));
-  ++records_consumed_;
+  RecordConsume(t0);
   co_return record;
 }
 
@@ -92,6 +124,9 @@ fwsim::Co<Result<Record>> Broker::ConsumeLast(const std::string& topic, int part
   if (!part.ok()) {
     co_return part.status();
   }
+  const fwbase::SimTime t0 = sim_.Now();
+  fwobs::ScopedSpan span(tracer_, "bus.consume", "msgbus");
+  span.SetAttribute("topic", topic);
   Partition& p = **part;
   while (p.log.empty()) {
     co_await p.appended.Wait();
@@ -99,7 +134,7 @@ fwsim::Co<Result<Record>> Broker::ConsumeLast(const std::string& topic, int part
   // Copy before suspending (see ConsumeAt).
   Record record = p.log.back();
   co_await fwsim::Delay(sim_, config_.fetch_cost + TransferTime(record.SizeBytes()));
-  ++records_consumed_;
+  RecordConsume(t0);
   co_return record;
 }
 

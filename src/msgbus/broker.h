@@ -18,6 +18,7 @@
 #include <type_traits>
 
 #include "src/base/status.h"
+#include "src/obs/observability.h"
 #include "src/simcore/primitives.h"
 #include "src/simcore/simulation.h"
 
@@ -53,6 +54,11 @@ class Broker {
   explicit Broker(fwsim::Simulation& sim);
   Broker(fwsim::Simulation& sim, const Config& config);
 
+  // Optional: spans for produce/consume plus "bus.*" metrics (end-to-end
+  // produce/consume latencies, outstanding-record queue-depth gauge). The
+  // Observability must outlive the broker.
+  void set_observability(fwobs::Observability* obs);
+
   Status CreateTopic(const std::string& topic, int partitions = 1);
   Status DeleteTopic(const std::string& topic);
   bool HasTopic(const std::string& topic) const;
@@ -86,12 +92,19 @@ class Broker {
 
   Result<Partition*> FindPartition(const std::string& topic, int partition);
   Duration TransferTime(uint64_t bytes) const;
+  void RecordConsume(fwbase::SimTime t0);
 
   fwsim::Simulation& sim_;
   Config config_;
   std::map<std::string, Topic> topics_;
   uint64_t records_produced_ = 0;
   uint64_t records_consumed_ = 0;
+  fwobs::Tracer* tracer_ = nullptr;
+  fwobs::Counter* produce_counter_ = nullptr;
+  fwobs::Counter* consume_counter_ = nullptr;
+  fwobs::Histogram* produce_latency_ = nullptr;
+  fwobs::Histogram* consume_latency_ = nullptr;
+  fwobs::Gauge* depth_gauge_ = nullptr;
 };
 
 }  // namespace fwbus

@@ -1,0 +1,7 @@
+#include "src/obs/clock.h"
+
+namespace fwobs {
+
+std::string FormatSimTime(fwbase::SimTime t) { return t.ToString(); }
+
+}  // namespace fwobs

@@ -1,0 +1,29 @@
+// The observability layer's view of simulated time.
+//
+// Everything in src/obs is clock-agnostic: a Tracer is handed a SimClockFn at
+// construction and never talks to the Simulation directly, so the layer sits
+// below simcore in the dependency order (obs depends only on base).
+//
+// FormatSimTime is the single sim-time formatting path: the sim kernel's
+// FW_LOG time-source prefix and every human-readable span/metrics timestamp
+// route through it, so log lines and trace timestamps can never disagree.
+#ifndef FIREWORKS_SRC_OBS_CLOCK_H_
+#define FIREWORKS_SRC_OBS_CLOCK_H_
+
+#include <functional>
+#include <string>
+
+#include "src/base/units.h"
+
+namespace fwobs {
+
+// Returns the current simulated time. Installed by whoever owns the clock
+// (HostEnv hands the Tracer a lambda over its Simulation).
+using SimClockFn = std::function<fwbase::SimTime()>;
+
+// Canonical human-readable rendering of a simulated timestamp ("t=1.234567s").
+std::string FormatSimTime(fwbase::SimTime t);
+
+}  // namespace fwobs
+
+#endif  // FIREWORKS_SRC_OBS_CLOCK_H_

@@ -1,0 +1,87 @@
+#include "src/obs/export.h"
+
+#include "src/base/strings.h"
+
+namespace fwobs {
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control characters).
+// Local on purpose: obs sits below fwlang and cannot use its JSON helpers.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += fwbase::StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void ChromeTraceBuilder::AddProcess(const std::string& name, const Tracer& tracer) {
+  const int pid = next_pid_++;
+  events_.push_back(fwbase::StrFormat(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":1,\"args\":{\"name\":%s}}",
+      pid, JsonEscape(name).c_str()));
+  for (const Span& span : tracer.spans()) {
+    if (!span.finished()) {
+      continue;  // Open spans have no extent; they only arise on error paths.
+    }
+    std::string args;
+    for (const auto& [key, value] : span.attributes()) {
+      args += fwbase::StrFormat("%s%s:%s", args.empty() ? "" : ",", JsonEscape(key).c_str(),
+                                JsonEscape(value).c_str());
+    }
+    events_.push_back(fwbase::StrFormat(
+        "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":%d,\"tid\":1,\"args\":{%s}}",
+        JsonEscape(span.name()).c_str(),
+        JsonEscape(span.category().empty() ? "sim" : span.category()).c_str(),
+        static_cast<double>(span.start().nanos()) / 1e3,
+        static_cast<double>(span.duration().nanos()) / 1e3, pid, args.c_str()));
+  }
+}
+
+std::string ChromeTraceBuilder::ToJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += "\n  ";
+    out += events_[i];
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ChromeTraceJson(const Tracer& tracer, const std::string& process_name) {
+  ChromeTraceBuilder builder;
+  builder.AddProcess(process_name, tracer);
+  return builder.ToJson();
+}
+
+std::string MetricsText(const MetricsRegistry& metrics) { return metrics.ToText(); }
+
+}  // namespace fwobs

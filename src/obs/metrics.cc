@@ -1,0 +1,91 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+
+#include "src/base/check.h"
+#include "src/base/strings.h"
+
+namespace fwobs {
+
+std::string MetricsRegistry::RenderKey(const Key& key) {
+  return key.second.empty() ? key.first
+                            : fwbase::StrFormat("%s{%s}", key.first.c_str(), key.second.c_str());
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name, const std::string& label) {
+  const Key key(name, label);
+  FW_CHECK_MSG(gauges_.count(key) == 0 && histograms_.count(key) == 0,
+               "metric already registered with a different kind");
+  return counters_[key];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const std::string& label) {
+  const Key key(name, label);
+  FW_CHECK_MSG(counters_.count(key) == 0 && histograms_.count(key) == 0,
+               "metric already registered with a different kind");
+  return gauges_[key];
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, const std::string& label) {
+  const Key key(name, label);
+  FW_CHECK_MSG(counters_.count(key) == 0 && gauges_.count(key) == 0,
+               "metric already registered with a different kind");
+  return histograms_[key];
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name, const std::string& label) const {
+  auto it = counters_.find(Key(name, label));
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name, const std::string& label) const {
+  auto it = gauges_.find(Key(name, label));
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
+                                                const std::string& label) const {
+  auto it = histograms_.find(Key(name, label));
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::string out;
+  for (const auto& [key, counter] : counters_) {
+    out += fwbase::StrFormat("counter   %-44s %llu\n", RenderKey(key).c_str(),
+                             static_cast<unsigned long long>(counter.value()));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    out += fwbase::StrFormat("gauge     %-44s %g\n", RenderKey(key).c_str(), gauge.value());
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    const auto& stats = histogram.stats();
+    if (stats.count() == 0) {
+      out += fwbase::StrFormat("histogram %-44s count=0\n", RenderKey(key).c_str());
+      continue;
+    }
+    out += fwbase::StrFormat(
+        "histogram %-44s count=%lld mean=%.1f p50=%.1f p99=%.1f max=%.1f\n",
+        RenderKey(key).c_str(), static_cast<long long>(stats.count()), stats.mean(),
+        stats.Percentile(50.0), stats.Percentile(99.0), stats.max());
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [key, counter] : counters_) {
+    counter.Reset();
+  }
+  for (auto& [key, gauge] : gauges_) {
+    gauge.Reset();
+  }
+  for (auto& [key, histogram] : histograms_) {
+    histogram.Reset();
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace fwobs

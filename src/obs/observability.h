@@ -1,0 +1,36 @@
+// The per-host observability bundle: one Tracer + one MetricsRegistry.
+//
+// HostEnv owns an Observability wired to its Simulation's clock and threads a
+// pointer to it into every subsystem (hypervisor, broker, snapshot store,
+// host memory); platforms add spans on top. Subsystems treat the pointer as
+// optional so they keep working when constructed standalone in unit tests.
+#ifndef FIREWORKS_SRC_OBS_OBSERVABILITY_H_
+#define FIREWORKS_SRC_OBS_OBSERVABILITY_H_
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace fwobs {
+
+class Observability {
+ public:
+  explicit Observability(SimClockFn clock) : tracer_(std::move(clock)) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace fwobs
+
+#endif  // FIREWORKS_SRC_OBS_OBSERVABILITY_H_

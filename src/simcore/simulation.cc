@@ -4,6 +4,7 @@
 
 #include "src/base/check.h"
 #include "src/base/logging.h"
+#include "src/obs/clock.h"
 
 namespace fwsim {
 
@@ -50,7 +51,9 @@ Simulation::~Simulation() {
 }
 
 void Simulation::InstallLogTimeSource() {
-  fwbase::SetLogTimeSource([this] { return now_.ToString(); });
+  // Route through the observability clock helper: FW_LOG prefixes and span
+  // timestamps share one formatting path and can never disagree.
+  fwbase::SetLogTimeSource([this] { return fwobs::FormatSimTime(now_); });
 }
 
 void Simulation::Schedule(Duration delay, std::function<void()> fn) {

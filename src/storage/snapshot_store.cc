@@ -11,6 +11,14 @@ SnapshotStore::SnapshotStore(fwsim::Simulation& sim, BlockDevice& device,
                              uint64_t capacity_bytes, EvictionPolicy policy)
     : sim_(sim), device_(device), capacity_bytes_(capacity_bytes), policy_(policy) {}
 
+void SnapshotStore::set_observability(fwobs::Observability* obs) {
+  hit_counter_ = &obs->metrics().GetCounter("store.snapshot.hit.count");
+  miss_counter_ = &obs->metrics().GetCounter("store.snapshot.miss.count");
+  evict_counter_ = &obs->metrics().GetCounter("store.snapshot.evict.count");
+  save_counter_ = &obs->metrics().GetCounter("store.snapshot.save.count");
+  used_bytes_gauge_ = &obs->metrics().GetGauge("store.snapshot.used_bytes");
+}
+
 bool SnapshotStore::EvictFor(uint64_t needed) {
   if (needed > capacity_bytes_) {
     return false;
@@ -33,6 +41,10 @@ bool SnapshotStore::EvictFor(uint64_t needed) {
     order_.erase(entry.order_it);
     entries_.erase(victim);
     ++evictions_;
+    if (evict_counter_ != nullptr) {
+      evict_counter_->Increment();
+      used_bytes_gauge_->Set(static_cast<double>(used_bytes_));
+    }
     FW_LOG(kDebug) << "snapshot-store: evicted " << victim;
   }
   return true;
@@ -55,6 +67,10 @@ fwsim::Co<Status> SnapshotStore::Save(std::shared_ptr<fwmem::SnapshotImage> imag
   auto it = std::prev(order_.end());
   entries_.emplace(name, Entry{std::move(image), /*pinned=*/false, it});
   used_bytes_ += bytes;
+  if (save_counter_ != nullptr) {
+    save_counter_->Increment();
+    used_bytes_gauge_->Set(static_cast<double>(used_bytes_));
+  }
   co_return Status::Ok();
 }
 
@@ -71,9 +87,15 @@ Result<std::shared_ptr<fwmem::SnapshotImage>> SnapshotStore::Get(const std::stri
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     ++misses_;
+    if (miss_counter_ != nullptr) {
+      miss_counter_->Increment();
+    }
     return Status::NotFound("snapshot " + name + " not in store");
   }
   ++hits_;
+  if (hit_counter_ != nullptr) {
+    hit_counter_->Increment();
+  }
   TouchRecency(it->second, name);
   return it->second.image;
 }
@@ -108,6 +130,9 @@ Status SnapshotStore::Remove(const std::string& name) {
   used_bytes_ -= it->second.image->file_bytes();
   order_.erase(it->second.order_it);
   entries_.erase(it);
+  if (used_bytes_gauge_ != nullptr) {
+    used_bytes_gauge_->Set(static_cast<double>(used_bytes_));
+  }
   return Status::Ok();
 }
 

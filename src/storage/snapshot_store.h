@@ -16,6 +16,7 @@
 
 #include "src/base/status.h"
 #include "src/mem/address_space.h"
+#include "src/obs/observability.h"
 #include "src/storage/block_device.h"
 
 namespace fwstore {
@@ -29,6 +30,10 @@ class SnapshotStore {
 
   SnapshotStore(fwsim::Simulation& sim, BlockDevice& device, uint64_t capacity_bytes,
                 EvictionPolicy policy = EvictionPolicy::kLru);
+
+  // Optional: mirror hit/miss/eviction/save accounting into "store.*" metrics.
+  // The Observability must outlive the store.
+  void set_observability(fwobs::Observability* obs);
 
   // Persists the image (paying the disk-write time for its file bytes),
   // evicting per policy if needed. Fails with kResourceExhausted when the
@@ -74,6 +79,11 @@ class SnapshotStore {
   uint64_t misses_ = 0;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> order_;  // Eviction order, front is the next victim.
+  fwobs::Counter* hit_counter_ = nullptr;
+  fwobs::Counter* miss_counter_ = nullptr;
+  fwobs::Counter* evict_counter_ = nullptr;
+  fwobs::Counter* save_counter_ = nullptr;
+  fwobs::Gauge* used_bytes_gauge_ = nullptr;
 };
 
 }  // namespace fwstore

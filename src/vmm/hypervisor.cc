@@ -53,8 +53,23 @@ Hypervisor::Hypervisor(fwsim::Simulation& sim, fwmem::HostMemory& host_memory,
                        fwstore::SnapshotStore& snapshot_store, const Config& config)
     : sim_(sim), host_memory_(host_memory), snapshot_store_(snapshot_store), config_(config) {}
 
+void Hypervisor::set_observability(fwobs::Observability* obs) {
+  tracer_ = &obs->tracer();
+  auto& metrics = obs->metrics();
+  fault_major_counter_ = &metrics.GetCounter("mem.fault.major.count");
+  fault_minor_counter_ = &metrics.GetCounter("mem.fault.minor.count");
+  fault_zero_counter_ = &metrics.GetCounter("mem.fault.zero.count");
+  fault_cow_counter_ = &metrics.GetCounter("mem.fault.cow.count");
+  fault_fresh_counter_ = &metrics.GetCounter("mem.fault.fresh.count");
+  vm_create_counter_ = &metrics.GetCounter("hv.vm.create.count");
+  vm_restore_counter_ = &metrics.GetCounter("hv.vm.restore.count");
+  snapshot_counter_ = &metrics.GetCounter("hv.snapshot.create.count");
+}
+
 fwsim::Co<MicroVm*> Hypervisor::CreateMicroVm(const std::string& name,
                                               const MicroVmConfig& config) {
+  fwobs::ScopedSpan span(tracer_, "hv.create_vm", "vmm");
+  span.SetAttribute("vm", name);
   co_await fwsim::Delay(sim_, config_.api_request_cost + config_.process_spawn_cost +
                                   config_.kvm_setup_cost + config_.device_setup_cost);
   auto space = std::make_unique<fwmem::AddressSpace>(host_memory_);
@@ -66,6 +81,9 @@ fwsim::Co<MicroVm*> Hypervisor::CreateMicroVm(const std::string& name,
   MicroVm* raw = vm.get();
   vms_.emplace(id, std::move(vm));
   ++vms_created_;
+  if (vm_create_counter_ != nullptr) {
+    vm_create_counter_->Increment();
+  }
   FW_LOG(kDebug) << "created microVM " << name << " (id " << id << ")";
   co_return raw;
 }
@@ -75,6 +93,7 @@ fwsim::Co<Status> Hypervisor::BootGuestOs(MicroVm& vm) {
     co_return Status::FailedPrecondition("guest boot requires a configured VM");
   }
   vm.set_state(VmState::kBooting);
+  fwobs::ScopedSpan span(tracer_, "hv.boot_guest", "vmm");
   auto& space = vm.address_space();
   // The kernel decompresses itself and early userspace populates its pages:
   // all private, fresh writes.
@@ -117,6 +136,7 @@ fwsim::Co<Result<std::shared_ptr<fwmem::SnapshotImage>>> Hypervisor::CreateSnaps
       co_return paused;
     }
   }
+  fwobs::ScopedSpan span(tracer_, "hv.create_snapshot", "vmm");
   co_await fwsim::Delay(sim_, config_.api_request_cost + config_.snapshot_vmstate_cost);
   std::shared_ptr<fwmem::SnapshotImage> image = vm.address_space().TakeSnapshot(snapshot_name);
   Status saved = co_await snapshot_store_.Save(image);
@@ -124,6 +144,10 @@ fwsim::Co<Result<std::shared_ptr<fwmem::SnapshotImage>>> Hypervisor::CreateSnaps
     co_return saved;
   }
   ++snapshots_taken_;
+  if (snapshot_counter_ != nullptr) {
+    snapshot_counter_->Increment();
+  }
+  span.SetAttribute("bytes", image->file_bytes());
   FW_LOG(kDebug) << "snapshot " << snapshot_name << ": "
                  << fwbase::BytesToString(image->file_bytes());
   co_return image;
@@ -135,6 +159,8 @@ fwsim::Co<Result<MicroVm*>> Hypervisor::RestoreMicroVm(const std::string& snapsh
   if (!image.ok()) {
     co_return image.status();
   }
+  fwobs::ScopedSpan span(tracer_, "hv.restore_vm", "vmm");
+  span.SetAttribute("snapshot", snapshot_name);
   // Trimmed VMM bring-up, then map the memory file and parse vmstate. No
   // guest boot: execution continues from the snapshot point.
   co_await fwsim::Delay(sim_, config_.api_request_cost + config_.restore_process_cost +
@@ -147,6 +173,9 @@ fwsim::Co<Result<MicroVm*>> Hypervisor::RestoreMicroVm(const std::string& snapsh
   MicroVm* raw = vm.get();
   vms_.emplace(id, std::move(vm));
   ++vms_restored_;
+  if (vm_restore_counter_ != nullptr) {
+    vm_restore_counter_->Increment();
+  }
   co_return raw;
 }
 
@@ -167,6 +196,15 @@ Duration Hypervisor::FaultServiceTime(const MicroVm& vm,
   // warm page cache serves them like minor faults.
   const bool warm = vm.address_space().image_backed() && vm.address_space().image()->cache_warm();
   const Duration major_cost = warm ? config_.minor_fault_cost : config_.major_fault_cost;
+  // Every fault charge in the simulator flows through here exactly once, so
+  // this is the single place the per-kind fault counters are recorded.
+  if (fault_major_counter_ != nullptr) {
+    fault_major_counter_->Increment(faults.major_faults);
+    fault_minor_counter_->Increment(faults.minor_shared);
+    fault_zero_counter_->Increment(faults.zero_fills);
+    fault_cow_counter_->Increment(faults.cow_copies);
+    fault_fresh_counter_->Increment(faults.fresh_writes);
+  }
   return major_cost * static_cast<int64_t>(faults.major_faults) +
          config_.minor_fault_cost * static_cast<int64_t>(faults.minor_shared) +
          config_.zero_fault_cost * static_cast<int64_t>(faults.zero_fills) +

@@ -26,6 +26,7 @@
 #include "src/base/units.h"
 #include "src/mem/address_space.h"
 #include "src/mem/host_memory.h"
+#include "src/obs/observability.h"
 #include "src/simcore/simulation.h"
 #include "src/storage/snapshot_store.h"
 #include "src/vmm/microvm.h"
@@ -85,6 +86,10 @@ class Hypervisor {
              fwstore::SnapshotStore& snapshot_store);
   Hypervisor(fwsim::Simulation& sim, fwmem::HostMemory& host_memory,
              fwstore::SnapshotStore& snapshot_store, const Config& config);
+
+  // Optional: spans for VM lifecycle operations plus "hv.*" / "mem.fault.*"
+  // metrics. The Observability must outlive the hypervisor.
+  void set_observability(fwobs::Observability* obs);
 
   // --- Lifecycle -----------------------------------------------------------
 
@@ -147,6 +152,17 @@ class Hypervisor {
   uint64_t vms_created_ = 0;
   uint64_t vms_restored_ = 0;
   uint64_t snapshots_taken_ = 0;
+  fwobs::Tracer* tracer_ = nullptr;
+  // Fault counters are bumped from the const FaultServiceTime() choke point;
+  // the instruments themselves are mutable observation state.
+  fwobs::Counter* fault_major_counter_ = nullptr;
+  fwobs::Counter* fault_minor_counter_ = nullptr;
+  fwobs::Counter* fault_zero_counter_ = nullptr;
+  fwobs::Counter* fault_cow_counter_ = nullptr;
+  fwobs::Counter* fault_fresh_counter_ = nullptr;
+  fwobs::Counter* vm_create_counter_ = nullptr;
+  fwobs::Counter* vm_restore_counter_ = nullptr;
+  fwobs::Counter* snapshot_counter_ = nullptr;
 };
 
 }  // namespace fwvmm

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/base/stats.h"
 #include "src/base/status.h"
@@ -259,6 +260,60 @@ TEST(StatsTest, LogHistogramPercentile) {
   EXPECT_EQ(h.count(), 100u);
   EXPECT_LE(h.PercentileUpperBound(50), 15u);
   EXPECT_GE(h.PercentileUpperBound(99), 1000u);
+}
+
+TEST(StatsTest, EmptySampleStatsReturnNan) {
+  SampleStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isnan(s.Percentile(50)));
+  EXPECT_TRUE(std::isnan(s.Median()));
+  // mean/stddev keep their zero defaults.
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, LogHistogramZeroSample) {
+  LogHistogram h;
+  h.Add(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.PercentileUpperBound(50), 0u);
+  EXPECT_EQ(h.PercentileUpperBound(100), 0u);
+  EXPECT_NE(h.ToString().find("[2^00) 1"), std::string::npos);
+}
+
+TEST(StatsTest, LogHistogramSingleSample) {
+  LogHistogram h;
+  h.Add(10);  // Bucket [8,16): upper bound 15.
+  EXPECT_EQ(h.PercentileUpperBound(1), 15u);
+  EXPECT_EQ(h.PercentileUpperBound(100), 15u);
+}
+
+TEST(StatsTest, LogHistogramTopBucketCoversFullRange) {
+  LogHistogram h;
+  h.Add(UINT64_MAX);
+  // Values >= 2^63 are clamped into the top bucket; its upper bound must not
+  // understate them.
+  EXPECT_EQ(h.PercentileUpperBound(100), UINT64_MAX);
+  EXPECT_NE(h.ToString().find("[2^63) 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Logging.
+// ---------------------------------------------------------------------------
+
+TEST(LoggingTest, FilteredLogDoesNotEvaluateStream) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  int calls = 0;
+  auto expensive = [&calls] {
+    ++calls;
+    return "payload";
+  };
+  FW_LOG(kDebug) << expensive();
+  EXPECT_EQ(calls, 0);
+  SetLogLevel(saved);
 }
 
 // ---------------------------------------------------------------------------
