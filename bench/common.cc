@@ -6,6 +6,7 @@
 
 #include "src/base/check.h"
 #include "src/base/strings.h"
+#include "src/fault/fault.h"
 #include "src/obs/export.h"
 
 namespace fwbench {
@@ -16,6 +17,17 @@ namespace {
 
 std::string g_trace_path;                 // Empty: tracing off.
 fwobs::ChromeTraceBuilder g_trace_builder;
+fwfault::FaultPlan g_fault_plan;          // Empty: faults off (the default).
+
+// Every measured run gets a fresh HostEnv built from this config, so the
+// --faults plan applies uniformly. An empty plan leaves the config at its
+// default: default runs stay byte-identical to builds without the flag
+// machinery.
+HostEnv::Config EnvConfig() {
+  HostEnv::Config config;
+  config.fault_plan = g_fault_plan;
+  return config;
+}
 
 // One merged-trace process per measured run (each run is a fresh HostEnv whose
 // sim clock starts at t=0, so they must not share a pid timeline).
@@ -36,8 +48,17 @@ void InitBenchmark(int argc, char** argv) {
         std::fprintf(stderr, "--trace needs a file path\n");
         std::exit(2);
       }
+    } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+      auto plan = fwfault::FaultPlan::Parse(arg + 9);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "bad --faults spec: %s\n",
+                     plan.status().ToString().c_str());
+        std::exit(2);
+      }
+      g_fault_plan = *plan;
     } else {
-      std::fprintf(stderr, "unknown flag %s (supported: --trace=<file>)\n", arg);
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --trace=<file>, --faults=<spec>)\n", arg);
       std::exit(2);
     }
   }
@@ -108,7 +129,7 @@ bool AlwaysWarm(PlatformKind kind) { return kind == PlatformKind::kFireworks; }
 
 InvocationResult MeasureCold(PlatformKind kind, const fwlang::FunctionSource& fn,
                              const std::string& type_sig) {
-  HostEnv env;
+  HostEnv env(EnvConfig());
   if (TraceActive()) {
     env.tracer().Enable();
   }
@@ -126,7 +147,7 @@ InvocationResult MeasureCold(PlatformKind kind, const fwlang::FunctionSource& fn
 
 InvocationResult MeasureWarm(PlatformKind kind, const fwlang::FunctionSource& fn,
                              const std::string& type_sig) {
-  HostEnv env;
+  HostEnv env(EnvConfig());
   if (TraceActive()) {
     env.tracer().Enable();
   }

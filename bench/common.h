@@ -40,12 +40,16 @@ std::unique_ptr<ServerlessPlatform> MakePlatform(PlatformKind kind, HostEnv& env
 bool AlwaysWarm(PlatformKind kind);
 
 // ---------------------------------------------------------------------------
-// Tracing (--trace=<file>).
+// Flags: --trace=<file>, --faults=<spec>.
 // ---------------------------------------------------------------------------
 
-// Parses bench flags (currently just --trace=<file>). When the flag is given,
-// MeasureCold/MeasureWarm run with tracing enabled and accumulate each run's
-// spans as one process in a merged Chrome trace.
+// Parses bench flags. With --trace=<file>, MeasureCold/MeasureWarm run with
+// tracing enabled and accumulate each run's spans as one merged Chrome trace.
+// With --faults=<spec> (fwfault::FaultPlan::Parse syntax, e.g.
+// "vm_crash_on_resume=0.05,broker_drop_message=0.1"; default off), every
+// measured HostEnv runs under that fault plan, exercising the recovery paths
+// under the same deterministic clock the benches already use. "--faults=none"
+// is byte-identical to omitting the flag.
 void InitBenchmark(int argc, char** argv);
 // Writes the accumulated trace (if --trace was given) and reports the path.
 void FinishBenchmark();

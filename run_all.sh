@@ -9,6 +9,9 @@
 set -e
 cd "$(dirname "$0")"
 
+# Source hygiene: no wall clocks or unseeded RNG outside the blessed files.
+scripts/check_determinism.sh
+
 with_trace_smoke=0
 for arg in "$@"; do
   case "$arg" in
@@ -29,6 +32,17 @@ for b in build/bench/*; do
   fi
 done
 echo "wrote test_output.txt and bench_output.txt"
+
+# Fault injection is strictly opt-in: a bench run with --faults=none must be
+# byte-identical to a run without the flag.
+build/bench/fig6_faasdom_nodejs > build/fig6_default.txt
+build/bench/fig6_faasdom_nodejs --faults=none > build/fig6_faults_none.txt
+if ! cmp -s build/fig6_default.txt build/fig6_faults_none.txt; then
+  echo "fault-off check FAILED: --faults=none changed bench output" >&2
+  diff build/fig6_default.txt build/fig6_faults_none.txt >&2 || true
+  exit 1
+fi
+echo "fault-off check OK: --faults=none is byte-identical to the default"
 
 if [ "$with_trace_smoke" = 1 ]; then
   trace_file=build/trace_smoke.json

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Determinism lint: the whole simulation must be a pure function of
+# (workload, seed, fault plan). That only holds if no code reads a wall clock
+# or an unseeded/system RNG. This grep rejects the usual offenders everywhere
+# except the two files allowed to touch the outside world:
+#   src/base/rng.cc   — may seed from the OS when the caller asks for entropy
+#   src/obs/clock.*   — the sim-clock facade itself
+#
+# Run from anywhere; scans src/ bench/ tests/ examples/ relative to the repo
+# root. Exits 1 and prints the offending lines on any hit.
+set -u
+cd "$(dirname "$0")/.."
+
+pattern='std::rand|[^_a-zA-Z]srand *\(|random_device|mt19937|minstd_rand|system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|time *\( *NULL *\)|time *\( *nullptr *\)'
+
+dirs=""
+for d in src bench tests examples; do
+  [ -d "$d" ] && dirs="$dirs $d"
+done
+
+# shellcheck disable=SC2086
+hits=$(grep -rnE "$pattern" $dirs \
+  --include='*.cc' --include='*.h' \
+  | grep -v '^src/base/rng\.' \
+  | grep -v '^src/obs/clock\.' \
+  || true)
+
+if [ -n "$hits" ]; then
+  echo "determinism lint FAILED — wall-clock or unseeded RNG use outside the allowlist:" >&2
+  echo "$hits" >&2
+  echo "Use fwsim::Simulation::Now()/rng() (or fwbase::Rng with an explicit seed) instead." >&2
+  exit 1
+fi
+echo "determinism lint OK: no wall-clock or unseeded RNG outside src/base/rng.* and src/obs/clock.*"

@@ -19,6 +19,22 @@ void SampleStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void SampleStats::Merge(const SampleStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+  // Chan et al.'s parallel update of the streaming moments.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+}
+
 double SampleStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double SampleStats::stddev() const {
@@ -75,6 +91,13 @@ void LogHistogram::Add(uint64_t value) {
   const int bucket = value == 0 ? 0 : 64 - std::countl_zero(value);
   buckets_[std::min(bucket, kBuckets - 1)]++;
   ++count_;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
 }
 
 uint64_t LogHistogram::PercentileUpperBound(double p) const {

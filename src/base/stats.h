@@ -14,6 +14,10 @@ namespace fwbase {
 class SampleStats {
  public:
   void Add(double x);
+  // Folds `other` in, as if every one of its samples had been Add()ed here.
+  // Associative and commutative up to floating-point rounding of the
+  // streaming moments; order statistics are exact (samples are retained).
+  void Merge(const SampleStats& other);
 
   int64_t count() const { return count_; }
   double mean() const;
@@ -42,6 +46,8 @@ double GeometricMean(const std::vector<double>& values);
 class LogHistogram {
  public:
   void Add(uint64_t value);
+  // Bucket-wise sum: exactly associative and commutative.
+  void Merge(const LogHistogram& other);
   uint64_t count() const { return count_; }
   // Upper-bound estimate of percentile p in [0, 100].
   uint64_t PercentileUpperBound(double p) const;

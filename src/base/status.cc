@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "?";
 }

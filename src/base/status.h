@@ -23,6 +23,8 @@ enum class StatusCode {
   kResourceExhausted,
   kUnavailable,
   kInternal,
+  kDeadlineExceeded,
+  kDataLoss,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -50,6 +52,10 @@ class Status {
     return Status(StatusCode::kUnavailable, std::move(m));
   }
   static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status DataLoss(std::string m) { return Status(StatusCode::kDataLoss, std::move(m)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -18,7 +18,9 @@ ContainerPlatform::ContainerPlatform(HostEnv& env, const Params& params)
     : env_(env),
       params_(params),
       engine_(env.sim(), env.memory(), env.snapshot_store(), params.engine_config),
-      tracer_(&env.tracer()) {}
+      tracer_(&env.tracer()) {
+  engine_.set_fault_injector(&env.fault_injector());
+}
 
 ContainerPlatform::~ContainerPlatform() {
   *alive_ = false;  // Disarm in-flight keep-alive expiry events.
@@ -69,6 +71,9 @@ fwsim::Co<Result<InstallResult>> ContainerPlatform::Install(const fwlang::Functi
     const std::string checkpoint_name = params_.platform_name + "-" + fn.name;
     auto image = co_await engine_.Checkpoint(*(*prepared)->container, checkpoint_name);
     if (!image.ok()) {
+      // Persisting the checkpoint failed: release the prepared container
+      // before surfacing the error.
+      DestroySandbox(**prepared);
       co_return image.status();
     }
     (void)env_.snapshot_store().Pin(checkpoint_name);
@@ -191,10 +196,20 @@ fwsim::Co<Result<InvocationResult>> ContainerPlatform::Invoke(const std::string&
     co_await fwsim::Delay(env_.sim(), params_.warm_controller_cost);
     Status resumed = co_await engine_.Unpause(*sandbox->container);
     if (!resumed.ok()) {
-      co_return resumed;
+      // The sandbox died on unpause: discard it and degrade to a cold start.
+      env_.metrics()
+          .GetCounter(params_.platform_name + ".warm_crash.count")
+          .Increment();
+      DestroySandbox(*sandbox);
+      sandbox.reset();
+      result.cold = true;
+      result.attempts = 2;
+      result.cold_boot_fallback = true;
     }
   } else {
     result.cold = true;
+  }
+  if (sandbox == nullptr) {
     co_await fwsim::Delay(env_.sim(), params_.cold_controller_cost);
     const std::string sandbox_name =
         fwbase::StrFormat("%s-%s-%llu", params_.platform_name.c_str(), fn_name.c_str(),
@@ -204,6 +219,15 @@ fwsim::Co<Result<InvocationResult>> ContainerPlatform::Invoke(const std::string&
     Result<std::unique_ptr<Sandbox>> launched = Status::Internal("unreachable");
     if (params_.checkpoint_starts) {
       launched = co_await RestoreSandbox(fn, sandbox_name);
+      if (!launched.ok()) {
+        // Checkpoint path failed (restore crash, corrupted or evicted
+        // checkpoint): degrade to a full container launch.
+        env_.metrics()
+            .GetCounter(params_.platform_name + ".coldboot_fallback.count")
+            .Increment();
+        result.cold_boot_fallback = true;
+        launched = co_await LaunchSandbox(fn, sandbox_name);
+      }
     } else {
       launched = co_await LaunchSandbox(fn, sandbox_name);
     }

@@ -21,6 +21,7 @@ FirecrackerPlatform::FirecrackerPlatform(HostEnv& env, const Config& config)
       hv_(env.sim(), env.memory(), env.snapshot_store(), config.hv_config),
       tracer_(&env.tracer()) {
   hv_.set_observability(&env.obs());
+  hv_.set_fault_injector(&env.fault_injector());
 }
 
 FirecrackerPlatform::~FirecrackerPlatform() { ReleaseInstances(); }
@@ -55,10 +56,14 @@ fwsim::Co<Result<InstallResult>> FirecrackerPlatform::Install(
     MicroVm* vm = co_await hv_.CreateMicroVm("fcos-install-" + fn.name, config_.vm_config);
     Status booted = co_await hv_.BootGuestOs(*vm);
     if (!booted.ok()) {
+      FW_CHECK(hv_.Destroy(*vm).ok());
       co_return booted;
     }
     auto image = co_await hv_.CreateSnapshot(*vm, "fcos-" + fn.name);
     if (!image.ok()) {
+      // Persisting the OS snapshot failed: release the install VM before
+      // surfacing the error.
+      FW_CHECK(hv_.Destroy(*vm).ok());
       co_return image.status();
     }
     (void)env_.snapshot_store().Pin("fcos-" + fn.name);
@@ -79,22 +84,30 @@ FirecrackerPlatform::LaunchSandbox(const InstalledFunction& fn,
   if (config_.mode == FirecrackerMode::kOsSnapshot) {
     FW_CHECK(fn.os_snapshot_taken);
     auto restored = co_await hv_.RestoreMicroVm("fcos-" + fn.source->name, sandbox_name);
-    if (!restored.ok()) {
-      co_return restored.status();
+    if (restored.ok()) {
+      sandbox->vm = *restored;
+      // Post-restore guest-kernel activity.
+      auto& space = sandbox->vm->address_space();
+      fwmem::FaultCounts faults;
+      const auto kern = space.SegmentByName(fwvmm::kSegGuestKernel);
+      const auto os = space.SegmentByName(fwvmm::kSegGuestOs);
+      faults += space.TouchRandomFraction(kern, config_.guest_os_resume_touch_fraction, 7);
+      faults += space.TouchRandomFraction(os, config_.guest_os_resume_touch_fraction, 8);
+      faults += space.DirtyRandomFraction(kern, config_.guest_os_resume_dirty_fraction,
+                                          3000 + next_instance_);
+      faults += space.DirtyRandomFraction(os, config_.guest_os_resume_dirty_fraction,
+                                          4000 + next_instance_);
+      co_await hv_.ServiceFaults(*sandbox->vm, faults);
+    } else {
+      // Snapshot path failed (restore crash, corrupted or evicted image):
+      // degrade to a full guest-OS boot.
+      env_.metrics().GetCounter("fc.coldboot_fallback.count").Increment();
+      sandbox->vm = co_await hv_.CreateMicroVm(sandbox_name, config_.vm_config);
+      Status booted = co_await hv_.BootGuestOs(*sandbox->vm);
+      if (!booted.ok()) {
+        co_return booted;
+      }
     }
-    sandbox->vm = *restored;
-    // Post-restore guest-kernel activity.
-    auto& space = sandbox->vm->address_space();
-    fwmem::FaultCounts faults;
-    const auto kern = space.SegmentByName(fwvmm::kSegGuestKernel);
-    const auto os = space.SegmentByName(fwvmm::kSegGuestOs);
-    faults += space.TouchRandomFraction(kern, config_.guest_os_resume_touch_fraction, 7);
-    faults += space.TouchRandomFraction(os, config_.guest_os_resume_touch_fraction, 8);
-    faults += space.DirtyRandomFraction(kern, config_.guest_os_resume_dirty_fraction,
-                                        3000 + next_instance_);
-    faults += space.DirtyRandomFraction(os, config_.guest_os_resume_dirty_fraction,
-                                        4000 + next_instance_);
-    co_await hv_.ServiceFaults(*sandbox->vm, faults);
   } else {
     sandbox->vm = co_await hv_.CreateMicroVm(sandbox_name, config_.vm_config);
     Status booted = co_await hv_.BootGuestOs(*sandbox->vm);
@@ -160,10 +173,19 @@ fwsim::Co<Result<InvocationResult>> FirecrackerPlatform::Invoke(const std::strin
     sandbox = std::move(fn.warm);
     Status resumed = co_await hv_.Resume(*sandbox->vm);
     if (!resumed.ok()) {
-      co_return resumed;
+      // The VMM process died resuming the warm sandbox: discard the dead
+      // sandbox and degrade to a cold start.
+      env_.metrics().GetCounter("fc.warm_resume_crash.count").Increment();
+      DestroySandbox(*sandbox);
+      sandbox.reset();
+      result.cold = true;
+      result.attempts = 2;
+      result.cold_boot_fallback = true;
     }
   } else {
     result.cold = true;
+  }
+  if (sandbox == nullptr) {
     auto launched = co_await LaunchSandbox(
         fn, fwbase::StrFormat("fc-%s-%llu", fn_name.c_str(),
                               static_cast<unsigned long long>(next_instance_)));

@@ -21,6 +21,7 @@ FireworksPlatform::FireworksPlatform(HostEnv& env, const Config& config)
       hv_(env.sim(), env.memory(), env.snapshot_store(), config.hv_config),
       tracer_(&env.tracer()) {
   hv_.set_observability(&env.obs());
+  hv_.set_fault_injector(&env.fault_injector());
 }
 
 FireworksPlatform::~FireworksPlatform() { ReleaseInstances(); }
@@ -30,15 +31,20 @@ fwsim::Co<Result<std::pair<uint64_t, fwnet::IpAddr>>> FireworksPlatform::WireNet
   fwnet::NetworkNamespace& ns = env_.network().CreateNamespace();
   Status tap = ns.AttachTap({kGuestTapName, kGuestIp, fwnet::MacAddr(0xFA57F00D)});
   if (!tap.ok()) {
+    (void)env_.network().DestroyNamespace(ns.id());
     co_return tap;
   }
   const fwnet::IpAddr external = env_.network().AllocateExternalIp();
   Status nat = ns.AddNatRule({external, kGuestIp});
   if (!nat.ok()) {
+    (void)env_.network().DestroyNamespace(ns.id());
     co_return nat;
   }
   Status bind = env_.network().BindExternalIp(external, ns.id());
   if (!bind.ok()) {
+    // NAT port allocation failed (e.g. injected exhaustion): release the
+    // half-wired namespace rather than leaking it.
+    (void)env_.network().DestroyNamespace(ns.id());
     co_return bind;
   }
   co_return std::make_pair(ns.id(), external);
@@ -47,8 +53,17 @@ fwsim::Co<Result<std::pair<uint64_t, fwnet::IpAddr>>> FireworksPlatform::WireNet
 ExecEnv FireworksPlatform::MakeGuestEnv(fwstore::Filesystem* fs, uint64_t netns_id,
                                         fwnet::IpAddr guest_ip) {
   auto net_send = [this, netns_id, guest_ip](uint64_t bytes) -> fwsim::Co<void> {
-    auto sent = co_await env_.network().SendOutbound(netns_id, guest_ip, bytes);
-    FW_CHECK_MSG(sent.ok(), "guest egress failed");
+    // Lost packets are retransmitted (bounded, TCP-style). A link that stays
+    // down drops this egress — an application-visible effect, never a host
+    // crash. Each attempt charges its own wire time.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      auto sent = co_await env_.network().SendOutbound(netns_id, guest_ip, bytes);
+      if (sent.ok()) {
+        co_return;
+      }
+      env_.metrics().GetCounter("fw.net.egress_retransmit.count").Increment();
+    }
+    FW_LOG(kWarning) << "fireworks: guest egress dropped after retransmit budget";
   };
   return ExecEnv(fs, &env_.db(), std::move(net_send), Duration::Micros(400));
 }
@@ -84,6 +99,7 @@ fwsim::Co<Result<InstallResult>> FireworksPlatform::Install(const fwlang::Functi
   fwobs::ScopedSpan boot_span(tracer_, "install.boot", "install");
   Status booted = co_await hv_.BootGuestOs(*vm);
   if (!booted.ok()) {
+    FW_CHECK(hv_.Destroy(*vm).ok());
     co_return booted;
   }
   boot_span.End();
@@ -92,6 +108,7 @@ fwsim::Co<Result<InstallResult>> FireworksPlatform::Install(const fwlang::Functi
   fwobs::ScopedSpan netns_span(tracer_, "install.netns", "install");
   auto wired = co_await WireNetwork();
   if (!wired.ok()) {
+    FW_CHECK(hv_.Destroy(*vm).ok());
     co_return wired.status();
   }
   const auto [netns_id, external_ip] = *wired;
@@ -127,6 +144,10 @@ fwsim::Co<Result<InstallResult>> FireworksPlatform::Install(const fwlang::Functi
   const SimTime snap_t0 = env_.sim().Now();
   auto image = co_await hv_.CreateSnapshot(*vm, "fw-" + fn.name);
   if (!image.ok()) {
+    // Persisting the snapshot failed: release the install VM and its network
+    // wiring before surfacing the error.
+    FW_CHECK(hv_.Destroy(*vm).ok());
+    FW_CHECK(env_.network().DestroyNamespace(netns_id).ok());
     co_return image.status();
   }
   record.install.snapshot_time = env_.sim().Now() - snap_t0;
@@ -168,38 +189,164 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
   InvocationResult result;
   result.cold = false;  // Fireworks has no cold/warm distinction (§5.1).
   const SimTime t0 = env_.sim().Now();
+  const SimTime deadline = t0 + config_.invoke_timeout;
   // The invoke children are contiguous windows: each child ends exactly where
   // the next begins, so their durations sum to the root span's (= total).
   fwobs::ScopedSpan root(tracer_, "fireworks.invoke", "invoke");
   root.SetAttribute("function", fn_name);
 
-  // Controller processing (Fig 1) and per-clone network namespace (§3.5).
+  // Controller processing (Fig 1); paid once, not per attempt.
   fwobs::ScopedSpan frontend_span(tracer_, "invoke.frontend", "invoke");
   co_await fwsim::Delay(env_.sim(), config_.controller_cost);
   frontend_span.End();
+  const SimTime t_frontend_done = env_.sim().Now();
+
+  Status last_error = Status::Ok();
+  for (int attempt = 1; attempt <= config_.max_invoke_attempts; ++attempt) {
+    result.attempts = attempt;
+    auto instance = std::make_unique<Instance>();
+    AttemptTimes times;
+    Status attempted = co_await InvokeAttempt(fn, fn_name, args, options, *instance, times,
+                                              result);
+    if (attempted.ok()) {
+      // On attempt 1, times.attempt_start == t_frontend_done, making startup
+      // exactly (net_done - t0) + (restored - params_queued) — the original
+      // single-shot formula. Retries land their dead time in `others`, so
+      // startup + exec + others == total holds on every path.
+      result.startup = (t_frontend_done - t0) + (times.net_done - times.attempt_start) +
+                       (times.restored - times.params_queued);
+      result.exec = times.exec_done - times.params_read;
+      result.total = times.done - t0;
+      result.others = result.total - result.startup - result.exec;
+      // Close the root at t_done, before any keep-instance steady-state work,
+      // so the root span covers exactly the measured invocation.
+      root.End();
+      result.root_span = root.get();
+
+      if (options.keep_instance) {
+        if (options.steady_state) {
+          // A long-running instance converges to its steady-state resident
+          // set: guest page cache and slab in the kernel segments, GC-churned
+          // pages in the runtime heap. Charged after the latency measurement.
+          const uint64_t fc_id = instance->fc_id;
+          auto& space = instance->vm->address_space();
+          fwmem::FaultCounts faults;
+          const auto kern = space.SegmentByName(fwvmm::kSegGuestKernel);
+          const auto os = space.SegmentByName(fwvmm::kSegGuestOs);
+          faults += space.TouchRandomFraction(kern, config_.guest_os_steady_touch_fraction, 7);
+          faults += space.TouchRandomFraction(os, config_.guest_os_steady_touch_fraction, 8);
+          faults += space.DirtyRandomFraction(kern, config_.guest_os_steady_dirty_fraction,
+                                              5000 + fc_id);
+          faults += space.DirtyRandomFraction(os, config_.guest_os_steady_dirty_fraction,
+                                              6000 + fc_id);
+          faults += space.DirtyRandomFraction(space.SegmentByName(fwlang::kSegRuntimeHeap),
+                                              config_.steady_runtime_heap_dirty_fraction,
+                                              7000 + fc_id);
+          co_await hv_.ServiceFaults(*instance->vm, faults);
+        }
+        instances_.push_back(std::move(instance));
+      } else {
+        Teardown(*instance);
+      }
+      co_return result;
+    }
+
+    // The attempt failed: release whatever partial state it created, then
+    // decide how (whether) to recover. Everything below is failure-path only.
+    last_error = attempted;
+    Teardown(*instance);
+    env_.metrics()
+        .GetCounter("fw.invoke.attempt_failed.count", fwbase::StatusCodeName(attempted.code()))
+        .Increment();
+    FW_LOG(kDebug) << "fireworks: invoke attempt " << attempt << " of " << fn_name
+                   << " failed: " << attempted.ToString();
+
+    if (attempted.code() == fwbase::StatusCode::kDataLoss) {
+      // The stored snapshot failed its checksum. Re-persist the in-memory
+      // image so the next attempt restores from a fresh file.
+      Status reinstalled = co_await ReinstallSnapshot(fn);
+      if (!reinstalled.ok()) {
+        FW_LOG(kWarning) << "fireworks: snapshot re-install for " << fn_name
+                      << " failed: " << reinstalled.ToString();
+      }
+    }
+
+    if (env_.sim().Now() >= deadline) {
+      env_.metrics().GetCounter("fw.invoke.deadline.count").Increment();
+      co_return Status::DeadlineExceeded("invocation of " + fn_name +
+                                         " exceeded its deadline after " +
+                                         std::to_string(attempt) + " attempt(s): " +
+                                         last_error.ToString());
+    }
+
+    if (attempted.code() == fwbase::StatusCode::kNotFound) {
+      // The snapshot was evicted from the store: retrying the snapshot path
+      // cannot succeed, so go straight to the cold-boot fallback (if any).
+      break;
+    }
+
+    if (attempt < config_.max_invoke_attempts) {
+      // Exponential backoff with jitter from the sim RNG (drawn only here, on
+      // the failure path, so fault-free runs never consume it).
+      const Duration base = config_.retry_backoff * static_cast<int64_t>(1 << (attempt - 1));
+      const Duration backoff =
+          Duration::SecondsF(base.seconds() * (1.0 + env_.sim().rng().UniformDouble()));
+      fwobs::ScopedSpan retry_span(tracer_, "invoke.retry", "invoke");
+      retry_span.SetAttribute("attempt", static_cast<uint64_t>(attempt));
+      co_await fwsim::Delay(env_.sim(), backoff);
+      env_.metrics().GetCounter("fw.invoke.retry.count").Increment();
+    }
+  }
+
+  if (config_.cold_boot_fallback) {
+    Status cold = co_await ColdBootInvoke(fn, fn_name, options, t0, result);
+    if (cold.ok()) {
+      root.End();
+      result.root_span = root.get();
+      co_return result;
+    }
+    last_error = cold;
+  }
+  co_return last_error;
+}
+
+fwsim::Co<Status> FireworksPlatform::InvokeAttempt(const InstalledFunction& fn,
+                                                   const std::string& fn_name,
+                                                   const std::string& args,
+                                                   const InvokeOptions& options,
+                                                   Instance& instance, AttemptTimes& times,
+                                                   InvocationResult& result) {
+  times.attempt_start = env_.sim().Now();
+  instance.fn = &fn;
+
+  // Per-clone network namespace (§3.5).
   fwobs::ScopedSpan netns_span(tracer_, "invoke.netns", "invoke");
   auto wired = co_await WireNetwork();
   if (!wired.ok()) {
     co_return wired.status();
   }
   const auto [netns_id, external_ip] = *wired;
+  instance.netns_id = netns_id;
+  instance.external_ip = external_ip;
   netns_span.End();
-  const SimTime t_net_done = env_.sim().Now();
+  times.net_done = env_.sim().Now();
 
   // §3.6: put the arguments into the instance's Kafka topic *before* resume.
   fwobs::ScopedSpan produce_span(tracer_, "invoke.params.produce", "invoke");
   const uint64_t fc_id = next_fc_id_++;
+  instance.fc_id = fc_id;
   const std::string topic = fwbase::StrFormat("topic%llu", static_cast<unsigned long long>(fc_id));
   Status topic_status = env_.broker().CreateTopic(topic);
   if (!topic_status.ok()) {
     co_return topic_status;
   }
+  instance.topic = topic;
   auto produced = co_await env_.broker().Produce(topic, 0, fwbus::Record("args", args));
   if (!produced.ok()) {
     co_return produced.status();
   }
   produce_span.End();
-  const SimTime t_params_queued = env_.sim().Now();
+  times.params_queued = env_.sim().Now();
 
   // ⑥ Restore the post-JIT snapshot into a fresh microVM.
   fwobs::ScopedSpan restore_span(tracer_, "invoke.restore", "invoke");
@@ -211,6 +358,7 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
     co_return restored.status();
   }
   MicroVm* vm = *restored;
+  instance.vm = vm;
   vm->set_netns_id(netns_id);
   vm->set_tap_name(kGuestTapName);
   vm->SetMetadata("fcID", std::to_string(fc_id));
@@ -235,40 +383,41 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
     co_await hv_.ServiceFaults(*vm, faults);
   }
   restore_span.End();
-  const SimTime t_restored = env_.sim().Now();
+  times.restored = env_.sim().Now();
   fwobs::ScopedSpan consume_span(tracer_, "invoke.params.consume", "invoke");
 
   // The resumed guest identifies itself via MMDS and fetches its parameters.
-  auto instance = std::make_unique<Instance>();
-  instance->fn = &fn;
-  instance->vm = vm;
-  instance->fs = std::make_unique<fwstore::Filesystem>(env_.sim(), env_.disk(),
-                                                       fwstore::FsKind::kVirtio);
-  instance->process = GuestProcess::FromState(fn.process_state, env_.sim(),
-                                              vm->address_space(),
-                                              MakeGuestEnv(instance->fs.get(), netns_id,
-                                                           kGuestIp),
-                                              ChargerFor(vm));
-  instance->process->set_mem_salt(fc_id);
-  instance->netns_id = netns_id;
-  instance->external_ip = external_ip;
-  instance->topic = topic;
+  instance.fs = std::make_unique<fwstore::Filesystem>(env_.sim(), env_.disk(),
+                                                      fwstore::FsKind::kVirtio);
+  instance.process = GuestProcess::FromState(fn.process_state, env_.sim(),
+                                             vm->address_space(),
+                                             MakeGuestEnv(instance.fs.get(), netns_id,
+                                                          kGuestIp),
+                                             ChargerFor(vm));
+  instance.process->set_mem_salt(fc_id);
 
   auto fc_id_value = co_await hv_.GuestReadMmds(*vm, "fcID");
   FW_CHECK(fc_id_value.ok());
-  auto params = co_await env_.broker().ConsumeLast(topic, 0);
+  // Bounded wait: a dropped args record must surface as kDeadlineExceeded,
+  // not a hang. With the record already present (the normal case) the timing
+  // is identical to the unbounded ConsumeLast.
+  auto params = co_await env_.broker().ConsumeLastWithTimeout(topic, 0,
+                                                              config_.params_consume_timeout);
   if (!params.ok()) {
     co_return params.status();
   }
   consume_span.End();
-  const SimTime t_params_read = env_.sim().Now();
+  times.params_read = env_.sim().Now();
 
   // ⑦ Execute the original entry point with the fetched parameters.
+  if (env_.fault_injector().Trip(fwfault::FaultKind::kVmCrashDuringExec)) {
+    co_return Status::Unavailable("guest VM crashed executing " + fn_name);
+  }
   fwobs::ScopedSpan exec_span(tracer_, "invoke.exec", "invoke");
   result.exec_stats =
-      co_await instance->process->CallMethod(fn.annotated->entry_method, options.type_sig);
+      co_await instance.process->CallMethod(fn.annotated->entry_method, options.type_sig);
   exec_span.End();
-  const SimTime t_exec_done = env_.sim().Now();
+  times.exec_done = env_.sim().Now();
 
   // HTTP response back through NAT.
   fwobs::ScopedSpan response_span(tracer_, "invoke.response", "invoke");
@@ -277,43 +426,83 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
     co_return sent.status();
   }
   response_span.End();
+  times.done = env_.sim().Now();
+  co_return Status::Ok();
+}
+
+fwsim::Co<Status> FireworksPlatform::ReinstallSnapshot(const InstalledFunction& fn) {
+  fwobs::ScopedSpan span(tracer_, "invoke.snapshot_reinstall", "invoke");
+  span.SetAttribute("snapshot", fn.snapshot_name);
+  // The corrupted entry was dropped at detection; Remove tolerates both cases.
+  (void)env_.snapshot_store().Remove(fn.snapshot_name);
+  Status saved = co_await env_.snapshot_store().Save(fn.image);
+  if (!saved.ok()) {
+    co_return saved;
+  }
+  if (config_.pin_snapshots) {
+    (void)env_.snapshot_store().Pin(fn.snapshot_name);
+  }
+  env_.metrics().GetCounter("fw.invoke.snapshot_reinstall.count").Increment();
+  co_return Status::Ok();
+}
+
+fwsim::Co<Status> FireworksPlatform::ColdBootInvoke(const InstalledFunction& fn,
+                                                    const std::string& fn_name,
+                                                    const InvokeOptions& options,
+                                                    SimTime t0, InvocationResult& result) {
+  env_.metrics().GetCounter("fw.invoke.coldboot.count").Increment();
+  result.cold = true;
+  result.cold_boot_fallback = true;
+
+  // Create + boot + wire + load: the slow path the snapshot normally skips.
+  fwobs::ScopedSpan boot_span(tracer_, "invoke.coldboot.boot", "invoke");
+  MicroVm* vm = co_await hv_.CreateMicroVm("fw-coldboot-" + fn_name, config_.vm_config);
+  Status booted = co_await hv_.BootGuestOs(*vm);
+  if (!booted.ok()) {
+    FW_CHECK(hv_.Destroy(*vm).ok());
+    co_return booted;
+  }
+  auto wired = co_await WireNetwork();
+  if (!wired.ok()) {
+    FW_CHECK(hv_.Destroy(*vm).ok());
+    co_return wired.status();
+  }
+  const auto [netns_id, external_ip] = *wired;
+  (void)external_ip;
+  vm->set_netns_id(netns_id);
+  vm->set_tap_name(kGuestTapName);
+  auto fs = std::make_unique<fwstore::Filesystem>(env_.sim(), env_.disk(),
+                                                  fwstore::FsKind::kVirtio);
+  GuestProcess process(env_.sim(), fn.annotated->language, vm->address_space(),
+                       MakeGuestEnv(fs.get(), netns_id, kGuestIp), ChargerFor(vm));
+  co_await process.InstallPackages(*fn.annotated);
+  co_await process.BootRuntime();
+  co_await process.LoadApplication(*fn.annotated);
+  boot_span.End();
+  const SimTime t_ready = env_.sim().Now();
+
+  fwobs::ScopedSpan exec_span(tracer_, "invoke.coldboot.exec", "invoke");
+  result.exec_stats = co_await process.CallMethod(fn.annotated->entry_method, options.type_sig);
+  exec_span.End();
+  const SimTime t_exec_done = env_.sim().Now();
+
+  fwobs::ScopedSpan response_span(tracer_, "invoke.coldboot.response", "invoke");
+  auto sent = co_await env_.network().SendOutbound(netns_id, kGuestIp, 579);
+  response_span.End();
+  FW_CHECK(hv_.Destroy(*vm).ok());
+  (void)env_.network().DestroyNamespace(netns_id);
+  if (!sent.ok()) {
+    co_return sent.status();
+  }
   const SimTime t_done = env_.sim().Now();
 
-  result.startup = (t_net_done - t0) + (t_restored - t_params_queued);
-  result.exec = t_exec_done - t_params_read;
-  result.others = (t_params_queued - t_net_done) + (t_params_read - t_restored) +
-                  (t_done - t_exec_done);
+  // Startup spans request arrival to function entry — including the failed
+  // snapshot attempts that pushed us onto this path. Sum stays == total.
+  result.startup = t_ready - t0;
+  result.exec = t_exec_done - t_ready;
   result.total = t_done - t0;
-  // Close the root at t_done, before any keep-instance steady-state work, so
-  // the root span covers exactly the measured invocation.
-  root.End();
-  result.root_span = root.get();
-
-  if (options.keep_instance) {
-    if (options.steady_state) {
-      // A long-running instance converges to its steady-state resident set:
-      // guest page cache and slab in the kernel segments, GC-churned pages in
-      // the runtime heap. Charged after the latency measurement.
-      auto& space = vm->address_space();
-      fwmem::FaultCounts faults;
-      const auto kern = space.SegmentByName(fwvmm::kSegGuestKernel);
-      const auto os = space.SegmentByName(fwvmm::kSegGuestOs);
-      faults += space.TouchRandomFraction(kern, config_.guest_os_steady_touch_fraction, 7);
-      faults += space.TouchRandomFraction(os, config_.guest_os_steady_touch_fraction, 8);
-      faults += space.DirtyRandomFraction(kern, config_.guest_os_steady_dirty_fraction,
-                                          5000 + fc_id);
-      faults += space.DirtyRandomFraction(os, config_.guest_os_steady_dirty_fraction,
-                                          6000 + fc_id);
-      faults += space.DirtyRandomFraction(space.SegmentByName(fwlang::kSegRuntimeHeap),
-                                          config_.steady_runtime_heap_dirty_fraction,
-                                          7000 + fc_id);
-      co_await hv_.ServiceFaults(*vm, faults);
-    }
-    instances_.push_back(std::move(instance));
-  } else {
-    Teardown(*instance);
-  }
-  co_return result;
+  result.others = result.total - result.startup - result.exec;
+  co_return Status::Ok();
 }
 
 void FireworksPlatform::Teardown(Instance& instance) {

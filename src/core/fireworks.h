@@ -54,6 +54,21 @@ class FireworksPlatform : public ServerlessPlatform {
     // Pin snapshots of installed functions in the store (§6 discussion: keep
     // frequently-accessed snapshots). Off for the eviction ablation.
     bool pin_snapshots = true;
+    // --- Recovery ----------------------------------------------------------
+    // Bounded retry of the snapshot invoke path. Between attempts the
+    // platform backs off exponentially with jitter drawn from the simulation
+    // RNG (failure paths only, so fault-free runs stay bit-identical).
+    int max_invoke_attempts = 3;
+    Duration retry_backoff = Duration::Millis(10);
+    // Overall per-invocation deadline measured from request arrival; crossing
+    // it fails the invocation with kDeadlineExceeded instead of retrying.
+    Duration invoke_timeout = Duration::Millis(30000);
+    // Deadline for the guest's parameter fetch: bounds the wait when a broker
+    // fault drops the args record (the guest would otherwise hang forever).
+    Duration params_consume_timeout = Duration::Millis(500);
+    // Degrade to a full cold boot (create + boot + load, no snapshot) once
+    // the snapshot path is exhausted.
+    bool cold_boot_fallback = true;
     fwvmm::MicroVmConfig vm_config;
     fwvmm::Hypervisor::Config hv_config;
   };
@@ -111,6 +126,19 @@ class FireworksPlatform : public ServerlessPlatform {
     uint64_t netns_id = 0;
     fwnet::IpAddr external_ip;
     std::string topic;
+    uint64_t fc_id = 0;
+  };
+
+  // Timestamps of one snapshot-path attempt, for the latency breakdown.
+  struct AttemptTimes {
+    AttemptTimes() {}
+    fwbase::SimTime attempt_start;
+    fwbase::SimTime net_done;
+    fwbase::SimTime params_queued;
+    fwbase::SimTime restored;
+    fwbase::SimTime params_read;
+    fwbase::SimTime exec_done;
+    fwbase::SimTime done;
   };
 
   // Wires a namespace + tap + NAT + external IP for one clone; returns the
@@ -120,6 +148,22 @@ class FireworksPlatform : public ServerlessPlatform {
                                fwnet::IpAddr guest_ip);
   fwlang::GuestProcess::FaultCharger ChargerFor(fwvmm::MicroVm* vm);
   void Teardown(Instance& instance);
+
+  // One attempt of the snapshot invoke path (netns → produce → restore →
+  // consume → exec → response). Fills `instance` incrementally so the caller
+  // can tear down whatever partial state a failed attempt left behind.
+  fwsim::Co<Status> InvokeAttempt(const InstalledFunction& fn, const std::string& fn_name,
+                                  const std::string& args, const InvokeOptions& options,
+                                  Instance& instance, AttemptTimes& times,
+                                  InvocationResult& result);
+  // Recovery for a corrupted snapshot image: re-persist the in-memory image
+  // under the same name (and re-pin it).
+  fwsim::Co<Status> ReinstallSnapshot(const InstalledFunction& fn);
+  // Graceful degradation once the snapshot path is exhausted: cold-create a
+  // VM, boot the guest, load the app, and run the entry method.
+  fwsim::Co<Status> ColdBootInvoke(const InstalledFunction& fn, const std::string& fn_name,
+                                   const InvokeOptions& options, fwbase::SimTime t0,
+                                   InvocationResult& result);
 
   HostEnv& env_;
   Config config_;

@@ -5,6 +5,7 @@ namespace fwcore {
 HostEnv::HostEnv(const Config& config)
     : sim_(config.seed),
       obs_([this] { return sim_.Now(); }),
+      fault_injector_(sim_, config.fault_plan, config.fault_seed),
       memory_(config.memory_bytes, config.swap_start_fraction),
       disk_(sim_, fwstore::BlockDevice::Config{}),
       snapshot_store_(sim_, disk_, config.snapshot_store_bytes),
@@ -15,6 +16,11 @@ HostEnv::HostEnv(const Config& config)
   memory_.set_metrics(&obs_.metrics());
   snapshot_store_.set_observability(&obs_);
   broker_.set_observability(&obs_);
+  fault_injector_.set_observability(&obs_);
+  disk_.set_fault_injector(&fault_injector_);
+  snapshot_store_.set_fault_injector(&fault_injector_);
+  broker_.set_fault_injector(&fault_injector_);
+  network_.set_fault_injector(&fault_injector_);
 }
 
 InvocationResult& InvocationResult::operator+=(const InvocationResult& o) {
@@ -23,6 +29,8 @@ InvocationResult& InvocationResult::operator+=(const InvocationResult& o) {
   others += o.others;
   total += o.total;
   cold = cold || o.cold;
+  attempts += o.attempts - 1;  // Accumulate retries; 1 stays 1.
+  cold_boot_fallback = cold_boot_fallback || o.cold_boot_fallback;
   exec_stats += o.exec_stats;
   return *this;
 }

@@ -16,6 +16,7 @@
 
 #include "src/base/status.h"
 #include "src/base/units.h"
+#include "src/fault/fault.h"
 #include "src/lang/function_ir.h"
 #include "src/lang/guest_process.h"
 #include "src/mem/host_memory.h"
@@ -45,6 +46,11 @@ class HostEnv {
     double swap_start_fraction = 0.6;            // vm.swappiness = 60 reading.
     uint64_t snapshot_store_bytes = 1024 * fwbase::kGiB;
     uint64_t seed = 42;
+    // Fault injection (default: empty plan, which is inert — runs are
+    // bit-identical to a host without an injector). The fault seed is its own
+    // stream so enabling faults never perturbs the simulation's RNG.
+    fwfault::FaultPlan fault_plan;
+    uint64_t fault_seed = 4242;
   };
 
   HostEnv() : HostEnv(Config()) {}
@@ -63,10 +69,14 @@ class HostEnv {
   fwbus::Broker& broker() { return broker_; }
   fwstore::Filesystem& host_fs() { return host_fs_; }
   fwstore::DocumentDb& db() { return db_; }
+  // Host-wide fault injector; wired into every subsystem (platforms wire it
+  // into the hypervisors/engines they own).
+  fwfault::FaultInjector& fault_injector() { return fault_injector_; }
 
  private:
   fwsim::Simulation sim_;
   fwobs::Observability obs_;  // Before the subsystems that register metrics.
+  fwfault::FaultInjector fault_injector_;  // Before the subsystems it faults.
   fwmem::HostMemory memory_;
   fwstore::BlockDevice disk_;
   fwstore::SnapshotStore snapshot_store_;
@@ -87,6 +97,11 @@ struct InvocationResult {
   Duration others;
   Duration total;
   bool cold = false;
+  // Recovery bookkeeping: how many attempts the invocation took (1 = no
+  // retry) and whether the platform degraded to a full cold boot after the
+  // snapshot path was exhausted.
+  int attempts = 1;
+  bool cold_boot_fallback = false;
   fwlang::ExecStats exec_stats;
   // Root span of this invocation when the host's tracer was enabled (null
   // otherwise). Points into the HostEnv's tracer: valid until the tracer is

@@ -3,8 +3,16 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/fault/fault.h"
 
 namespace fwbus {
+
+namespace {
+// Poll interval while ConsumeLastWithTimeout waits on an empty partition, and
+// the mean of the extra exponential latency a delay fault adds in Produce.
+constexpr Duration kConsumePollInterval = Duration::Millis(1);
+constexpr Duration kDelayFaultMean = Duration::Millis(5);
+}  // namespace
 
 Broker::Broker(fwsim::Simulation& sim) : Broker(sim, Config()) {}
 
@@ -82,11 +90,28 @@ fwsim::Co<Result<int64_t>> Broker::Produce(const std::string& topic, int partiti
   span.SetAttribute("topic", topic);
   span.SetAttribute("bytes", record.SizeBytes());
   co_await fwsim::Delay(sim_, config_.produce_cost + TransferTime(record.SizeBytes()));
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kBrokerDelayMessage)) {
+    co_await fwsim::Delay(
+        sim_, injector_->SampleDelay(fwfault::FaultKind::kBrokerDelayMessage, kDelayFaultMean));
+  }
   Partition& p = **part;
   record.offset = static_cast<int64_t>(p.log.size());
   const int64_t offset = record.offset;
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kBrokerDropMessage)) {
+    // acks=1 lie: the producer sees success but the record never lands and
+    // waiters are never woken. Consumers must bound their waits.
+    co_return offset;
+  }
+  const bool duplicate =
+      injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kBrokerDuplicateMessage);
   p.log.push_back(std::move(record));
   ++records_produced_;
+  if (duplicate) {
+    Record copy = p.log.back();
+    copy.offset = static_cast<int64_t>(p.log.size());
+    p.log.push_back(std::move(copy));
+    ++records_produced_;
+  }
   if (produce_counter_ != nullptr) {
     produce_counter_->Increment();
     produce_latency_->Observe(static_cast<uint64_t>((sim_.Now() - t0).micros()));
@@ -130,6 +155,33 @@ fwsim::Co<Result<Record>> Broker::ConsumeLast(const std::string& topic, int part
   Partition& p = **part;
   while (p.log.empty()) {
     co_await p.appended.Wait();
+  }
+  // Copy before suspending (see ConsumeAt).
+  Record record = p.log.back();
+  co_await fwsim::Delay(sim_, config_.fetch_cost + TransferTime(record.SizeBytes()));
+  RecordConsume(t0);
+  co_return record;
+}
+
+fwsim::Co<Result<Record>> Broker::ConsumeLastWithTimeout(const std::string& topic,
+                                                         int partition, Duration timeout) {
+  auto part = FindPartition(topic, partition);
+  if (!part.ok()) {
+    co_return part.status();
+  }
+  const fwbase::SimTime t0 = sim_.Now();
+  const fwbase::SimTime deadline = t0 + timeout;
+  fwobs::ScopedSpan span(tracer_, "bus.consume", "msgbus");
+  span.SetAttribute("topic", topic);
+  Partition& p = **part;
+  // Poll instead of waiting on `appended`: a record dropped in flight never
+  // triggers the event, and a consumer stranded on it would hang the run.
+  while (p.log.empty()) {
+    if (sim_.Now() >= deadline) {
+      co_return Status::DeadlineExceeded("no record in " + topic + " within " +
+                                         std::to_string(timeout.millis()) + " ms");
+    }
+    co_await fwsim::Delay(sim_, kConsumePollInterval);
   }
   // Copy before suspending (see ConsumeAt).
   Record record = p.log.back();

@@ -22,6 +22,10 @@
 #include "src/simcore/primitives.h"
 #include "src/simcore/simulation.h"
 
+namespace fwfault {
+class FaultInjector;
+}  // namespace fwfault
+
 namespace fwbus {
 
 using fwbase::Duration;
@@ -59,6 +63,10 @@ class Broker {
   // Observability must outlive the broker.
   void set_observability(fwobs::Observability* obs);
 
+  // Optional: lets the injector drop an acked record before it lands, append
+  // it twice, or add delivery latency (all inside Produce).
+  void set_fault_injector(fwfault::FaultInjector* injector) { injector_ = injector; }
+
   Status CreateTopic(const std::string& topic, int partitions = 1);
   Status DeleteTopic(const std::string& topic);
   bool HasTopic(const std::string& topic) const;
@@ -73,6 +81,14 @@ class Broker {
   // kafkacat -o -1 -c 1: consume one record starting from (end - 1); blocks
   // until the partition is non-empty.
   fwsim::Co<Result<Record>> ConsumeLast(const std::string& topic, int partition);
+
+  // ConsumeLast with a deadline: kDeadlineExceeded if the partition is still
+  // empty `timeout` after the call. When a record is already present (the
+  // normal host-produces-before-resume pattern) the timing is identical to
+  // ConsumeLast. Waiting is a poll loop rather than an event wait so a record
+  // that never arrives (e.g. dropped by a fault) cannot strand the consumer.
+  fwsim::Co<Result<Record>> ConsumeLastWithTimeout(const std::string& topic, int partition,
+                                                   Duration timeout);
 
   // Non-blocking view of the end offset (next offset to be assigned).
   Result<int64_t> EndOffset(const std::string& topic, int partition) const;
@@ -105,6 +121,7 @@ class Broker {
   fwobs::Histogram* produce_latency_ = nullptr;
   fwobs::Histogram* consume_latency_ = nullptr;
   fwobs::Gauge* depth_gauge_ = nullptr;
+  fwfault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace fwbus

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/fault/fault.h"
 
 namespace fwnet {
 
@@ -117,6 +118,9 @@ Status HostNetwork::DestroyNamespace(uint64_t id) {
 }
 
 Status HostNetwork::BindExternalIp(IpAddr external, uint64_t namespace_id) {
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kNetNatExhausted)) {
+    return Status::ResourceExhausted("NAT port allocation failed for " + external.ToString());
+  }
   if (external_bindings_.count(external) != 0) {
     return Status::AlreadyExists("external IP " + external.ToString() + " already bound");
   }
@@ -133,6 +137,9 @@ Duration HostNetwork::TransferTime(uint64_t bytes) const {
 
 fwsim::Co<Result<IpAddr>> HostNetwork::DeliverInbound(IpAddr dst, uint64_t bytes) {
   co_await fwsim::Delay(sim_, config_.wire_latency + TransferTime(bytes));
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kNetLinkLoss)) {
+    co_return Status::Unavailable("packet to " + dst.ToString() + " lost on the wire");
+  }
   auto binding = external_bindings_.find(dst);
   if (binding == external_bindings_.end()) {
     co_return Status::NotFound("no route to " + dst.ToString());
@@ -156,6 +163,9 @@ fwsim::Co<Result<IpAddr>> HostNetwork::SendOutbound(uint64_t namespace_id, IpAdd
     co_return Status::NotFound("no such namespace");
   }
   co_await fwsim::Delay(sim_, config_.tap_cost);
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kNetLinkLoss)) {
+    co_return Status::Unavailable("packet from " + src.ToString() + " lost on the wire");
+  }
   Result<IpAddr> external = ns->TranslateOutbound(src);
   if (!external.ok()) {
     co_return external.status();

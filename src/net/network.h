@@ -20,6 +20,10 @@
 #include "src/net/addr.h"
 #include "src/simcore/simulation.h"
 
+namespace fwfault {
+class FaultInjector;
+}  // namespace fwfault
+
 namespace fwnet {
 
 using fwbase::Duration;
@@ -80,6 +84,10 @@ class HostNetwork {
   explicit HostNetwork(fwsim::Simulation& sim);
   HostNetwork(fwsim::Simulation& sim, const Config& config);
 
+  // Optional: link-loss faults in Deliver/Send (packet charged, then lost)
+  // and NAT port exhaustion in BindExternalIp.
+  void set_fault_injector(fwfault::FaultInjector* injector) { injector_ = injector; }
+
   // Allocates the next unused external IP (from 10.200.0.0/16).
   IpAddr AllocateExternalIp();
 
@@ -119,6 +127,7 @@ class HostNetwork {
   uint64_t packets_delivered_ = 0;
   uint64_t packets_sent_ = 0;
   uint64_t nat_translations_ = 0;
+  fwfault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace fwnet

@@ -4,6 +4,7 @@
 
 #include "src/base/check.h"
 #include "src/base/logging.h"
+#include "src/fault/fault.h"
 
 namespace fwbox {
 
@@ -73,6 +74,10 @@ fwsim::Co<Status> ContainerEngine::Unpause(Container& c) {
     co_return Status::FailedPrecondition("unpause requires a paused container");
   }
   co_await fwsim::Delay(sim_, config_.unpause_cost);
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kSandboxCrash)) {
+    c.set_state(ContainerState::kDead);
+    co_return Status::Unavailable("sandbox " + c.name() + " crashed on unpause");
+  }
   c.set_state(ContainerState::kRunning);
   co_return Status::Ok();
 }
@@ -114,6 +119,10 @@ fwsim::Co<Result<Container*>> ContainerEngine::RestoreCheckpoint(
   co_await fwsim::Delay(sim_, config_.namespace_setup_cost + config_.cgroup_setup_cost +
                                   config_.sentry_spawn_cost + config_.gofer_spawn_cost +
                                   config_.restore_state_cost);
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kSandboxCrash)) {
+    // The Sentry died before the container was registered: nothing to clean up.
+    co_return Status::Unavailable("sandbox crashed restoring " + checkpoint_name);
+  }
   auto space = std::make_unique<fwmem::AddressSpace>(host_memory_, *image);
   const uint64_t id = next_id_++;
   auto container = std::make_unique<Container>(id, container_name, config, std::move(space));

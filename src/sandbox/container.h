@@ -30,6 +30,10 @@
 #include "src/storage/filesystem.h"
 #include "src/storage/snapshot_store.h"
 
+namespace fwfault {
+class FaultInjector;
+}  // namespace fwfault
+
 namespace fwbox {
 
 using fwbase::Duration;
@@ -106,6 +110,10 @@ class ContainerEngine {
   ContainerEngine(fwsim::Simulation& sim, fwmem::HostMemory& host_memory,
                   fwstore::SnapshotStore& checkpoint_store, const Config& config);
 
+  // Optional: sandbox crash faults on unpause and checkpoint restore. A
+  // crashed container transitions to kDead and still needs Destroy().
+  void set_fault_injector(fwfault::FaultInjector* injector) { injector_ = injector; }
+
   // Creates and starts a container. `base_image` (may be null) is the runtime
   // rootfs; its read-only pages are shared across containers.
   fwsim::Co<Container*> CreateContainer(const std::string& name, const ContainerConfig& config,
@@ -146,6 +154,7 @@ class ContainerEngine {
   uint64_t next_id_ = 1;
   uint64_t containers_created_ = 0;
   uint64_t checkpoints_taken_ = 0;
+  fwfault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace fwbox

@@ -1,5 +1,7 @@
 #include "src/storage/block_device.h"
 
+#include "src/fault/fault.h"
+
 namespace fwstore {
 
 BlockDevice::BlockDevice(fwsim::Simulation& sim, const Config& config)
@@ -25,6 +27,15 @@ fwsim::Co<void> BlockDevice::Read(uint64_t bytes) {
   bytes_read_ += bytes;
   ++read_ops_;
   co_await DoOp(ReadCost(bytes));
+  // Media read errors are absorbed by the device retrying the op. Each retry
+  // is a fresh injection opportunity; the cap keeps a plan with
+  // probability ~1.0 from looping forever.
+  int budget = 8;
+  while (budget-- > 0 && injector_ != nullptr &&
+         injector_->Trip(fwfault::FaultKind::kDiskReadError)) {
+    ++io_retries_;
+    co_await DoOp(ReadCost(bytes));
+  }
 }
 
 fwsim::Co<void> BlockDevice::Write(uint64_t bytes) {

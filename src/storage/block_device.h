@@ -11,6 +11,10 @@
 #include "src/simcore/primitives.h"
 #include "src/simcore/simulation.h"
 
+namespace fwfault {
+class FaultInjector;
+}  // namespace fwfault
+
 namespace fwstore {
 
 using fwbase::Duration;
@@ -27,6 +31,11 @@ class BlockDevice {
 
   BlockDevice(fwsim::Simulation& sim, const Config& config);
 
+  // Optional: media read errors from the injector are absorbed here by the
+  // device's own retry (the op cost is charged again), mirroring firmware
+  // behaviour. Callers never see them; io_retries() counts the re-reads.
+  void set_fault_injector(fwfault::FaultInjector* injector) { injector_ = injector; }
+
   fwsim::Co<void> Read(uint64_t bytes);
   fwsim::Co<void> Write(uint64_t bytes);
 
@@ -38,6 +47,7 @@ class BlockDevice {
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t read_ops() const { return read_ops_; }
   uint64_t write_ops() const { return write_ops_; }
+  uint64_t io_retries() const { return io_retries_; }
 
  private:
   fwsim::Co<void> DoOp(Duration cost);
@@ -49,6 +59,8 @@ class BlockDevice {
   uint64_t bytes_written_ = 0;
   uint64_t read_ops_ = 0;
   uint64_t write_ops_ = 0;
+  uint64_t io_retries_ = 0;
+  fwfault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace fwstore

@@ -4,6 +4,7 @@
 
 #include "src/base/check.h"
 #include "src/base/logging.h"
+#include "src/fault/fault.h"
 
 namespace fwstore {
 
@@ -62,6 +63,9 @@ fwsim::Co<Status> SnapshotStore::Save(std::shared_ptr<fwmem::SnapshotImage> imag
   // Pay the disk write for the memory file + a small vmstate file. The file
   // was just written, so its pages are warm in the host page cache.
   co_await device_.Write(bytes);
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kDiskWriteError)) {
+    co_return Status::Unavailable("snapshot store: write error persisting " + name);
+  }
   image->set_cache_warm(true);
   order_.push_back(name);
   auto it = std::prev(order_.end());
@@ -91,6 +95,17 @@ Result<std::shared_ptr<fwmem::SnapshotImage>> SnapshotStore::Get(const std::stri
       miss_counter_->Increment();
     }
     return Status::NotFound("snapshot " + name + " not in store");
+  }
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kSnapshotCorruption)) {
+    // Checksum mismatch: the on-disk file is garbage. Drop the entry so the
+    // caller's re-install path can Save a fresh copy under the same name.
+    used_bytes_ -= it->second.image->file_bytes();
+    order_.erase(it->second.order_it);
+    entries_.erase(it);
+    if (used_bytes_gauge_ != nullptr) {
+      used_bytes_gauge_->Set(static_cast<double>(used_bytes_));
+    }
+    return Status::DataLoss("snapshot " + name + " failed checksum verification");
   }
   ++hits_;
   if (hit_counter_ != nullptr) {

@@ -19,6 +19,10 @@
 #include "src/obs/observability.h"
 #include "src/storage/block_device.h"
 
+namespace fwfault {
+class FaultInjector;
+}  // namespace fwfault
+
 namespace fwstore {
 
 using fwbase::Result;
@@ -34,6 +38,10 @@ class SnapshotStore {
   // Optional: mirror hit/miss/eviction/save accounting into "store.*" metrics.
   // The Observability must outlive the store.
   void set_observability(fwobs::Observability* obs);
+
+  // Optional: inject write errors at Save (kUnavailable) and checksum
+  // mismatches at Get (kDataLoss, entry dropped so callers can re-install).
+  void set_fault_injector(fwfault::FaultInjector* injector) { injector_ = injector; }
 
   // Persists the image (paying the disk-write time for its file bytes),
   // evicting per policy if needed. Fails with kResourceExhausted when the
@@ -84,6 +92,7 @@ class SnapshotStore {
   fwobs::Counter* evict_counter_ = nullptr;
   fwobs::Counter* save_counter_ = nullptr;
   fwobs::Gauge* used_bytes_gauge_ = nullptr;
+  fwfault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace fwstore

@@ -4,6 +4,7 @@
 
 #include "src/base/check.h"
 #include "src/base/logging.h"
+#include "src/fault/fault.h"
 
 namespace fwvmm {
 
@@ -121,6 +122,10 @@ fwsim::Co<Status> Hypervisor::Resume(MicroVm& vm) {
     co_return Status::FailedPrecondition("resume requires a paused VM");
   }
   co_await fwsim::Delay(sim_, config_.api_request_cost + config_.resume_cost);
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kVmCrashOnResume)) {
+    vm.set_state(VmState::kDead);
+    co_return Status::Unavailable("VMM process crashed resuming " + vm.name());
+  }
   vm.set_state(VmState::kRunning);
   co_return Status::Ok();
 }
@@ -165,6 +170,10 @@ fwsim::Co<Result<MicroVm*>> Hypervisor::RestoreMicroVm(const std::string& snapsh
   // guest boot: execution continues from the snapshot point.
   co_await fwsim::Delay(sim_, config_.api_request_cost + config_.restore_process_cost +
                                   config_.restore_vmstate_cost);
+  if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kVmCrashOnResume)) {
+    // The fresh VMM died before the VM was registered: nothing to clean up.
+    co_return Status::Unavailable("VMM process crashed restoring " + snapshot_name);
+  }
   auto space = std::make_unique<fwmem::AddressSpace>(host_memory_, *image);
   const uint64_t id = next_vm_id_++;
   auto vm = std::make_unique<MicroVm>(id, vm_name, MicroVmConfig(), std::move(space),

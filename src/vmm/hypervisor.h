@@ -31,6 +31,10 @@
 #include "src/storage/snapshot_store.h"
 #include "src/vmm/microvm.h"
 
+namespace fwfault {
+class FaultInjector;
+}  // namespace fwfault
+
 namespace fwvmm {
 
 using fwbase::Duration;
@@ -90,6 +94,10 @@ class Hypervisor {
   // Optional: spans for VM lifecycle operations plus "hv.*" / "mem.fault.*"
   // metrics. The Observability must outlive the hypervisor.
   void set_observability(fwobs::Observability* obs);
+
+  // Optional: VMM crash faults during snapshot restore and resume. A crashed
+  // VM transitions to kDead and still owns its frames until Destroy().
+  void set_fault_injector(fwfault::FaultInjector* injector) { injector_ = injector; }
 
   // --- Lifecycle -----------------------------------------------------------
 
@@ -163,6 +171,7 @@ class Hypervisor {
   fwobs::Counter* vm_create_counter_ = nullptr;
   fwobs::Counter* vm_restore_counter_ = nullptr;
   fwobs::Counter* snapshot_counter_ = nullptr;
+  fwfault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace fwvmm

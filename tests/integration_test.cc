@@ -213,12 +213,13 @@ TEST_F(RegenerationTest, RegenerateUnknownFunctionFails) {
 // Snapshot-store pressure with unpinned snapshots.
 // ---------------------------------------------------------------------------
 
-TEST(StorePressureTest, EvictedSnapshotMakesInvokeFailCleanly) {
+TEST(StorePressureTest, EvictedSnapshotFailsCleanlyWithoutFallback) {
   HostEnv::Config host_config;
   host_config.snapshot_store_bytes = 500 * fwbase::kMiB;  // Fits ~2 snapshots.
   HostEnv env(host_config);
   FireworksPlatform::Config config;
   config.pin_snapshots = false;
+  config.cold_boot_fallback = false;
   FireworksPlatform platform(env, config);
 
   std::vector<std::string> names;
@@ -229,13 +230,41 @@ TEST(StorePressureTest, EvictedSnapshotMakesInvokeFailCleanly) {
     names.push_back(fn.name);
   }
   EXPECT_GT(env.snapshot_store().evictions(), 0u);
-  // The oldest snapshot was evicted: invoking it fails with NOT_FOUND rather
-  // than crashing; the freshest still works.
+  // The oldest snapshot was evicted: with the cold-boot fallback disabled,
+  // invoking it fails with NOT_FOUND rather than crashing (and without
+  // burning retries — eviction is not transient). The freshest still works.
   auto evicted = RunSync(env.sim(), platform.Invoke(names[0], "{}", InvokeOptions()));
   EXPECT_FALSE(evicted.ok());
   EXPECT_EQ(evicted.status().code(), fwbase::StatusCode::kNotFound);
+  EXPECT_EQ(env.memory().used_bytes(), 0u);
   auto fresh = RunSync(env.sim(), platform.Invoke(names[2], "{}", InvokeOptions()));
   EXPECT_TRUE(fresh.ok());
+}
+
+TEST(StorePressureTest, EvictedSnapshotDegradesToColdBoot) {
+  HostEnv::Config host_config;
+  host_config.snapshot_store_bytes = 500 * fwbase::kMiB;  // Fits ~2 snapshots.
+  HostEnv env(host_config);
+  FireworksPlatform::Config config;
+  config.pin_snapshots = false;  // cold_boot_fallback stays on (default).
+  FireworksPlatform platform(env, config);
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 3; ++i) {
+    FunctionSource fn = Fact();
+    fn.name = "fn-" + std::to_string(i);
+    ASSERT_TRUE(RunSync(env.sim(), platform.Install(fn)).ok()) << i;
+    names.push_back(fn.name);
+  }
+  EXPECT_GT(env.snapshot_store().evictions(), 0u);
+  // With the default config the platform degrades the evicted function to a
+  // full cold boot instead of failing the invocation.
+  auto evicted = RunSync(env.sim(), platform.Invoke(names[0], "{}", InvokeOptions()));
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_TRUE(evicted->cold);
+  EXPECT_TRUE(evicted->cold_boot_fallback);
+  EXPECT_EQ(evicted->startup + evicted->exec + evicted->others, evicted->total);
+  EXPECT_EQ(env.memory().used_bytes(), 0u);
 }
 
 // ---------------------------------------------------------------------------

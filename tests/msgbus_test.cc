@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/msgbus/broker.h"
 #include "tests/test_util.h"
 
@@ -152,6 +153,91 @@ TEST_F(BrokerTest, ManyInstanceTopicsPattern) {
     auto record = RunSync(sim_, broker_.ConsumeLast("topic" + std::to_string(fc), 0));
     EXPECT_EQ(record->value, "args" + std::to_string(fc));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-twin tests: broker behavior with an injector attached.
+// ---------------------------------------------------------------------------
+
+TEST_F(BrokerTest, ConsumeLastWithTimeoutMatchesConsumeLastWhenRecordPresent) {
+  // Happy-path twin: with the record already in the log, the bounded consume
+  // is indistinguishable from the unbounded one (value and timing).
+  broker_.CreateTopic("a");
+  broker_.CreateTopic("b");
+  RunSync(sim_, broker_.Produce("a", 0, {"", "args"}));
+  RunSync(sim_, broker_.Produce("b", 0, {"", "args"}));
+
+  auto t0 = sim_.Now();
+  auto plain = RunSync(sim_, broker_.ConsumeLast("a", 0));
+  const auto plain_elapsed = sim_.Now() - t0;
+  t0 = sim_.Now();
+  auto bounded = RunSync(sim_, broker_.ConsumeLastWithTimeout("b", 0, 500_ms));
+  const auto bounded_elapsed = sim_.Now() - t0;
+
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(plain->value, bounded->value);
+  EXPECT_EQ(plain_elapsed.nanos(), bounded_elapsed.nanos());
+}
+
+TEST_F(BrokerTest, DropFaultAcksButRecordNeverLands) {
+  fwfault::FaultPlan plan;
+  plan.Set(fwfault::FaultKind::kBrokerDropMessage, 1.0, /*max_trips=*/1);
+  fwfault::FaultInjector injector(sim_, plan, 9);
+  broker_.set_fault_injector(&injector);
+
+  broker_.CreateTopic("t");
+  // The producer is lied to (acks=1 semantics): it receives an offset...
+  auto offset = RunSync(sim_, broker_.Produce("t", 0, {"", "lost"}));
+  ASSERT_TRUE(offset.ok());
+  // ...but the record never lands; a bounded consumer times out instead of
+  // hanging forever.
+  const auto t0 = sim_.Now();
+  auto consumed = RunSync(sim_, broker_.ConsumeLastWithTimeout("t", 0, 50_ms));
+  EXPECT_EQ(consumed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE((sim_.Now() - t0).nanos(), (50_ms).nanos());
+
+  // Budget spent: the retry lands and is consumable.
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"", "retry"})).ok());
+  auto record = RunSync(sim_, broker_.ConsumeLastWithTimeout("t", 0, 50_ms));
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->value, "retry");
+}
+
+TEST_F(BrokerTest, DuplicateFaultAppendsRecordTwice) {
+  fwfault::FaultPlan plan;
+  plan.Set(fwfault::FaultKind::kBrokerDuplicateMessage, 1.0, /*max_trips=*/1);
+  fwfault::FaultInjector injector(sim_, plan, 9);
+  broker_.set_fault_injector(&injector);
+
+  broker_.CreateTopic("t");
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"", "dup"})).ok());
+  auto first = RunSync(sim_, broker_.ConsumeAt("t", 0, 0));
+  auto second = RunSync(sim_, broker_.ConsumeAt("t", 0, 1));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->value, "dup");
+  EXPECT_EQ(second->value, "dup");
+  EXPECT_EQ(broker_.records_produced(), 2u);
+}
+
+TEST_F(BrokerTest, DelayFaultAddsDeterministicLatency) {
+  broker_.CreateTopic("t");
+  const auto base_t0 = sim_.Now();
+  RunSync(sim_, broker_.Produce("t", 0, {"", "fast"}));
+  const auto base_elapsed = sim_.Now() - base_t0;
+
+  fwfault::FaultPlan plan;
+  plan.Set(fwfault::FaultKind::kBrokerDelayMessage, 1.0);
+  fwfault::FaultInjector injector(sim_, plan, 9);
+  broker_.set_fault_injector(&injector);
+  const auto slow_t0 = sim_.Now();
+  RunSync(sim_, broker_.Produce("t", 0, {"", "slow"}));
+  const auto slow_elapsed = sim_.Now() - slow_t0;
+  EXPECT_GT(slow_elapsed.nanos(), base_elapsed.nanos());
+  // The delayed record still lands, in order.
+  auto record = RunSync(sim_, broker_.ConsumeLast("t", 0));
+  EXPECT_EQ(record->value, "slow");
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include <tuple>
 #include <vector>
 
+#include "src/base/rng.h"
+#include "src/base/stats.h"
 #include "src/baselines/container_platform.h"
 #include "src/baselines/firecracker.h"
 #include "src/core/fireworks.h"
@@ -300,6 +302,153 @@ INSTANTIATE_TEST_SUITE_P(
       return SanitizeName(std::string(KindName(std::get<0>(info.param))) + "_" +
                           fwwork::FaasdomBenchName(std::get<1>(info.param)));
     });
+
+// ---------------------------------------------------------------------------
+// Simulation determinism: the same seed replays the identical event order.
+// ---------------------------------------------------------------------------
+
+class EventOrderTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EventOrderTest, SameSeedSameEventOrder) {
+  // A fleet of coroutines, each sleeping RNG-drawn delays and logging its
+  // wake-ups. The interleaved wake-up order (worker id, sim time) must replay
+  // exactly under the same seed.
+  auto run = [](uint64_t seed) {
+    fwsim::Simulation sim(seed);
+    std::vector<std::pair<int, int64_t>> order;
+    for (int w = 0; w < 8; ++w) {
+      sim.Spawn([](fwsim::Simulation& s, int id,
+                   std::vector<std::pair<int, int64_t>>& log) -> fwsim::Co<void> {
+        for (int i = 0; i < 20; ++i) {
+          co_await fwsim::Delay(
+              s, fwbase::Duration::Nanos(static_cast<int64_t>(s.rng().Exponential(50'000.0))));
+          log.emplace_back(id, s.Now().nanos());
+        }
+      }(sim, w, order));
+    }
+    sim.Run();
+    return order;
+  };
+  const uint64_t seed = GetParam();
+  const auto a = run(seed);
+  const auto b = run(seed);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 8u * 20u);
+  // And a different seed produces a different interleaving.
+  EXPECT_NE(a, run(seed + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EventOrderTest, ::testing::Values(1u, 42u, 1337u));
+
+// ---------------------------------------------------------------------------
+// RNG stream independence: Fork() yields streams that do not interfere.
+// ---------------------------------------------------------------------------
+
+TEST(RngForkTest, ChildDrawsDoNotPerturbParent) {
+  fwbase::Rng a(99);
+  fwbase::Rng b(99);
+  fwbase::Rng a_child = a.Fork();
+  fwbase::Rng b_child = b.Fork();
+  // Drain the two children by different amounts; the parents must still
+  // agree draw-for-draw.
+  for (int i = 0; i < 100; ++i) {
+    (void)a_child.NextU64();
+  }
+  (void)b_child.NextU64();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64()) << "fork drains leaked into the parent";
+  }
+}
+
+TEST(RngForkTest, SiblingStreamsDiffer) {
+  fwbase::Rng master(7);
+  fwbase::Rng first = master.Fork();
+  fwbase::Rng second = master.Fork();
+  int agreements = 0;
+  for (int i = 0; i < 64; ++i) {
+    agreements += first.NextU64() == second.NextU64() ? 1 : 0;
+  }
+  EXPECT_EQ(agreements, 0) << "sibling forks produced overlapping streams";
+}
+
+// ---------------------------------------------------------------------------
+// Stats merge: Merge() is associative, so sharded collection (e.g. per-seed
+// chaos shards) can be folded in any grouping without changing the answer.
+// ---------------------------------------------------------------------------
+
+TEST(StatsMergeTest, SampleStatsMergeMatchesSequentialAndIsAssociative) {
+  fwbase::Rng rng(2024);
+  fwbase::SampleStats parts[3];
+  fwbase::SampleStats sequential;
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 200 + 100 * p; ++i) {
+      const double x = rng.Exponential(3.5);
+      parts[p].Add(x);
+      sequential.Add(x);
+    }
+  }
+  // (a ⊕ b) ⊕ c
+  fwbase::SampleStats left;
+  left.Merge(parts[0]);
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  // a ⊕ (b ⊕ c)
+  fwbase::SampleStats bc;
+  bc.Merge(parts[1]);
+  bc.Merge(parts[2]);
+  fwbase::SampleStats right;
+  right.Merge(parts[0]);
+  right.Merge(bc);
+
+  for (const fwbase::SampleStats* s : {&left, &right}) {
+    EXPECT_EQ(s->count(), sequential.count());
+    EXPECT_NEAR(s->mean(), sequential.mean(), 1e-9);
+    EXPECT_NEAR(s->stddev(), sequential.stddev(), 1e-9);
+    EXPECT_NEAR(s->sum(), sequential.sum(), 1e-6);
+    // Order statistics are exact: retained samples only get re-sorted.
+    EXPECT_EQ(s->min(), sequential.min());
+    EXPECT_EQ(s->max(), sequential.max());
+    EXPECT_EQ(s->Percentile(50.0), sequential.Percentile(50.0));
+    EXPECT_EQ(s->Percentile(99.0), sequential.Percentile(99.0));
+  }
+  // Merging an empty side is the identity.
+  fwbase::SampleStats empty;
+  left.Merge(empty);
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.mean(), sequential.mean(), 1e-9);
+}
+
+TEST(StatsMergeTest, LogHistogramMergeIsExactlyAssociative) {
+  fwbase::Rng rng(31337);
+  fwbase::LogHistogram parts[3];
+  fwbase::LogHistogram sequential;
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t v = rng.UniformU64(1u << (8 + 8 * p));
+      parts[p].Add(v);
+      sequential.Add(v);
+    }
+  }
+  fwbase::LogHistogram left;
+  left.Merge(parts[0]);
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  fwbase::LogHistogram bc;
+  bc.Merge(parts[1]);
+  bc.Merge(parts[2]);
+  fwbase::LogHistogram right;
+  right.Merge(parts[0]);
+  right.Merge(bc);
+
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_EQ(right.count(), sequential.count());
+  EXPECT_EQ(left.ToString(), sequential.ToString());
+  EXPECT_EQ(right.ToString(), sequential.ToString());
+  for (double p : {50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(left.PercentileUpperBound(p), sequential.PercentileUpperBound(p));
+    EXPECT_EQ(right.PercentileUpperBound(p), sequential.PercentileUpperBound(p));
+  }
+}
 
 }  // namespace
 }  // namespace fwcore

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "src/fault/fault.h"
 #include "src/mem/host_memory.h"
 #include "src/sandbox/container.h"
 #include "src/storage/block_device.h"
@@ -138,6 +139,79 @@ TEST_F(ContainerEngineTest, GvisorComputePenalty) {
 TEST_F(ContainerEngineTest, RuntimeNames) {
   EXPECT_STREQ(ContainerRuntimeName(ContainerRuntime::kRunc), "runc");
   EXPECT_STREQ(ContainerRuntimeName(ContainerRuntime::kGvisor), "gvisor");
+}
+
+// ---------------------------------------------------------------------------
+// Fault-twin tests: the same lifecycle paths with an injector attached.
+// ---------------------------------------------------------------------------
+
+TEST_F(ContainerEngineTest, UnpauseCrashFaultKillsContainerWithTypedError) {
+  fwfault::FaultPlan plan;
+  plan.Set(fwfault::FaultKind::kSandboxCrash, 1.0, /*max_trips=*/1);
+  fwfault::FaultInjector injector(sim_, plan, 3);
+  engine_.set_fault_injector(&injector);
+
+  Container* c = RunSync(
+      sim_, engine_.CreateContainer("c", ContainerConfig(ContainerRuntime::kRunc), nullptr));
+  ASSERT_TRUE(RunSync(sim_, engine_.Pause(*c)).ok());
+  Status resumed = RunSync(sim_, engine_.Unpause(*c));
+  EXPECT_EQ(resumed.code(), fwbase::StatusCode::kUnavailable);
+  EXPECT_EQ(c->state(), ContainerState::kDead);
+  // Destroying the dead container releases everything.
+  EXPECT_TRUE(engine_.Destroy(*c).ok());
+  EXPECT_EQ(host_.used_bytes(), 0u);
+
+  // Budget spent: the next cycle works.
+  Container* c2 = RunSync(
+      sim_, engine_.CreateContainer("c2", ContainerConfig(ContainerRuntime::kRunc), nullptr));
+  ASSERT_TRUE(RunSync(sim_, engine_.Pause(*c2)).ok());
+  EXPECT_TRUE(RunSync(sim_, engine_.Unpause(*c2)).ok());
+}
+
+TEST_F(ContainerEngineTest, RestoreCrashFaultRegistersNothing) {
+  Container* c = RunSync(
+      sim_, engine_.CreateContainer("c", ContainerConfig(ContainerRuntime::kGvisor), nullptr));
+  ASSERT_TRUE(RunSync(sim_, engine_.Checkpoint(*c, "cp")).ok());
+  ASSERT_TRUE(engine_.Destroy(*c).ok());
+
+  fwfault::FaultPlan plan;
+  plan.Set(fwfault::FaultKind::kSandboxCrash, 1.0, /*max_trips=*/1);
+  fwfault::FaultInjector injector(sim_, plan, 3);
+  engine_.set_fault_injector(&injector);
+
+  auto crashed = RunSync(sim_, engine_.RestoreCheckpoint(
+                                   "cp", "c2", ContainerConfig(ContainerRuntime::kGvisor)));
+  EXPECT_FALSE(crashed.ok());
+  EXPECT_EQ(crashed.status().code(), fwbase::StatusCode::kUnavailable);
+  EXPECT_EQ(engine_.live_container_count(), 0u);
+  EXPECT_EQ(host_.used_bytes(), 0u);
+
+  // Budget spent: the retry restores normally.
+  auto restored = RunSync(sim_, engine_.RestoreCheckpoint(
+                                    "cp", "c3", ContainerConfig(ContainerRuntime::kGvisor)));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->state(), ContainerState::kRunning);
+}
+
+TEST_F(ContainerEngineTest, EmptyPlanInjectorIsInert) {
+  // Happy-path twin of PauseUnpauseLifecycle with an inert injector attached.
+  Container* baseline = RunSync(
+      sim_, engine_.CreateContainer("c", ContainerConfig(ContainerRuntime::kRunc), nullptr));
+  ASSERT_TRUE(RunSync(sim_, engine_.Pause(*baseline)).ok());
+  auto t0 = sim_.Now();
+  ASSERT_TRUE(RunSync(sim_, engine_.Unpause(*baseline)).ok());
+  const auto without_injector = sim_.Now() - t0;
+
+  fwfault::FaultInjector injector(sim_, fwfault::FaultPlan(), 3);
+  engine_.set_fault_injector(&injector);
+  Container* twin = RunSync(
+      sim_, engine_.CreateContainer("c2", ContainerConfig(ContainerRuntime::kRunc), nullptr));
+  ASSERT_TRUE(RunSync(sim_, engine_.Pause(*twin)).ok());
+  t0 = sim_.Now();
+  ASSERT_TRUE(RunSync(sim_, engine_.Unpause(*twin)).ok());
+  EXPECT_EQ((sim_.Now() - t0).nanos(), without_injector.nanos());
+  EXPECT_EQ(injector.total_trips(), 0u);
+  EXPECT_GT(injector.opportunities(fwfault::FaultKind::kSandboxCrash), 0u);
 }
 
 }  // namespace

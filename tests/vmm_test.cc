@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "src/fault/fault.h"
 #include "src/mem/host_memory.h"
 #include "src/storage/block_device.h"
 #include "src/storage/snapshot_store.h"
@@ -15,6 +16,7 @@ namespace fwvmm {
 namespace {
 
 using fwbase::Duration;
+using fwbase::Status;
 using fwbase::kMiB;
 using fwbase::kPageSize;
 using fwsim::Co;
@@ -210,6 +212,74 @@ TEST_F(HypervisorTest, ManyClonesFromOneSnapshot) {
 TEST_F(HypervisorTest, VmStateNames) {
   EXPECT_STREQ(VmStateName(VmState::kRunning), "running");
   EXPECT_STREQ(VmStateName(VmState::kDead), "dead");
+}
+
+// ---------------------------------------------------------------------------
+// Fault-twin tests: the same lifecycle paths with an injector attached.
+// ---------------------------------------------------------------------------
+
+TEST_F(HypervisorTest, ResumeCrashFaultKillsVmWithTypedError) {
+  fwfault::FaultPlan plan;
+  plan.Set(fwfault::FaultKind::kVmCrashOnResume, 1.0, /*max_trips=*/1);
+  fwfault::FaultInjector injector(sim_, plan, 5);
+  hv_.set_fault_injector(&injector);
+
+  MicroVm* vm = CreateBooted("vm0");
+  ASSERT_TRUE(RunSync(sim_, hv_.Pause(*vm)).ok());
+  Status resumed = RunSync(sim_, hv_.Resume(*vm));
+  EXPECT_EQ(resumed.code(), fwbase::StatusCode::kUnavailable);
+  EXPECT_EQ(vm->state(), VmState::kDead);
+  // A dead VM can still be destroyed cleanly — no leaked frames.
+  EXPECT_TRUE(hv_.Destroy(*vm).ok());
+  EXPECT_EQ(host_.used_bytes(), 0u);
+
+  // The trip budget is spent: the next pause/resume cycle succeeds.
+  MicroVm* vm2 = CreateBooted("vm1");
+  ASSERT_TRUE(RunSync(sim_, hv_.Pause(*vm2)).ok());
+  EXPECT_TRUE(RunSync(sim_, hv_.Resume(*vm2)).ok());
+  EXPECT_EQ(injector.trips(fwfault::FaultKind::kVmCrashOnResume), 1u);
+}
+
+TEST_F(HypervisorTest, RestoreCrashFaultRegistersNothing) {
+  MicroVm* vm = CreateBooted("vm0");
+  ASSERT_TRUE(RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0")).ok());
+  FW_CHECK(hv_.Destroy(*vm).ok());
+
+  fwfault::FaultPlan plan;
+  plan.Set(fwfault::FaultKind::kVmCrashOnResume, 1.0, /*max_trips=*/1);
+  fwfault::FaultInjector injector(sim_, plan, 5);
+  hv_.set_fault_injector(&injector);
+
+  auto crashed = RunSync(sim_, hv_.RestoreMicroVm("snap0", "clone0"));
+  EXPECT_FALSE(crashed.ok());
+  EXPECT_EQ(crashed.status().code(), fwbase::StatusCode::kUnavailable);
+  EXPECT_EQ(hv_.live_vm_count(), 0u);
+  EXPECT_EQ(host_.used_bytes(), 0u);
+
+  // Budget spent: the retry restores normally from the same snapshot.
+  auto restored = RunSync(sim_, hv_.RestoreMicroVm("snap0", "clone1"));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->state(), VmState::kRunning);
+}
+
+TEST_F(HypervisorTest, EmptyPlanInjectorIsInert) {
+  // Happy-path twin of PauseResumeRoundTrip: an attached injector with an
+  // empty plan changes neither behavior nor timing.
+  fwfault::FaultInjector injector(sim_, fwfault::FaultPlan(), 5);
+  MicroVm* baseline = CreateBooted("vm0");
+  ASSERT_TRUE(RunSync(sim_, hv_.Pause(*baseline)).ok());
+  const auto t0 = sim_.Now();
+  ASSERT_TRUE(RunSync(sim_, hv_.Resume(*baseline)).ok());
+  const Duration without_injector = Elapsed(t0);
+
+  hv_.set_fault_injector(&injector);
+  MicroVm* twin = CreateBooted("vm1");
+  ASSERT_TRUE(RunSync(sim_, hv_.Pause(*twin)).ok());
+  const auto t1 = sim_.Now();
+  ASSERT_TRUE(RunSync(sim_, hv_.Resume(*twin)).ok());
+  EXPECT_EQ(Elapsed(t1).nanos(), without_injector.nanos());
+  EXPECT_EQ(injector.total_trips(), 0u);
+  EXPECT_GT(injector.opportunities(fwfault::FaultKind::kVmCrashOnResume), 0u);
 }
 
 }  // namespace
