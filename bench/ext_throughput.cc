@@ -39,7 +39,8 @@ BurstResult RunBurst(fwbench::PlatformKind kind, int requests, double rate_per_s
   for (int i = 0; i < requests; ++i) {
     arrival = arrival + fwbase::Duration::SecondsF(env.sim().rng().Exponential(1.0 / rate_per_sec));
     env.sim().ScheduleAt(arrival, [&frontend, &fn] {
-      frontend.Submit(fn.name, "{}", fwcore::InvokeOptions());
+      // Fire-and-forget: throughput is measured via frontend.completed().
+      (void)frontend.Submit(fn.name, "{}", fwcore::InvokeOptions());
     });
   }
   env.sim().Run();

@@ -1,34 +1,37 @@
 #!/bin/sh
 # Determinism lint: the whole simulation must be a pure function of
 # (workload, seed, fault plan). That only holds if no code reads a wall clock
-# or an unseeded/system RNG. This grep rejects the usual offenders everywhere
-# except the two files allowed to touch the outside world:
-#   src/base/rng.cc   — may seed from the OS when the caller asks for entropy
-#   src/obs/clock.*   — the sim-clock facade itself
+# or an unseeded/system RNG outside the two files allowed to touch the
+# outside world (src/base/rng.* and src/obs/clock.*).
+#
+# Historically this was a 34-line grep; it mis-flagged comments, strings, and
+# identifiers that merely *contain* an offending name. It is now a thin
+# wrapper over the token-aware checker in tools/fwlint, which lexes each file
+# and only diagnoses real code tokens. Per-line opt-outs use
+# `// fwlint:allow(determinism)`.
 #
 # Run from anywhere; scans src/ bench/ tests/ examples/ relative to the repo
-# root. Exits 1 and prints the offending lines on any hit.
-set -u
+# root. Exits non-zero and prints file:line diagnostics on any hit. Reuses an
+# existing fwlint binary (build/tools/fwlint/fwlint or $FWLINT) when present;
+# otherwise builds one into build-fwlint/.
+set -eu
 cd "$(dirname "$0")/.."
 
-pattern='std::rand|[^_a-zA-Z]srand *\(|random_device|mt19937|minstd_rand|system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|time *\( *NULL *\)|time *\( *nullptr *\)'
-
-dirs=""
-for d in src bench tests examples; do
-  [ -d "$d" ] && dirs="$dirs $d"
-done
-
-# shellcheck disable=SC2086
-hits=$(grep -rnE "$pattern" $dirs \
-  --include='*.cc' --include='*.h' \
-  | grep -v '^src/base/rng\.' \
-  | grep -v '^src/obs/clock\.' \
-  || true)
-
-if [ -n "$hits" ]; then
-  echo "determinism lint FAILED — wall-clock or unseeded RNG use outside the allowlist:" >&2
-  echo "$hits" >&2
-  echo "Use fwsim::Simulation::Now()/rng() (or fwbase::Rng with an explicit seed) instead." >&2
-  exit 1
+FWLINT="${FWLINT:-}"
+if [ -z "$FWLINT" ]; then
+  for candidate in build/tools/fwlint/fwlint build-fwlint/tools/fwlint/fwlint; do
+    if [ -x "$candidate" ]; then
+      FWLINT="$candidate"
+      break
+    fi
+  done
 fi
-echo "determinism lint OK: no wall-clock or unseeded RNG outside src/base/rng.* and src/obs/clock.*"
+
+if [ -z "$FWLINT" ]; then
+  echo "check_determinism.sh: no fwlint binary found, building one..." >&2
+  cmake -B build-fwlint -S . >/dev/null
+  cmake --build build-fwlint -j --target fwlint >/dev/null
+  FWLINT=build-fwlint/tools/fwlint/fwlint
+fi
+
+exec "$FWLINT" --root=. --check=determinism

@@ -29,7 +29,7 @@ enum class StatusCode {
 
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -76,7 +76,7 @@ class Status {
 // Result<T> holds either a value or an error Status. Accessing the value of an
 // error result is a programming error (FW_CHECK).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : v_(std::move(status)) {  // NOLINT(google-explicit-constructor)

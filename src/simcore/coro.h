@@ -71,12 +71,12 @@ class [[nodiscard]] Co {
   Co& operator=(const Co&) = delete;
   Co& operator=(Co&& other) noexcept {
     if (this != &other) {
-      Destroy();
+      DestroyFrame();
       h_ = std::exchange(other.h_, nullptr);
     }
     return *this;
   }
-  ~Co() { Destroy(); }
+  ~Co() { DestroyFrame(); }
 
   // Awaiting starts the child coroutine; the child resumes us on completion.
   auto operator co_await() && noexcept {
@@ -102,7 +102,7 @@ class [[nodiscard]] Co {
 
   explicit Co(std::coroutine_handle<promise_type> h) : h_(h) {}
 
-  void Destroy() {
+  void DestroyFrame() {
     if (h_) {
       h_.destroy();
       h_ = nullptr;
@@ -127,12 +127,12 @@ class [[nodiscard]] Co<void> {
   Co& operator=(const Co&) = delete;
   Co& operator=(Co&& other) noexcept {
     if (this != &other) {
-      Destroy();
+      DestroyFrame();
       h_ = std::exchange(other.h_, nullptr);
     }
     return *this;
   }
-  ~Co() { Destroy(); }
+  ~Co() { DestroyFrame(); }
 
   auto operator co_await() && noexcept {
     struct Awaiter {
@@ -152,7 +152,7 @@ class [[nodiscard]] Co<void> {
 
   explicit Co(std::coroutine_handle<promise_type> h) : h_(h) {}
 
-  void Destroy() {
+  void DestroyFrame() {
     if (h_) {
       h_.destroy();
       h_ = nullptr;

@@ -30,7 +30,7 @@ class SimEvent {
  public:
   explicit SimEvent(Simulation& sim) : sim_(sim) {}
 
-  class Waiter {
+  class [[nodiscard]] Waiter {
    public:
     explicit Waiter(SimEvent& e) : e_(e) {}
     bool await_ready() const noexcept { return false; }
@@ -79,7 +79,7 @@ class Channel {
     }
   }
 
-  class RecvAwaiter {
+  class [[nodiscard]] RecvAwaiter {
    public:
     explicit RecvAwaiter(Channel& ch) : ch_(ch) {}
     // Ready iff an *unreserved* item exists (items not claimed by waiters that
@@ -141,7 +141,7 @@ class Resource {
     FW_CHECK(capacity >= 0);
   }
 
-  class AcquireAwaiter {
+  class [[nodiscard]] AcquireAwaiter {
    public:
     AcquireAwaiter(Resource& r, int64_t n) : r_(r), n_(n) {}
     bool await_ready() {
@@ -196,7 +196,7 @@ class Resource {
 // ---------------------------------------------------------------------------
 
 template <typename T>
-class Future {
+class [[nodiscard]] Future {
  public:
   struct State {
     explicit State(Simulation& sim) : sim(sim) {}
@@ -213,7 +213,7 @@ class Future {
     return *state_->value;
   }
 
-  class Awaiter {
+  class [[nodiscard]] Awaiter {
    public:
     explicit Awaiter(std::shared_ptr<State> s) : s_(std::move(s)) {}
     bool await_ready() const noexcept { return s_->value.has_value(); }

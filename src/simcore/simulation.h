@@ -15,8 +15,8 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -98,14 +98,18 @@ class Simulation {
   uint64_t events_processed_ = 0;
   bool stop_requested_ = false;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_map<uint64_t, std::coroutine_handle<>> roots_;
+  // Ordered by root id so teardown destroys frames in spawn order; with an
+  // unordered map the destructor's iteration (and any destructor side
+  // effects, e.g. logging) would follow hash order. Flagged by
+  // `fwlint --check=unordered-iteration`.
+  std::map<uint64_t, std::coroutine_handle<>> roots_;
   std::vector<uint64_t> dead_roots_;
   fwbase::Rng rng_;
 };
 
 // Awaitable returned by Delay(): suspends the coroutine and resumes it through
 // the event queue after `d` of simulated time.
-class DelayAwaiter {
+class [[nodiscard]] DelayAwaiter {
  public:
   DelayAwaiter(Simulation& sim, Duration d) : sim_(sim), d_(d) {}
   bool await_ready() const noexcept { return false; }

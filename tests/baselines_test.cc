@@ -40,7 +40,7 @@ class FirecrackerTest : public ::testing::Test {
 
 TEST_F(FirecrackerTest, ColdStartBootsEverything) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(fn)).ok());
   auto result = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->cold);
@@ -50,7 +50,7 @@ TEST_F(FirecrackerTest, ColdStartBootsEverything) {
 
 TEST_F(FirecrackerTest, WarmStartAfterKeepAlive) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(fn)).ok());
   auto cold = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()));
   ASSERT_TRUE(cold.ok());
   EXPECT_TRUE(platform_.HasWarmSandbox(fn.name));
@@ -63,7 +63,7 @@ TEST_F(FirecrackerTest, WarmStartAfterKeepAlive) {
 
 TEST_F(FirecrackerTest, PrewarmMatchesPaperMethodology) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(fn)).ok());
   ASSERT_TRUE(RunSync(env_.sim(), platform_.Prewarm(fn.name)).ok());
   EXPECT_TRUE(platform_.HasWarmSandbox(fn.name));
   auto warm = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()));
@@ -75,8 +75,8 @@ TEST_F(FirecrackerTest, PrewarmMatchesPaperMethodology) {
 
 TEST_F(FirecrackerTest, ForceColdIgnoresWarmSandbox) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform_.Install(fn));
-  RunSync(env_.sim(), platform_.Prewarm(fn.name));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Prewarm(fn.name)).ok());
   InvokeOptions options;
   options.force_cold = true;
   auto result = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", options));
@@ -93,12 +93,12 @@ TEST_F(FirecrackerTest, NoChainSupport) {
 
 TEST_F(FirecrackerTest, ReleaseFreesAllMemory) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(fn)).ok());
   InvokeOptions keep;
   keep.keep_instance = true;
   keep.force_cold = true;
-  RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep));
-  RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep)).ok());
   EXPECT_GT(platform_.MeasurePssBytes(), 0.0);
   platform_.ReleaseInstances();
   EXPECT_EQ(env_.memory().used_bytes(), 0u);
@@ -109,7 +109,7 @@ TEST_F(FirecrackerTest, OsSnapshotModeRestoresFasterThanColdBoot) {
   config.mode = FirecrackerMode::kOsSnapshot;
   FirecrackerPlatform os_snap(env_, config);
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), os_snap.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), os_snap.Install(fn)).ok());
   EXPECT_TRUE(env_.snapshot_store().Contains("fcos-" + fn.name));
 
   auto snap_result = RunSync(env_.sim(), os_snap.Invoke(fn.name, "{}", InvokeOptions()));
@@ -138,7 +138,7 @@ class ContainerPlatformsTest : public ::testing::Test {
 
 TEST_F(ContainerPlatformsTest, OpenWhiskColdIncludesControllerOverhead) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), openwhisk_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), openwhisk_.Install(fn)).ok());
   auto result = RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", InvokeOptions()));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->cold);
@@ -148,8 +148,8 @@ TEST_F(ContainerPlatformsTest, OpenWhiskColdIncludesControllerOverhead) {
 
 TEST_F(ContainerPlatformsTest, OpenWhiskWarmIsFast) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), openwhisk_.Install(fn));
-  RunSync(env_.sim(), openwhisk_.Prewarm(fn.name));
+  ASSERT_TRUE(RunSync(env_.sim(), openwhisk_.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), openwhisk_.Prewarm(fn.name)).ok());
   auto warm = RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", InvokeOptions()));
   ASSERT_TRUE(warm.ok());
   EXPECT_FALSE(warm->cold);
@@ -166,8 +166,8 @@ TEST_F(ContainerPlatformsTest, GvisorColdSlowerThanOpenWhiskSandboxPart) {
   // sandbox-only start-up by subtracting controller costs: gVisor's sandbox
   // creation must be slower than runc's.
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), openwhisk_.Install(fn));
-  RunSync(env_.sim(), gvisor_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), openwhisk_.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), gvisor_.Install(fn)).ok());
   auto ow = RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", InvokeOptions()));
   auto gv = RunSync(env_.sim(), gvisor_.Invoke(fn.name, "{}", InvokeOptions()));
   ASSERT_TRUE(ow.ok());
@@ -178,10 +178,10 @@ TEST_F(ContainerPlatformsTest, GvisorColdSlowerThanOpenWhiskSandboxPart) {
 
 TEST_F(ContainerPlatformsTest, GvisorDiskIoSlowerThanOpenWhisk) {
   const FunctionSource fn = fwwork::MakeFaasdom(FaasdomBench::kDiskIo, Language::kNodeJs);
-  RunSync(env_.sim(), openwhisk_.Install(fn));
-  RunSync(env_.sim(), gvisor_.Install(fn));
-  RunSync(env_.sim(), openwhisk_.Prewarm(fn.name));
-  RunSync(env_.sim(), gvisor_.Prewarm(fn.name));
+  ASSERT_TRUE(RunSync(env_.sim(), openwhisk_.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), gvisor_.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), openwhisk_.Prewarm(fn.name)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), gvisor_.Prewarm(fn.name)).ok());
   auto ow = RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", InvokeOptions()));
   auto gv = RunSync(env_.sim(), gvisor_.Invoke(fn.name, "{}", InvokeOptions()));
   ASSERT_TRUE(ow.ok());
@@ -192,13 +192,13 @@ TEST_F(ContainerPlatformsTest, GvisorDiskIoSlowerThanOpenWhisk) {
 
 TEST_F(ContainerPlatformsTest, ContainersShareRuntimeText) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), openwhisk_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), openwhisk_.Install(fn)).ok());
   InvokeOptions keep;
   keep.keep_instance = true;
   keep.force_cold = true;
-  RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", keep));
+  ASSERT_TRUE(RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", keep)).ok());
   const double pss_one = openwhisk_.MeasurePssBytes();
-  RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", keep));
+  ASSERT_TRUE(RunSync(env_.sim(), openwhisk_.Invoke(fn.name, "{}", keep)).ok());
   const double pss_two = openwhisk_.MeasurePssBytes();
   // Runtime text shared via the rootfs image: less than 2× memory.
   EXPECT_LT(pss_two, 1.95 * pss_one);
@@ -224,8 +224,8 @@ class KeepAliveTest : public ::testing::Test {
 TEST_F(KeepAliveTest, WarmContainerExpiresAfterWindow) {
   ContainerPlatform platform(env_, ParamsWithKeepAlive(10_s));
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform.Install(fn));
-  RunSync(env_.sim(), platform.Prewarm(fn.name));
+  ASSERT_TRUE(RunSync(env_.sim(), platform.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), platform.Prewarm(fn.name)).ok());
   EXPECT_TRUE(platform.HasWarmContainer(fn.name));
   const uint64_t held = env_.memory().used_bytes();
   EXPECT_GT(held, 0u);
@@ -238,8 +238,8 @@ TEST_F(KeepAliveTest, WarmContainerExpiresAfterWindow) {
 TEST_F(KeepAliveTest, UseWithinWindowReArmsIt) {
   ContainerPlatform platform(env_, ParamsWithKeepAlive(10_s));
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform.Install(fn));
-  RunSync(env_.sim(), platform.Prewarm(fn.name));
+  ASSERT_TRUE(RunSync(env_.sim(), platform.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), platform.Prewarm(fn.name)).ok());
   env_.sim().RunFor(8_s);
   // A request 8 s in reuses the warm sandbox and restarts the window.
   auto warm = RunSync(env_.sim(), platform.Invoke(fn.name, "{}", InvokeOptions()));
@@ -254,8 +254,8 @@ TEST_F(KeepAliveTest, UseWithinWindowReArmsIt) {
 TEST_F(KeepAliveTest, ExpiryMakesNextRequestCold) {
   ContainerPlatform platform(env_, ParamsWithKeepAlive(5_s));
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform.Install(fn));
-  RunSync(env_.sim(), platform.Prewarm(fn.name));
+  ASSERT_TRUE(RunSync(env_.sim(), platform.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), platform.Prewarm(fn.name)).ok());
   env_.sim().RunFor(6_s);
   auto result = RunSync(env_.sim(), platform.Invoke(fn.name, "{}", InvokeOptions()));
   ASSERT_TRUE(result.ok());
@@ -266,8 +266,8 @@ TEST_F(KeepAliveTest, PlatformDestructionDisarmsPendingExpiry) {
   {
     ContainerPlatform platform(env_, ParamsWithKeepAlive(10_s));
     const FunctionSource fn = FactFn();
-    RunSync(env_.sim(), platform.Install(fn));
-    RunSync(env_.sim(), platform.Prewarm(fn.name));
+    ASSERT_TRUE(RunSync(env_.sim(), platform.Install(fn)).ok());
+    ASSERT_TRUE(RunSync(env_.sim(), platform.Prewarm(fn.name)).ok());
   }  // Platform destroyed with the expiry event still queued.
   env_.sim().RunFor(20_s);  // Firing the stale event must be harmless.
   EXPECT_EQ(env_.memory().used_bytes(), 0u);
@@ -276,8 +276,8 @@ TEST_F(KeepAliveTest, PlatformDestructionDisarmsPendingExpiry) {
 TEST_F(KeepAliveTest, DefaultNeverExpires) {
   OpenWhiskPlatform platform(env_);
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform.Install(fn));
-  RunSync(env_.sim(), platform.Prewarm(fn.name));
+  ASSERT_TRUE(RunSync(env_.sim(), platform.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), platform.Prewarm(fn.name)).ok());
   env_.sim().RunFor(fwbase::Duration::Seconds(3600));
   EXPECT_TRUE(platform.HasWarmContainer(fn.name));
 }
@@ -303,9 +303,9 @@ TEST_F(GvisorSnapshotTest, InstallCreatesCheckpoint) {
 
 TEST_F(GvisorSnapshotTest, StartsRestoreInsteadOfBooting) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(fn)).ok());
   GvisorPlatform plain(env_);
-  RunSync(env_.sim(), plain.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), plain.Install(fn)).ok());
 
   InvokeOptions cold;
   cold.force_cold = true;
@@ -326,13 +326,13 @@ TEST_F(GvisorSnapshotTest, StartsRestoreInsteadOfBooting) {
 
 TEST_F(GvisorSnapshotTest, CheckpointCloneSharesPagesAcrossStarts) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(fn)).ok());
   InvokeOptions keep;
   keep.keep_instance = true;
   keep.force_cold = true;
-  RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep)).ok());
   const double pss_one = platform_.MeasurePssBytes();
-  RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", keep)).ok());
   const double pss_two = platform_.MeasurePssBytes();
   // Checkpoint pages (runtime + app) shared CoW: well under 2x.
   EXPECT_LT(pss_two, 1.7 * pss_one);
@@ -350,7 +350,7 @@ class IsolateTest : public ::testing::Test {
 
 TEST_F(IsolateTest, FirstInvocationCreatesIsolate) {
   const FunctionSource fn = FactFn();
-  RunSync(env_.sim(), platform_.Install(fn));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(fn)).ok());
   EXPECT_FALSE(platform_.HasIsolate(fn.name));
   auto cold = RunSync(env_.sim(), platform_.Invoke(fn.name, "{}", InvokeOptions()));
   ASSERT_TRUE(cold.ok());
@@ -375,9 +375,9 @@ TEST(CrossPlatformTest, ColdStartupOrdering) {
   FirecrackerPlatform firecracker(env);
   OpenWhiskPlatform openwhisk(env);
   const FunctionSource fn = FactFn();
-  RunSync(env.sim(), fireworks.Install(fn));
-  RunSync(env.sim(), firecracker.Install(fn));
-  RunSync(env.sim(), openwhisk.Install(fn));
+  ASSERT_TRUE(RunSync(env.sim(), fireworks.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env.sim(), firecracker.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env.sim(), openwhisk.Install(fn)).ok());
 
   auto fw = RunSync(env.sim(), fireworks.Invoke(fn.name, "{}", InvokeOptions()));
   auto fc = RunSync(env.sim(), firecracker.Invoke(fn.name, "{}", InvokeOptions()));
@@ -395,9 +395,9 @@ TEST(CrossPlatformTest, FireworksBeatsWarmStarts) {
   fwcore::FireworksPlatform fireworks(env);
   FirecrackerPlatform firecracker(env);
   const FunctionSource fn = FactFn();
-  RunSync(env.sim(), fireworks.Install(fn));
-  RunSync(env.sim(), firecracker.Install(fn));
-  RunSync(env.sim(), firecracker.Prewarm(fn.name));
+  ASSERT_TRUE(RunSync(env.sim(), fireworks.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env.sim(), firecracker.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env.sim(), firecracker.Prewarm(fn.name)).ok());
 
   auto fw = RunSync(env.sim(), fireworks.Invoke(fn.name, "{}", InvokeOptions()));
   auto fc_warm = RunSync(env.sim(), firecracker.Invoke(fn.name, "{}", InvokeOptions()));

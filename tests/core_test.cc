@@ -123,7 +123,7 @@ TEST_F(FireworksPlatformTest, InstallCreatesPinnedSnapshot) {
 }
 
 TEST_F(FireworksPlatformTest, InstallStoresAnnotatedSource) {
-  RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs)));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs))).ok());
   const FunctionSource* annotated = platform_.AnnotatedSource("hello");
   ASSERT_NE(annotated, nullptr);
   EXPECT_TRUE(IsAnnotated(*annotated));
@@ -141,7 +141,7 @@ TEST_F(FireworksPlatformTest, InvokeWithoutInstallFails) {
 }
 
 TEST_F(FireworksPlatformTest, InvokeResumesSnapshotQuickly) {
-  RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs)));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs))).ok());
   auto result = RunSync(env_.sim(), platform_.Invoke("hello", "{\"x\":1}", InvokeOptions()));
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->cold);  // Fireworks has no cold/warm distinction.
@@ -156,7 +156,7 @@ TEST_F(FireworksPlatformTest, InvokeResumesSnapshotQuickly) {
 }
 
 TEST_F(FireworksPlatformTest, KeepInstanceRetainsVm) {
-  RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs)));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs))).ok());
   InvokeOptions options;
   options.keep_instance = true;
   for (int i = 0; i < 3; ++i) {
@@ -170,24 +170,24 @@ TEST_F(FireworksPlatformTest, KeepInstanceRetainsVm) {
 }
 
 TEST_F(FireworksPlatformTest, ConcurrentInstancesSharePages) {
-  RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs)));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs))).ok());
   InvokeOptions options;
   options.keep_instance = true;
-  RunSync(env_.sim(), platform_.Invoke("hello", "{}", options));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Invoke("hello", "{}", options)).ok());
   const double pss_one = platform_.MeasurePssBytes();
-  RunSync(env_.sim(), platform_.Invoke("hello", "{}", options));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Invoke("hello", "{}", options)).ok());
   const double pss_two = platform_.MeasurePssBytes();
   // Two instances must use much less than twice the memory of one.
   EXPECT_LT(pss_two, 1.8 * pss_one);
 }
 
 TEST_F(FireworksPlatformTest, EachInvocationGetsOwnNamespaceAndTopic) {
-  RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs)));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs))).ok());
   const uint64_t produced_before = env_.broker().records_produced();
   InvokeOptions options;
   options.keep_instance = true;
-  RunSync(env_.sim(), platform_.Invoke("hello", "{}", options));
-  RunSync(env_.sim(), platform_.Invoke("hello", "{}", options));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Invoke("hello", "{}", options)).ok());
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Invoke("hello", "{}", options)).ok());
   EXPECT_EQ(env_.broker().records_produced(), produced_before + 2);
   // Two clone namespaces + root.
   EXPECT_EQ(env_.network().namespace_count(), 3u);
@@ -197,10 +197,10 @@ TEST_F(FireworksPlatformTest, EachInvocationGetsOwnNamespaceAndTopic) {
 
 TEST_F(FireworksPlatformTest, ChainInvocationSupported) {
   EXPECT_TRUE(platform_.SupportsChains());
-  RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs)));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs))).ok());
   FunctionSource second = SimpleFn(Language::kNodeJs);
   second.name = "world";
-  RunSync(env_.sim(), platform_.Install(second));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(second)).ok());
   auto results = RunSync(env_.sim(),
                          platform_.InvokeChain({"hello", "world"}, "{}", InvokeOptions()));
   ASSERT_TRUE(results.ok());
@@ -229,7 +229,7 @@ TEST_F(FireworksPlatformTest, FaasdomFunctionsInstallAndRun) {
 }
 
 TEST_F(FireworksPlatformTest, DeoptStillCompletesWithVariedSignatures) {
-  RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs)));
+  ASSERT_TRUE(RunSync(env_.sim(), platform_.Install(SimpleFn(Language::kNodeJs))).ok());
   InvokeOptions options;
   options.type_sig = "door-password";  // Differs from the install-time "default".
   auto result = RunSync(env_.sim(), platform_.Invoke("hello", "{}", options));

@@ -97,7 +97,7 @@ TEST(BrokerEdgeTest, EndOffsetErrors) {
   Simulation sim;
   fwbus::Broker broker(sim);
   EXPECT_FALSE(broker.EndOffset("none", 0).ok());
-  broker.CreateTopic("t", 2);
+  ASSERT_TRUE(broker.CreateTopic("t", 2).ok());
   EXPECT_FALSE(broker.EndOffset("t", 5).ok());
   EXPECT_EQ(*broker.EndOffset("t", 1), 0);
 }
@@ -105,8 +105,8 @@ TEST(BrokerEdgeTest, EndOffsetErrors) {
 TEST(BrokerEdgeTest, ConsumeFromDeletedTopicFails) {
   Simulation sim;
   fwbus::Broker broker(sim);
-  broker.CreateTopic("t");
-  broker.DeleteTopic("t");
+  ASSERT_TRUE(broker.CreateTopic("t").ok());
+  ASSERT_TRUE(broker.DeleteTopic("t").ok());
   auto record = RunSync(sim, broker.ConsumeLast("t", 0));
   EXPECT_FALSE(record.ok());
 }
@@ -200,8 +200,8 @@ TEST(IsolateEdgeTest, ForceColdRecreatesIsolate) {
   fwbaselines::IsolatePlatform platform(env);
   const FunctionSource fn =
       fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, Language::kNodeJs);
-  RunSync(env.sim(), platform.Install(fn));
-  RunSync(env.sim(), platform.Invoke(fn.name, "{}", fwcore::InvokeOptions()));
+  ASSERT_TRUE(RunSync(env.sim(), platform.Install(fn)).ok());
+  ASSERT_TRUE(RunSync(env.sim(), platform.Invoke(fn.name, "{}", fwcore::InvokeOptions())).ok());
   ASSERT_TRUE(platform.HasIsolate(fn.name));
   fwcore::InvokeOptions cold;
   cold.force_cold = true;

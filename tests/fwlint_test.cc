@@ -1,0 +1,458 @@
+// Fixture-driven tests for fwlint (tools/fwlint/): every check gets at least
+// one positive, one negative, one comment/string decoy (which the old
+// check_determinism.sh grep would have mis-flagged), and one fwlint:allow
+// suppression case. Fixture snippets live in raw strings, which also proves
+// that fwlint scanning *this* file does not trip on them: string contents are
+// not code.
+#include "tools/fwlint/fwlint.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+using fwlint::Analyzer;
+using fwlint::Diagnostic;
+
+std::vector<Diagnostic> LintOne(const std::string& path, const std::string& src,
+                                const std::string& only_check = "") {
+  Analyzer a;
+  a.AddFile(path, src);
+  std::set<std::string> checks;
+  if (!only_check.empty()) {
+    checks.insert(only_check);
+  }
+  return a.Run(checks);
+}
+
+std::vector<Diagnostic> OfCheck(const std::vector<Diagnostic>& diags, const std::string& check) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags) {
+    if (d.check == check) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, ClassifiesTokens) {
+  const auto lex = fwlint::Lex("foo 42 \"bar\" 'c' ->");
+  ASSERT_EQ(lex.tokens.size(), 5u);
+  EXPECT_EQ(lex.tokens[0].kind, fwlint::TokenKind::kIdentifier);
+  EXPECT_EQ(lex.tokens[1].kind, fwlint::TokenKind::kNumber);
+  EXPECT_EQ(lex.tokens[2].kind, fwlint::TokenKind::kString);
+  EXPECT_EQ(lex.tokens[2].text, "bar");
+  EXPECT_EQ(lex.tokens[3].kind, fwlint::TokenKind::kCharLit);
+  EXPECT_EQ(lex.tokens[4].kind, fwlint::TokenKind::kPunct);
+  EXPECT_EQ(lex.tokens[4].text, "->");
+}
+
+TEST(LexerTest, CommentsProduceNoTokensAndTrackLines) {
+  const auto lex = fwlint::Lex("a // b c d\n/* e\nf */ g");
+  ASSERT_EQ(lex.tokens.size(), 2u);
+  EXPECT_EQ(lex.tokens[0].text, "a");
+  EXPECT_EQ(lex.tokens[0].line, 1);
+  EXPECT_EQ(lex.tokens[1].text, "g");
+  EXPECT_EQ(lex.tokens[1].line, 3);
+}
+
+TEST(LexerTest, RawStringSwallowsEverything) {
+  const auto lex = fwlint::Lex("x = R\"mark(std::mt19937 \" )other\" )mark\"; y");
+  ASSERT_EQ(lex.tokens.size(), 5u);  // x = <string> ; y
+  EXPECT_EQ(lex.tokens[2].kind, fwlint::TokenKind::kString);
+  EXPECT_NE(lex.tokens[2].text.find("mt19937"), std::string::npos);
+  EXPECT_EQ(lex.tokens[4].text, "y");
+}
+
+TEST(LexerTest, RecordsSuppressionsPerLine) {
+  const auto lex = fwlint::Lex(
+      "int a;  // fwlint:allow(determinism)\n"
+      "int b;\n"
+      "int c;  /* fwlint:allow(layering, coro-hygiene) */\n");
+  ASSERT_EQ(lex.suppressions.count(1), 1u);
+  EXPECT_EQ(lex.suppressions.at(1).count("determinism"), 1u);
+  EXPECT_EQ(lex.suppressions.count(2), 0u);
+  EXPECT_EQ(lex.suppressions.at(3).count("layering"), 1u);
+  EXPECT_EQ(lex.suppressions.at(3).count("coro-hygiene"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismCheckTest, FlagsWallClockAndUnseededRng) {
+  const auto diags = LintOne("src/core/bad.cc", R"cc(
+    #include <chrono>
+    #include <random>
+    void f() {
+      std::mt19937 gen;
+      auto t = std::chrono::system_clock::now();
+      int r = rand();
+      long e = time(nullptr);
+    }
+  )cc");
+  const auto hits = OfCheck(diags, "determinism");
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0].line, 5);  // mt19937
+  EXPECT_EQ(hits[1].line, 6);  // system_clock
+  EXPECT_EQ(hits[2].line, 7);  // rand(
+  EXPECT_EQ(hits[3].line, 8);  // time(nullptr)
+}
+
+TEST(DeterminismCheckTest, SeededRngAndSimClockAreClean) {
+  const auto diags = LintOne("src/core/good.cc", R"cc(
+    void f(fwsim::Simulation& sim) {
+      auto now = sim.Now();
+      double u = sim.rng().Uniform();
+      fwbase::Rng rng(42);
+      int operand = rng.Next() % 7;   // 'rand' inside an identifier is fine
+    }
+  )cc");
+  EXPECT_TRUE(OfCheck(diags, "determinism").empty());
+}
+
+TEST(DeterminismCheckTest, AllowlistedFilesMayTouchTheOutsideWorld) {
+  const std::string src = R"cc(
+    #include <random>
+    uint64_t SeedFromOs() { return std::random_device{}(); }
+  )cc";
+  EXPECT_TRUE(OfCheck(LintOne("src/base/rng.cc", src), "determinism").empty());
+  EXPECT_TRUE(OfCheck(LintOne("src/obs/clock.cc", src), "determinism").empty());
+  // The same content anywhere else is a violation.
+  EXPECT_EQ(OfCheck(LintOne("src/mem/page_set.cc", src), "determinism").size(), 1u);
+}
+
+TEST(DeterminismCheckTest, CommentAndStringDecoysAreIgnored) {
+  // The old grep flagged both of these; the token-aware check must not.
+  const auto diags = LintOne("src/core/decoy.cc", R"cc(
+    // A real implementation would use std::mt19937 or system_clock here,
+    // but that would break determinism, so we do not.
+    const char* kDoc = "never call rand() or time(nullptr) in the simulator";
+    int f() { return 7; }
+  )cc");
+  EXPECT_TRUE(OfCheck(diags, "determinism").empty());
+}
+
+TEST(DeterminismCheckTest, SuppressionSilencesOnlyItsLineAndCheck) {
+  const auto with_allow = LintOne("src/core/s.cc", R"cc(
+    std::mt19937 gen;  // fwlint:allow(determinism) -- fixture generator, documented
+  )cc");
+  EXPECT_TRUE(OfCheck(with_allow, "determinism").empty());
+
+  // A suppression for a *different* check does not help.
+  const auto wrong_name = LintOne("src/core/s.cc", R"cc(
+    std::mt19937 gen;  // fwlint:allow(layering)
+  )cc");
+  EXPECT_EQ(OfCheck(wrong_name, "determinism").size(), 1u);
+
+  // And a suppression on a neighbouring line does not leak.
+  const auto wrong_line = LintOne("src/core/s.cc", R"cc(
+    // fwlint:allow(determinism)
+    std::mt19937 gen;
+  )cc");
+  EXPECT_EQ(OfCheck(wrong_line, "determinism").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+// ---------------------------------------------------------------------------
+
+TEST(UnorderedIterationCheckTest, FlagsRangeForOverUnorderedMember) {
+  const auto diags = LintOne("src/core/x.cc", R"cc(
+    #include <unordered_map>
+    struct Exporter {
+      std::unordered_map<std::string, int> counters_;
+      void Dump() {
+        for (const auto& [name, value] : counters_) {
+          Emit(name, value);
+        }
+      }
+    };
+  )cc");
+  const auto hits = OfCheck(diags, "unordered-iteration");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 6);
+}
+
+TEST(UnorderedIterationCheckTest, FlagsIteratorWalkAndCrossFileDecl) {
+  // Declaration in the header, iteration in the .cc: the registry is global.
+  Analyzer a;
+  a.AddFile("src/core/reg.h", R"cc(
+    #include <unordered_set>
+    class Registry {
+      std::unordered_set<uint64_t> ids_;
+      void Walk();
+    };
+  )cc");
+  a.AddFile("src/core/reg.cc", R"cc(
+    void Registry::Walk() {
+      for (auto it = ids_.begin(); it != ids_.end(); ++it) {
+        Touch(*it);
+      }
+    }
+  )cc");
+  const auto hits = OfCheck(a.Run(), "unordered-iteration");
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/core/reg.cc");
+}
+
+TEST(UnorderedIterationCheckTest, OrderedContainersAndLookupsAreClean) {
+  const auto diags = LintOne("src/core/y.cc", R"cc(
+    #include <map>
+    #include <unordered_map>
+    struct T {
+      std::map<std::string, int> ordered_;
+      std::unordered_map<std::string, int> index_;
+      int Get(const std::string& k) { return index_.at(k); }  // lookup: fine
+      void Dump() {
+        for (const auto& [k, v] : ordered_) {  // ordered: fine
+          Emit(k, v);
+        }
+      }
+    };
+  )cc");
+  EXPECT_TRUE(OfCheck(diags, "unordered-iteration").empty());
+}
+
+TEST(UnorderedIterationCheckTest, DecoyAndSuppression) {
+  const auto decoy = LintOne("src/core/z.cc", R"cc(
+    #include <unordered_map>
+    std::unordered_map<int, int> m_;
+    // Do not write: for (auto& kv : m_) { ... } -- hash order leaks.
+    const char* kNote = "for (auto& kv : m_)";
+  )cc");
+  EXPECT_TRUE(OfCheck(decoy, "unordered-iteration").empty());
+
+  const auto allowed = LintOne("src/core/z.cc", R"cc(
+    #include <unordered_map>
+    std::unordered_map<int, int> m_;
+    int Sum() {
+      int s = 0;
+      for (auto& kv : m_) {  // fwlint:allow(unordered-iteration) order-free fold
+        s += kv.second;
+      }
+      return s;
+    }
+  )cc");
+  EXPECT_TRUE(OfCheck(allowed, "unordered-iteration").empty());
+}
+
+// ---------------------------------------------------------------------------
+// discarded-status
+// ---------------------------------------------------------------------------
+
+TEST(DiscardedStatusCheckTest, FlagsBareCallsIncludingCrossFile) {
+  Analyzer a;
+  a.AddFile("src/storage/api.h", R"cc(
+    class Store {
+     public:
+      Status Remove(const std::string& name);
+      Result<int> Lookup(const std::string& name);
+    };
+  )cc");
+  a.AddFile("src/core/user.cc", R"cc(
+    void Cleanup(Store& store) {
+      store.Remove("stale");
+      if (ready) store.Lookup("x");
+    }
+  )cc");
+  const auto hits = OfCheck(a.Run(), "discarded-status");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].file, "src/core/user.cc");
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_EQ(hits[1].line, 4);
+}
+
+TEST(DiscardedStatusCheckTest, HandledResultsAreClean) {
+  Analyzer a;
+  a.AddFile("src/storage/api.h", "class S { public: Status Remove(const std::string& n); };");
+  a.AddFile("src/core/user.cc", R"cc(
+    Status Forward(S& s) {
+      Status st = s.Remove("a");          // assigned
+      if (!s.Remove("b").ok()) {          // inspected
+        return s.Remove("c");             // returned
+      }
+      FW_CHECK(s.Remove("d").ok());       // checked
+      (void)s.Remove("e");                // explicit opt-out
+      return st;
+    }
+  )cc");
+  EXPECT_TRUE(OfCheck(a.Run(), "discarded-status").empty());
+}
+
+TEST(DiscardedStatusCheckTest, DecoyAndSuppression) {
+  Analyzer a;
+  a.AddFile("src/storage/api.h", "class S { public: Status Remove(const std::string& n); };");
+  a.AddFile("src/core/user.cc", R"cc(
+    void F(S& s) {
+      // s.Remove("commented-out");
+      const char* doc = "call s.Remove(name) and check the result";
+      s.Remove("tolerated");  // fwlint:allow(discarded-status) best-effort cleanup
+    }
+  )cc");
+  EXPECT_TRUE(OfCheck(a.Run(), "discarded-status").empty());
+}
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+TEST(LayeringCheckTest, FlagsUpwardAndCrossLayerIncludes) {
+  const auto upward = LintOne("src/base/units.cc", R"cc(
+    #include "src/base/units.h"
+    #include "src/simcore/simulation.h"
+  )cc");
+  ASSERT_EQ(OfCheck(upward, "layering").size(), 1u);
+  EXPECT_EQ(OfCheck(upward, "layering")[0].line, 3);
+
+  // mem and fault are same-rank siblings: neither may include the other.
+  const auto cross = LintOne("src/mem/page_set.cc", R"cc(
+    #include "src/fault/fault.h"
+  )cc");
+  EXPECT_EQ(OfCheck(cross, "layering").size(), 1u);
+}
+
+TEST(LayeringCheckTest, DownwardAndSameLayerIncludesAreClean) {
+  const auto diags = LintOne("src/core/fireworks.cc", R"cc(
+    #include "src/base/status.h"
+    #include "src/core/fireworks.h"
+    #include "src/simcore/simulation.h"
+    #include "src/storage/snapshot_store.h"
+    #include "src/vmm/hypervisor.h"
+  )cc");
+  EXPECT_TRUE(OfCheck(diags, "layering").empty());
+}
+
+TEST(LayeringCheckTest, NonSrcFilesCommentsAndSuppressionsAreExempt) {
+  // tests/ and bench/ may include any layer.
+  const auto bench = LintOne("bench/fig_zzz.cc", R"cc(
+    #include "src/base/units.h"
+    #include "src/core/fireworks.h"
+  )cc");
+  EXPECT_TRUE(OfCheck(bench, "layering").empty());
+
+  // A commented-out include is not an edge.
+  const auto decoy = LintOne("src/base/units.cc", R"cc(
+    // #include "src/core/fireworks.h"
+    const char* kWhere = "#include \"src/core/fireworks.h\"";
+  )cc");
+  EXPECT_TRUE(OfCheck(decoy, "layering").empty());
+
+  const auto allowed = LintOne("src/base/units.cc", R"cc(
+    #include "src/simcore/simulation.h"  // fwlint:allow(layering) transitional edge
+  )cc");
+  EXPECT_TRUE(OfCheck(allowed, "layering").empty());
+}
+
+// ---------------------------------------------------------------------------
+// coro-hygiene
+// ---------------------------------------------------------------------------
+
+TEST(CoroHygieneCheckTest, FlagsDroppedCoReturningCalls) {
+  Analyzer a;
+  a.AddFile("src/storage/api.h", R"cc(
+    class Store {
+     public:
+      fwsim::Co<Status> Persist(const std::string& name);
+    };
+  )cc");
+  a.AddFile("src/core/user.cc", R"cc(
+    void F(Store& store) {
+      store.Persist("x");
+    }
+  )cc");
+  const auto hits = OfCheck(a.Run(), "coro-hygiene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/core/user.cc");
+  EXPECT_EQ(hits[0].line, 3);
+  // A dropped Co must not *also* count as a dropped Status.
+  EXPECT_TRUE(OfCheck(a.Run(), "discarded-status").empty());
+}
+
+TEST(CoroHygieneCheckTest, AwaitedAndSpawnedCoroutinesAreClean) {
+  Analyzer a;
+  a.AddFile("src/storage/api.h", "struct S { fwsim::Co<void> Persist(int n); };");
+  a.AddFile("src/core/user.cc", R"cc(
+    fwsim::Co<void> G(S& s, fwsim::Simulation& sim) {
+      co_await s.Persist(1);
+      Status st = co_await s.Persist(2);
+      sim.Spawn(s.Persist(3));
+      auto pending = s.Persist(4);
+      co_await std::move(pending);
+    }
+  )cc");
+  EXPECT_TRUE(OfCheck(a.Run(), "coro-hygiene").empty());
+}
+
+TEST(CoroHygieneCheckTest, DecoyAndSuppression) {
+  Analyzer a;
+  a.AddFile("src/storage/api.h", "struct S { fwsim::Co<void> Persist(int n); };");
+  a.AddFile("src/core/user.cc", R"cc(
+    void F(S& s) {
+      // s.Persist(1);
+      const char* doc = "never call s.Persist(n) without awaiting it";
+      s.Persist(2);  // fwlint:allow(coro-hygiene) exercised by the destructor test
+    }
+  )cc");
+  EXPECT_TRUE(OfCheck(a.Run(), "coro-hygiene").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer plumbing
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzerTest, RegistryCollectsDeclaredReturnTypes) {
+  Analyzer a;
+  a.AddFile("src/core/api.h", R"cc(
+    Status Alpha(int x);
+    fwbase::Result<std::vector<int>> Beta();
+    StatusOr<int> Gamma(double d);
+    fwsim::Co<Status> Delta();
+    void Epsilon(Status s);     // parameter, not a return type
+    int Zeta();
+  )cc");
+  (void)a.Run();
+  EXPECT_EQ(a.status_functions().count("Alpha"), 1u);
+  EXPECT_EQ(a.status_functions().count("Beta"), 1u);
+  EXPECT_EQ(a.status_functions().count("Gamma"), 1u);
+  EXPECT_EQ(a.coro_functions().count("Delta"), 1u);
+  EXPECT_EQ(a.status_functions().count("Epsilon"), 0u);
+  EXPECT_EQ(a.status_functions().count("Zeta"), 0u);
+}
+
+TEST(AnalyzerTest, CheckFilterRunsOnlyRequestedChecks) {
+  const std::string src = R"cc(
+    #include "src/core/fireworks.h"
+    std::mt19937 gen;
+  )cc";
+  const auto only_layering = LintOne("src/base/bad.cc", src, "layering");
+  ASSERT_EQ(only_layering.size(), 1u);
+  EXPECT_EQ(only_layering[0].check, "layering");
+  const auto only_det = LintOne("src/base/bad.cc", src, "determinism");
+  ASSERT_EQ(only_det.size(), 1u);
+  EXPECT_EQ(only_det[0].check, "determinism");
+}
+
+TEST(AnalyzerTest, DiagnosticsAreSortedAndFormatted) {
+  Analyzer a;
+  a.AddFile("src/mem/b.cc", "std::mt19937 g2;");
+  a.AddFile("src/base/a.cc", "std::mt19937 g1;\n#include \"src/core/fireworks.h\"");
+  const auto diags = a.Run();
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].file, "src/base/a.cc");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_EQ(diags[1].file, "src/base/a.cc");
+  EXPECT_EQ(diags[1].check, "layering");
+  EXPECT_EQ(diags[2].file, "src/mem/b.cc");
+  const std::string s = diags[0].ToString();
+  EXPECT_NE(s.find("src/base/a.cc:1: [determinism]"), std::string::npos);
+}
+
+}  // namespace

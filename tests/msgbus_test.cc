@@ -35,7 +35,7 @@ TEST_F(BrokerTest, CreateAndDeleteTopics) {
 }
 
 TEST_F(BrokerTest, ProduceAssignsMonotonicOffsets) {
-  broker_.CreateTopic("t");
+  ASSERT_TRUE(broker_.CreateTopic("t").ok());
   auto o0 = RunSync(sim_, broker_.Produce("t", 0, {"k", "v0"}));
   auto o1 = RunSync(sim_, broker_.Produce("t", 0, {"k", "v1"}));
   ASSERT_TRUE(o0.ok());
@@ -51,15 +51,15 @@ TEST_F(BrokerTest, ProduceToMissingTopicFails) {
 }
 
 TEST_F(BrokerTest, ProduceToBadPartitionFails) {
-  broker_.CreateTopic("t", 1);
+  ASSERT_TRUE(broker_.CreateTopic("t", 1).ok());
   auto result = RunSync(sim_, broker_.Produce("t", 3, {"k", "v"}));
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(BrokerTest, ConsumeAtReturnsExactRecord) {
-  broker_.CreateTopic("t");
-  RunSync(sim_, broker_.Produce("t", 0, {"a", "1"}));
-  RunSync(sim_, broker_.Produce("t", 0, {"b", "2"}));
+  ASSERT_TRUE(broker_.CreateTopic("t").ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"a", "1"})).ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"b", "2"})).ok());
   auto record = RunSync(sim_, broker_.ConsumeAt("t", 0, 1));
   ASSERT_TRUE(record.ok());
   EXPECT_EQ(record->key, "b");
@@ -67,9 +67,9 @@ TEST_F(BrokerTest, ConsumeAtReturnsExactRecord) {
 }
 
 TEST_F(BrokerTest, ConsumeLastReturnsNewestRecord) {
-  broker_.CreateTopic("params-fc42");
-  RunSync(sim_, broker_.Produce("params-fc42", 0, {"", "{\"old\":1}"}));
-  RunSync(sim_, broker_.Produce("params-fc42", 0, {"", "{\"new\":2}"}));
+  ASSERT_TRUE(broker_.CreateTopic("params-fc42").ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("params-fc42", 0, {"", "{\"old\":1}"})).ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("params-fc42", 0, {"", "{\"new\":2}"})).ok());
   auto record = RunSync(sim_, broker_.ConsumeLast("params-fc42", 0));
   ASSERT_TRUE(record.ok());
   EXPECT_EQ(record->value, "{\"new\":2}");
@@ -78,7 +78,7 @@ TEST_F(BrokerTest, ConsumeLastReturnsNewestRecord) {
 TEST_F(BrokerTest, ConsumeBlocksUntilProduced) {
   // The paper's protocol produces params *before* resume, but a consumer that
   // races ahead must block, not fail.
-  broker_.CreateTopic("t");
+  ASSERT_TRUE(broker_.CreateTopic("t").ok());
   std::vector<std::string> got;
   sim_.Spawn([](Broker& b, std::vector<std::string>& out) -> Co<void> {
     auto record = co_await b.ConsumeLast("t", 0);
@@ -96,7 +96,7 @@ TEST_F(BrokerTest, ConsumeBlocksUntilProduced) {
 }
 
 TEST_F(BrokerTest, ConsumeAtBlocksForFutureOffset) {
-  broker_.CreateTopic("t");
+  ASSERT_TRUE(broker_.CreateTopic("t").ok());
   std::vector<int64_t> got;
   sim_.Spawn([](Broker& b, std::vector<int64_t>& out) -> Co<void> {
     auto record = co_await b.ConsumeAt("t", 0, 2);
@@ -113,29 +113,29 @@ TEST_F(BrokerTest, ConsumeAtBlocksForFutureOffset) {
 }
 
 TEST_F(BrokerTest, PartitionsAreIndependent) {
-  broker_.CreateTopic("t", 2);
-  RunSync(sim_, broker_.Produce("t", 0, {"", "p0"}));
-  RunSync(sim_, broker_.Produce("t", 1, {"", "p1"}));
+  ASSERT_TRUE(broker_.CreateTopic("t", 2).ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"", "p0"})).ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 1, {"", "p1"})).ok());
   EXPECT_EQ(RunSync(sim_, broker_.ConsumeLast("t", 0))->value, "p0");
   EXPECT_EQ(RunSync(sim_, broker_.ConsumeLast("t", 1))->value, "p1");
   EXPECT_EQ(*broker_.EndOffset("t", 0), 1);
 }
 
 TEST_F(BrokerTest, ProduceConsumeAdvanceTime) {
-  broker_.CreateTopic("t");
+  ASSERT_TRUE(broker_.CreateTopic("t").ok());
   const auto t0 = sim_.Now();
-  RunSync(sim_, broker_.Produce("t", 0, {"", std::string(1000, 'x')}));
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"", std::string(1000, 'x')})).ok());
   auto after_produce = sim_.Now() - t0;
   EXPECT_GT(after_produce.micros(), 400.0);  // produce cost + transfer.
-  RunSync(sim_, broker_.ConsumeLast("t", 0));
+  ASSERT_TRUE(RunSync(sim_, broker_.ConsumeLast("t", 0)).ok());
   EXPECT_GT((sim_.Now() - t0).micros(), after_produce.micros() + 300.0);
 }
 
 TEST_F(BrokerTest, CountersTrack) {
-  broker_.CreateTopic("t");
-  RunSync(sim_, broker_.Produce("t", 0, {"", "a"}));
-  RunSync(sim_, broker_.Produce("t", 0, {"", "b"}));
-  RunSync(sim_, broker_.ConsumeLast("t", 0));
+  ASSERT_TRUE(broker_.CreateTopic("t").ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"", "a"})).ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"", "b"})).ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.ConsumeLast("t", 0)).ok());
   EXPECT_EQ(broker_.records_produced(), 2u);
   EXPECT_EQ(broker_.records_consumed(), 1u);
 }
@@ -146,8 +146,7 @@ TEST_F(BrokerTest, ManyInstanceTopicsPattern) {
     EXPECT_TRUE(broker_.CreateTopic("topic" + std::to_string(fc)).ok());
   }
   for (int fc = 0; fc < 20; ++fc) {
-    RunSync(sim_, broker_.Produce("topic" + std::to_string(fc), 0,
-                                  {"", "args" + std::to_string(fc)}));
+    ASSERT_TRUE(RunSync(sim_, broker_.Produce("topic" + std::to_string(fc), 0, {"", "args" + std::to_string(fc)})).ok());
   }
   for (int fc = 0; fc < 20; ++fc) {
     auto record = RunSync(sim_, broker_.ConsumeLast("topic" + std::to_string(fc), 0));
@@ -162,10 +161,10 @@ TEST_F(BrokerTest, ManyInstanceTopicsPattern) {
 TEST_F(BrokerTest, ConsumeLastWithTimeoutMatchesConsumeLastWhenRecordPresent) {
   // Happy-path twin: with the record already in the log, the bounded consume
   // is indistinguishable from the unbounded one (value and timing).
-  broker_.CreateTopic("a");
-  broker_.CreateTopic("b");
-  RunSync(sim_, broker_.Produce("a", 0, {"", "args"}));
-  RunSync(sim_, broker_.Produce("b", 0, {"", "args"}));
+  ASSERT_TRUE(broker_.CreateTopic("a").ok());
+  ASSERT_TRUE(broker_.CreateTopic("b").ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("a", 0, {"", "args"})).ok());
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("b", 0, {"", "args"})).ok());
 
   auto t0 = sim_.Now();
   auto plain = RunSync(sim_, broker_.ConsumeLast("a", 0));
@@ -186,7 +185,7 @@ TEST_F(BrokerTest, DropFaultAcksButRecordNeverLands) {
   fwfault::FaultInjector injector(sim_, plan, 9);
   broker_.set_fault_injector(&injector);
 
-  broker_.CreateTopic("t");
+  ASSERT_TRUE(broker_.CreateTopic("t").ok());
   // The producer is lied to (acks=1 semantics): it receives an offset...
   auto offset = RunSync(sim_, broker_.Produce("t", 0, {"", "lost"}));
   ASSERT_TRUE(offset.ok());
@@ -210,7 +209,7 @@ TEST_F(BrokerTest, DuplicateFaultAppendsRecordTwice) {
   fwfault::FaultInjector injector(sim_, plan, 9);
   broker_.set_fault_injector(&injector);
 
-  broker_.CreateTopic("t");
+  ASSERT_TRUE(broker_.CreateTopic("t").ok());
   ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"", "dup"})).ok());
   auto first = RunSync(sim_, broker_.ConsumeAt("t", 0, 0));
   auto second = RunSync(sim_, broker_.ConsumeAt("t", 0, 1));
@@ -222,9 +221,9 @@ TEST_F(BrokerTest, DuplicateFaultAppendsRecordTwice) {
 }
 
 TEST_F(BrokerTest, DelayFaultAddsDeterministicLatency) {
-  broker_.CreateTopic("t");
+  ASSERT_TRUE(broker_.CreateTopic("t").ok());
   const auto base_t0 = sim_.Now();
-  RunSync(sim_, broker_.Produce("t", 0, {"", "fast"}));
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"", "fast"})).ok());
   const auto base_elapsed = sim_.Now() - base_t0;
 
   fwfault::FaultPlan plan;
@@ -232,7 +231,7 @@ TEST_F(BrokerTest, DelayFaultAddsDeterministicLatency) {
   fwfault::FaultInjector injector(sim_, plan, 9);
   broker_.set_fault_injector(&injector);
   const auto slow_t0 = sim_.Now();
-  RunSync(sim_, broker_.Produce("t", 0, {"", "slow"}));
+  ASSERT_TRUE(RunSync(sim_, broker_.Produce("t", 0, {"", "slow"})).ok());
   const auto slow_elapsed = sim_.Now() - slow_t0;
   EXPECT_GT(slow_elapsed.nanos(), base_elapsed.nanos());
   // The delayed record still lands, in order.

@@ -162,7 +162,7 @@ TEST_F(HostNetworkTest, OutboundFromUnknownNamespaceFails) {
 TEST_F(HostNetworkTest, DeliveryTakesWireAndNatTime) {
   auto [ns_id, external] = WireClone();
   const auto t0 = sim_.Now();
-  RunSync(sim_, net_.DeliverInbound(external, 1000));
+  ASSERT_TRUE(RunSync(sim_, net_.DeliverInbound(external, 1000)).ok());
   const auto elapsed = sim_.Now() - t0;
   // wire 60us + nat 8us + tap 10us + ~0.8us transfer.
   EXPECT_GT(elapsed.micros(), 70.0);

@@ -139,7 +139,7 @@ TEST_F(SnapshotStoreTest, SaveAndGet) {
 TEST_F(SnapshotStoreTest, SavePaysDiskWriteTime) {
   SnapshotStore store(sim_, dev_, 1_GiB);
   const auto t0 = sim_.Now();
-  RunSync(sim_, store.Save(MakeImage("big", 25600)));  // 100 MiB.
+  ASSERT_TRUE(RunSync(sim_, store.Save(MakeImage("big", 25600))).ok());  // 100 MiB.
   const Duration elapsed = sim_.Now() - t0;
   // 100 MiB at 0.55 GB/s ≈ 190 ms.
   EXPECT_GT(elapsed.millis(), 120.0);
@@ -244,16 +244,16 @@ TEST_F(DocumentDbTest, GetMissingFails) {
 }
 
 TEST_F(DocumentDbTest, PutOverwritesAndScanSeesAll) {
-  RunSync(sim_, db_.Put("wages", {"w1", "100"}));
-  RunSync(sim_, db_.Put("wages", {"w1", "200"}));
-  RunSync(sim_, db_.Put("wages", {"w2", "300"}));
+  ASSERT_TRUE(RunSync(sim_, db_.Put("wages", {"w1", "100"})).ok());
+  ASSERT_TRUE(RunSync(sim_, db_.Put("wages", {"w1", "200"})).ok());
+  ASSERT_TRUE(RunSync(sim_, db_.Put("wages", {"w2", "300"})).ok());
   auto docs = RunSync(sim_, db_.Scan("wages"));
   ASSERT_EQ(docs.size(), 2u);
   EXPECT_EQ(db_.DocCount("wages"), 2u);
 }
 
 TEST_F(DocumentDbTest, DeleteRemoves) {
-  RunSync(sim_, db_.Put("d", {"k", "v"}));
+  ASSERT_TRUE(RunSync(sim_, db_.Put("d", {"k", "v"})).ok());
   EXPECT_TRUE(RunSync(sim_, db_.Delete("d", "k")).ok());
   EXPECT_FALSE(RunSync(sim_, db_.Get("d", "k")).ok());
   EXPECT_FALSE(RunSync(sim_, db_.Delete("d", "k")).ok());

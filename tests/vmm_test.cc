@@ -103,7 +103,7 @@ TEST_F(HypervisorTest, SnapshotOfConfiguredVmFails) {
 
 TEST_F(HypervisorTest, RestoreIsMuchFasterThanColdBoot) {
   MicroVm* vm = CreateBooted("vm0");
-  RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0"));
+  ASSERT_TRUE(RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0")).ok());
 
   const auto t0 = sim_.Now();
   auto restored = RunSync(sim_, hv_.RestoreMicroVm("snap0", "clone1"));
@@ -118,7 +118,7 @@ TEST_F(HypervisorTest, RestoreIsMuchFasterThanColdBoot) {
 
 TEST_F(HypervisorTest, RestoredVmSharesPagesWithSiblings) {
   MicroVm* vm = CreateBooted("vm0");
-  RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0"));
+  ASSERT_TRUE(RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0")).ok());
   EXPECT_TRUE(hv_.Destroy(*vm).ok());
   EXPECT_EQ(host_.used_bytes(), 0u);
 
@@ -196,8 +196,8 @@ TEST_F(HypervisorTest, FaultServiceTimeComposition) {
 
 TEST_F(HypervisorTest, ManyClonesFromOneSnapshot) {
   MicroVm* vm = CreateBooted("vm0");
-  RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0"));
-  hv_.Destroy(*vm);
+  ASSERT_TRUE(RunSync(sim_, hv_.CreateSnapshot(*vm, "snap0")).ok());
+  ASSERT_TRUE(hv_.Destroy(*vm).ok());
   for (int i = 0; i < 20; ++i) {
     auto clone = RunSync(sim_, hv_.RestoreMicroVm("snap0", "c" + std::to_string(i)));
     ASSERT_TRUE(clone.ok());

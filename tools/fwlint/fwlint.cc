@@ -1,0 +1,542 @@
+#include "tools/fwlint/fwlint.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace fwlint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared token-walking helpers
+// ---------------------------------------------------------------------------
+
+using Tokens = std::vector<Token>;
+
+bool IsKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "alignas",   "alignof",  "auto",      "break",     "case",       "catch",
+      "class",     "const",    "constexpr", "consteval", "constinit",  "continue",
+      "co_await",  "co_return","co_yield",  "decltype",  "default",    "delete",
+      "do",        "else",     "enum",      "explicit",  "extern",     "for",
+      "friend",    "goto",     "if",        "inline",    "mutable",    "namespace",
+      "new",       "noexcept", "operator",  "private",   "protected",  "public",
+      "requires",  "return",   "sizeof",    "static",    "static_assert",
+      "static_cast","struct",  "switch",    "template",  "this",       "throw",
+      "try",       "typedef",  "typeid",    "typename",  "union",      "using",
+      "virtual",   "void",     "volatile",  "while",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+// Skips a balanced parenthesised group. `i` must point at the opening "(".
+// Returns the index just past the matching ")" (or tokens.size() on EOF).
+size_t SkipParens(const Tokens& t, size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct) {
+      continue;
+    }
+    if (t[i].text == "(") {
+      ++depth;
+    } else if (t[i].text == ")") {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return t.size();
+}
+
+// Attempts to skip a balanced template-argument list. `i` must point at the
+// opening "<". Returns the index just past the closing ">"/">>" on success,
+// std::nullopt if this "<" looks like a comparison instead (bails on ";",
+// "{", "}" or EOF before balancing). Handles ">>" closing two levels.
+std::optional<size_t> TrySkipAngles(const Tokens& t, size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct) {
+      continue;
+    }
+    const std::string& p = t[i].text;
+    if (p == "<") {
+      ++depth;
+    } else if (p == ">") {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    } else if (p == ">>") {
+      depth -= 2;
+      if (depth <= 0) {
+        return i + 1;
+      }
+    } else if (p == ";" || p == "{" || p == "}") {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+// Identifiers that read a wall clock or an unseeded/system RNG. Any token
+// match (outside comments/strings — the lexer guarantees that) is flagged.
+const std::set<std::string>& DeterminismDenyIdents() {
+  static const std::set<std::string> kDeny = {
+      "srand",           "random_device", "random_shuffle",
+      "mt19937",         "mt19937_64",    "minstd_rand",
+      "minstd_rand0",    "default_random_engine",
+      "knuth_b",         "ranlux24",      "ranlux24_base",
+      "ranlux48",        "ranlux48_base",
+      "system_clock",    "steady_clock",  "high_resolution_clock",
+      "gettimeofday",    "clock_gettime", "timespec_get",
+      "localtime",       "gmtime",        "mktime",
+      "ftime",
+  };
+  return kDeny;
+}
+
+bool InDeterminismAllowlist(const std::string& path) {
+  return path.rfind("src/base/rng.", 0) == 0 || path.rfind("src/obs/clock.", 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+// The include DAG, as ranks: a file in layer L may include its own layer and
+// any layer of strictly lower rank. Equal-rank layers are siblings and may
+// not include each other. This is a refinement of the coarse DAG in ISSUE /
+// DESIGN.md (base → simcore → mid-tier → core → leaves) that pins down the
+// order *within* the mid-tier to match the real dependencies:
+//   obs sits below simcore (the kernel's log-time source formats through the
+//   obs clock facade), fault/mem below the transports that inject through
+//   them, storage below the vmm/sandbox/lang layers that persist into it.
+const std::map<std::string, int>& LayerRank() {
+  static const std::map<std::string, int> kRank = {
+      {"base", 0},    {"obs", 1},     {"simcore", 2}, {"fault", 3},
+      {"mem", 3},     {"net", 4},     {"msgbus", 4},  {"storage", 4},
+      {"vmm", 5},     {"sandbox", 5}, {"lang", 5},    {"core", 6},
+      {"baselines", 7}, {"workloads", 7},
+  };
+  return kRank;
+}
+
+// "src/<layer>/..." -> "<layer>", or "" if the path is not of that shape.
+std::string LayerOfPath(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) {
+    return "";
+  }
+  const size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) {
+    return "";
+  }
+  return path.substr(4, slash - 4);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public surface
+// ---------------------------------------------------------------------------
+
+std::string Diagnostic::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + check + "] " + message;
+}
+
+const std::vector<std::string>& AllChecks() {
+  static const std::vector<std::string> kChecks = {
+      "determinism", "unordered-iteration", "discarded-status", "layering", "coro-hygiene",
+  };
+  return kChecks;
+}
+
+void Analyzer::AddFile(std::string path, std::string content) {
+  File f;
+  f.path = std::move(path);
+  f.lex = Lex(content);
+  f.content = std::move(content);
+  files_.push_back(std::move(f));
+  registry_built_ = false;
+}
+
+// Phase one: collect names of functions *declared* to return Status,
+// Result<T>, StatusOr<T>, or Co<T>. The pattern is
+//   (Status | Result<...> | StatusOr<...> | Co<...>) <identifier> (
+// which matches declarations and definitions but not constructor calls
+// (`Status(...)`), template heads, or uses in expressions. Variable
+// declarations of the form `Result<X> r(...)` also match; the resulting
+// registry entry is harmless because `r(...)` as a bare statement would be a
+// dropped result anyway.
+void Analyzer::BuildRegistry() {
+  status_fns_.clear();
+  coro_fns_.clear();
+  unordered_vars_.clear();
+
+  // Unordered-container names are collected across *all* files: a member
+  // declared `std::unordered_map<...> roots_;` in a header is most often
+  // iterated from the matching .cc, which never re-states the type.
+  static const std::set<std::string> kUnorderedTemplates = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  for (const File& f : files_) {
+    const Tokens& t = f.lex.tokens;
+    // Same-file aliases first: `using Alias = std::unordered_map<...>;`.
+    std::set<std::string> unordered_types = kUnorderedTemplates;
+    for (size_t i = 0; i + 3 < t.size(); ++i) {
+      if (t[i].ident("using") && t[i + 1].kind == TokenKind::kIdentifier &&
+          t[i + 2].punct("=")) {
+        for (size_t j = i + 3; j < t.size() && !t[j].punct(";"); ++j) {
+          if (t[j].kind == TokenKind::kIdentifier && kUnorderedTemplates.count(t[j].text) != 0) {
+            unordered_types.insert(t[i + 1].text);
+            break;
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokenKind::kIdentifier || unordered_types.count(t[i].text) == 0) {
+        continue;
+      }
+      size_t j = i + 1;
+      if (j < t.size() && t[j].punct("<")) {
+        std::optional<size_t> after = TrySkipAngles(t, j);
+        if (!after.has_value()) {
+          continue;
+        }
+        j = *after;
+      }
+      // Skip refs/pointers in declarations like `const unordered_map<K,V>& m`.
+      while (j < t.size() && (t[j].punct("&") || t[j].punct("*") || t[j].punct("&&"))) {
+        ++j;
+      }
+      if (j < t.size() && t[j].kind == TokenKind::kIdentifier && !IsKeyword(t[j].text)) {
+        unordered_vars_.insert(t[j].text);
+      }
+    }
+  }
+
+  for (const File& f : files_) {
+    const Tokens& t = f.lex.tokens;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const std::string& type = t[i].text;
+      const bool is_status = (type == "Status");
+      const bool is_templated =
+          (type == "Result" || type == "StatusOr" || type == "Co");
+      if (!is_status && !is_templated) {
+        continue;
+      }
+      size_t j = i + 1;
+      if (is_templated) {
+        if (!(j < t.size() && t[j].punct("<"))) {
+          continue;
+        }
+        std::optional<size_t> after = TrySkipAngles(t, j);
+        if (!after.has_value()) {
+          continue;
+        }
+        j = *after;
+      }
+      if (!(j + 1 < t.size() && t[j].kind == TokenKind::kIdentifier &&
+            !IsKeyword(t[j].text) && t[j + 1].punct("("))) {
+        continue;
+      }
+      if (type == "Co") {
+        coro_fns_.insert(t[j].text);
+      } else {
+        status_fns_.insert(t[j].text);
+      }
+    }
+  }
+  registry_built_ = true;
+}
+
+std::vector<Diagnostic> Analyzer::Run(const std::set<std::string>& checks) {
+  if (!registry_built_) {
+    BuildRegistry();
+  }
+  const auto enabled = [&checks](const std::string& name) {
+    return checks.empty() || checks.count(name) != 0;
+  };
+
+  std::vector<Diagnostic> raw;
+  for (const File& f : files_) {
+    if (enabled("determinism")) {
+      CheckDeterminism(f, raw);
+    }
+    if (enabled("unordered-iteration")) {
+      CheckUnorderedIteration(f, raw);
+    }
+    if (enabled("discarded-status") || enabled("coro-hygiene")) {
+      std::vector<Diagnostic> calls;
+      CheckBareCalls(f, calls);
+      for (Diagnostic& d : calls) {
+        if (enabled(d.check)) {
+          raw.push_back(std::move(d));
+        }
+      }
+    }
+    if (enabled("layering")) {
+      CheckLayering(f, raw);
+    }
+  }
+
+  // Apply per-line suppressions, then sort for stable output.
+  std::vector<Diagnostic> out;
+  for (Diagnostic& d : raw) {
+    const File* file = nullptr;
+    for (const File& f : files_) {
+      if (f.path == d.file) {
+        file = &f;
+        break;
+      }
+    }
+    if (file != nullptr) {
+      auto it = file->lex.suppressions.find(d.line);
+      if (it != file->lex.suppressions.end() &&
+          (it->second.count(d.check) != 0 || it->second.count("all") != 0)) {
+        continue;
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.check != b.check) return a.check < b.check;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+void Analyzer::CheckDeterminism(const File& f, std::vector<Diagnostic>& out) const {
+  if (InDeterminismAllowlist(f.path)) {
+    return;
+  }
+  const Tokens& t = f.lex.tokens;
+  const std::set<std::string>& deny = DeterminismDenyIdents();
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    const std::string& id = t[i].text;
+    bool hit = deny.count(id) != 0;
+    // rand() / std::rand(): only when called, so identifiers merely
+    // *containing* "rand" (or a member named rand) don't need suppression.
+    if (!hit && id == "rand" && i + 1 < t.size() && t[i + 1].punct("(")) {
+      hit = true;
+    }
+    // time(NULL) / time(nullptr) / time(0) / time(): the classic epoch read.
+    // `time` with a real argument (e.g. a struct tm*) never appears in this
+    // tree; anything else named time (variables, members) is untouched.
+    if (!hit && id == "time" && i + 2 < t.size() && t[i + 1].punct("(")) {
+      const Token& arg = t[i + 2];
+      if (arg.punct(")") || arg.ident("NULL") || arg.ident("nullptr") ||
+          (arg.kind == TokenKind::kNumber && arg.text == "0")) {
+        hit = true;
+      }
+    }
+    // std::clock(): require the std:: qualifier so sim-clock accessors named
+    // clock() stay usable.
+    if (!hit && id == "clock" && i >= 2 && t[i - 1].punct("::") && t[i - 2].ident("std") &&
+        i + 1 < t.size() && t[i + 1].punct("(")) {
+      hit = true;
+    }
+    if (hit) {
+      out.push_back({f.path, t[i].line, "determinism",
+                     "wall-clock / unseeded-RNG API '" + id +
+                         "' outside the allowlist (src/base/rng.*, src/obs/clock.*); use "
+                         "fwsim::Simulation::Now()/rng() or fwbase::Rng with an explicit seed"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+// ---------------------------------------------------------------------------
+
+void Analyzer::CheckUnorderedIteration(const File& f, std::vector<Diagnostic>& out) const {
+  const Tokens& t = f.lex.tokens;
+  const std::set<std::string>& unordered_vars = unordered_vars_;
+  if (unordered_vars.empty()) {
+    return;
+  }
+
+  // Pass 2a: range-for whose range expression mentions an unordered name.
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(t[i].ident("for") && t[i + 1].punct("("))) {
+      continue;
+    }
+    const size_t close = SkipParens(t, i + 1);
+    // Find a top-level ':' inside the for-parens (range-for separator; plain
+    // for-loops have none, and "::" lexes as its own token so it can't fool
+    // this).
+    size_t colon = 0;
+    int depth = 0;
+    for (size_t j = i + 1; j + 1 < close; ++j) {
+      if (t[j].kind != TokenKind::kPunct) continue;
+      if (t[j].text == "(") ++depth;
+      if (t[j].text == ")") --depth;
+      if (t[j].text == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) {
+      continue;
+    }
+    for (size_t j = colon + 1; j + 1 < close; ++j) {
+      if (t[j].kind == TokenKind::kIdentifier && unordered_vars.count(t[j].text) != 0) {
+        out.push_back({f.path, t[i].line, "unordered-iteration",
+                       "range-for over unordered container '" + t[j].text +
+                           "': hash order can leak into deterministic output; iterate a "
+                           "sorted copy or switch to an ordered container"});
+        break;
+      }
+    }
+  }
+
+  // Pass 2b: explicit iterator walks (name.begin() and friends).
+  static const std::set<std::string> kBeginLike = {"begin", "cbegin", "rbegin", "crbegin"};
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind == TokenKind::kIdentifier && unordered_vars.count(t[i].text) != 0 &&
+        (t[i + 1].punct(".") || t[i + 1].punct("->")) &&
+        t[i + 2].kind == TokenKind::kIdentifier && kBeginLike.count(t[i + 2].text) != 0) {
+      out.push_back({f.path, t[i].line, "unordered-iteration",
+                     "iterator walk over unordered container '" + t[i].text +
+                         "': hash order can leak into deterministic output; iterate a "
+                         "sorted copy or switch to an ordered container"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// discarded-status / coro-hygiene
+// ---------------------------------------------------------------------------
+
+// Walks statements looking for bare calls `a.b.C(...);` whose final callee is
+// in the Status or Co registry. Statement starts are tokens right after ';',
+// '{', '}', ')' (control clauses like `if (x) Foo();`), or `else`/`do`.
+void Analyzer::CheckBareCalls(const File& f, std::vector<Diagnostic>& out) const {
+  const Tokens& t = f.lex.tokens;
+  bool at_start = true;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const bool start_here = at_start;
+    // Compute the start flag for the *next* token before any continue.
+    at_start = (t[i].kind == TokenKind::kPunct &&
+                (t[i].text == ";" || t[i].text == "{" || t[i].text == "}" ||
+                 t[i].text == ")")) ||
+               (t[i].kind == TokenKind::kIdentifier &&
+                (t[i].text == "else" || t[i].text == "do"));
+    if (!start_here || t[i].kind != TokenKind::kIdentifier || IsKeyword(t[i].text)) {
+      continue;
+    }
+    // `(void)Foo();` is the explicit opt-out idiom; honour it.
+    if (i >= 3 && t[i - 1].punct(")") && t[i - 2].ident("void") && t[i - 3].punct("(")) {
+      continue;
+    }
+
+    // Parse a call chain: ident (:: . -> ident)* '(' args ')' [. -> chain]* ';'
+    std::string callee = t[i].text;
+    int callee_line = t[i].line;
+    size_t j = i + 1;
+    bool called = false;  // saw at least one argument list
+    while (j < t.size()) {
+      if ((t[j].punct("::") || t[j].punct(".") || t[j].punct("->")) && j + 1 < t.size() &&
+          t[j + 1].kind == TokenKind::kIdentifier) {
+        callee = t[j + 1].text;
+        callee_line = t[j + 1].line;
+        j += 2;
+        continue;
+      }
+      if (t[j].punct("<")) {
+        std::optional<size_t> after = TrySkipAngles(t, j);
+        if (after.has_value() && *after < t.size() && t[*after].punct("(")) {
+          j = *after;
+          continue;
+        }
+        break;
+      }
+      if (t[j].punct("(")) {
+        j = SkipParens(t, j);
+        called = true;
+        if (j < t.size() && t[j].punct(";")) {
+          if (coro_fns_.count(callee) != 0) {
+            out.push_back(
+                {f.path, callee_line, "coro-hygiene",
+                 "Co-returning call '" + callee +
+                     "' constructed and dropped: the coroutine never runs; co_await it, "
+                     "Spawn it, or (void)-cast with a fwlint:allow(coro-hygiene) note"});
+          } else if (status_fns_.count(callee) != 0) {
+            out.push_back({f.path, callee_line, "discarded-status",
+                           "result of Status/Result-returning call '" + callee +
+                               "' is discarded; handle it, FW_CHECK it, or (void)-cast "
+                               "with a fwlint:allow(discarded-status) note"});
+          }
+          break;
+        }
+        if (j + 1 < t.size() && (t[j].punct(".") || t[j].punct("->")) &&
+            t[j + 1].kind == TokenKind::kIdentifier) {
+          callee = t[j + 1].text;
+          callee_line = t[j + 1].line;
+          j += 2;
+          continue;
+        }
+        break;
+      }
+      break;
+    }
+    (void)called;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+void Analyzer::CheckLayering(const File& f, std::vector<Diagnostic>& out) const {
+  const std::string layer = LayerOfPath(f.path);
+  if (layer.empty()) {
+    return;  // bench/tests/examples/tools may include anything
+  }
+  const auto& ranks = LayerRank();
+  auto self = ranks.find(layer);
+  if (self == ranks.end()) {
+    return;  // unknown layer directory: nothing to enforce
+  }
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(t[i].punct("#") && t[i + 1].ident("include") &&
+          t[i + 2].kind == TokenKind::kString)) {
+      continue;
+    }
+    const std::string& inc = t[i + 2].text;
+    const std::string target = LayerOfPath(inc);
+    if (target.empty() || target == layer) {
+      continue;
+    }
+    auto it = ranks.find(target);
+    if (it == ranks.end()) {
+      continue;
+    }
+    if (it->second >= self->second) {
+      const bool upward = it->second > self->second;
+      out.push_back({f.path, t[i + 2].line, "layering",
+                     std::string(upward ? "upward" : "cross-layer") + " include: layer '" +
+                         layer + "' (rank " + std::to_string(self->second) +
+                         ") must not include '" + inc + "' (layer '" + target + "', rank " +
+                         std::to_string(it->second) + "); see the layer DAG in DESIGN.md"});
+    }
+  }
+}
+
+}  // namespace fwlint

@@ -1,0 +1,94 @@
+// fwlint: invariant checker for the Fireworks simulator tree.
+//
+// The whole reproduction rests on one property: a run is a pure function of
+// (workload, seed, fault plan). fwlint enforces the invariants that guard it
+// as named, token-aware checks with file:line diagnostics:
+//
+//   determinism          wall-clock or unseeded-RNG APIs outside the
+//                        src/base/rng.* / src/obs/clock.* allowlist
+//   unordered-iteration  range-for / .begin() iteration over variables
+//                        declared as unordered_map/unordered_set, where hash
+//                        order can leak into "deterministic" output
+//   discarded-status     calls to functions declared to return Status /
+//                        Result<T> / StatusOr used as bare statements
+//   layering             #include edges that go up or across the layer DAG
+//                        (see kLayerRank in fwlint.cc and DESIGN.md)
+//   coro-hygiene         calls to functions declared to return fwsim::Co<T>
+//                        dropped without co_await / Spawn / scheduling
+//
+// Any diagnostic can be suppressed for one line with
+//   // fwlint:allow(<check>)           e.g.  // fwlint:allow(determinism)
+// on that line (inside any comment; "all" suppresses every check).
+//
+// The analyzer is two-phase: AddFile() every translation unit first, then
+// Run(). Phase one builds a cross-file registry of Status- and Co-returning
+// function names from their declarations; phase two walks each file's token
+// stream. There is deliberately no libclang dependency — the lexer in
+// lexer.h is enough for these checks and keeps the tool buildable anywhere
+// the simulator builds.
+#ifndef FIREWORKS_TOOLS_FWLINT_FWLINT_H_
+#define FIREWORKS_TOOLS_FWLINT_FWLINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/fwlint/lexer.h"
+
+namespace fwlint {
+
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string check;
+  std::string message;
+
+  // "path:line: [check] message" — stable, grep- and editor-friendly.
+  std::string ToString() const;
+};
+
+// All check names, in reporting order.
+const std::vector<std::string>& AllChecks();
+
+class Analyzer {
+ public:
+  // Registers a file for analysis. `path` should be repo-relative with
+  // forward slashes (e.g. "src/base/rng.cc"): the determinism allowlist and
+  // the layering check key off it.
+  void AddFile(std::string path, std::string content);
+
+  // Runs the given checks (empty set = all) over every added file. Returned
+  // diagnostics are sorted by (file, line, check) and already have per-line
+  // fwlint:allow() suppressions applied.
+  std::vector<Diagnostic> Run(const std::set<std::string>& checks = {});
+
+  // Exposed for tests: the registry of function names declared to return
+  // Status/Result/StatusOr (resp. Co<...>) across all added files, and of
+  // variable/member names declared with an unordered container type.
+  const std::set<std::string>& status_functions() const { return status_fns_; }
+  const std::set<std::string>& coro_functions() const { return coro_fns_; }
+  const std::set<std::string>& unordered_variables() const { return unordered_vars_; }
+
+ private:
+  struct File {
+    std::string path;
+    std::string content;
+    LexResult lex;
+  };
+
+  void BuildRegistry();
+  void CheckDeterminism(const File& f, std::vector<Diagnostic>& out) const;
+  void CheckUnorderedIteration(const File& f, std::vector<Diagnostic>& out) const;
+  void CheckBareCalls(const File& f, std::vector<Diagnostic>& out) const;
+  void CheckLayering(const File& f, std::vector<Diagnostic>& out) const;
+
+  std::vector<File> files_;
+  std::set<std::string> status_fns_;
+  std::set<std::string> coro_fns_;
+  std::set<std::string> unordered_vars_;
+  bool registry_built_ = false;
+};
+
+}  // namespace fwlint
+
+#endif  // FIREWORKS_TOOLS_FWLINT_FWLINT_H_

@@ -1,0 +1,269 @@
+#include "tools/fwlint/lexer.h"
+
+#include <cctype>
+
+namespace fwlint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentCont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character punctuators, longest first so greedy matching works.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+};
+
+// Scans comment text for fwlint:allow(a,b,...) markers and records them.
+void RecordSuppressions(std::string_view comment, int line,
+                        std::map<int, std::set<std::string>>& out) {
+  constexpr std::string_view kMarker = "fwlint:allow(";
+  size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    pos += kMarker.size();
+    const size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) {
+      return;
+    }
+    std::string_view list = comment.substr(pos, close - pos);
+    size_t start = 0;
+    while (start <= list.size()) {
+      size_t comma = list.find(',', start);
+      if (comma == std::string_view::npos) {
+        comma = list.size();
+      }
+      std::string_view name = list.substr(start, comma - start);
+      while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+      while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+      if (!name.empty()) {
+        out[line].insert(std::string(name));
+      }
+      if (comma == list.size()) {
+        break;
+      }
+      start = comma + 1;
+    }
+    pos = close + 1;
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return i_ >= src_.size(); }
+  char peek(size_t ahead = 0) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[i_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+  bool match(std::string_view s) const { return src_.substr(i_, s.size()) == s; }
+  void skip(size_t n) {
+    for (size_t k = 0; k < n && !done(); ++k) {
+      advance();
+    }
+  }
+  int line() const { return line_; }
+  size_t pos() const { return i_; }
+  std::string_view slice(size_t from, size_t to) const { return src_.substr(from, to - from); }
+
+ private:
+  std::string_view src_;
+  size_t i_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+LexResult Lex(std::string_view source) {
+  LexResult result;
+  Cursor c(source);
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' || ch == '\f' || ch == '\v') {
+      c.advance();
+      continue;
+    }
+
+    // Line comment.
+    if (ch == '/' && c.peek(1) == '/') {
+      const int line = c.line();
+      const size_t start = c.pos();
+      while (!c.done() && c.peek() != '\n') {
+        c.advance();
+      }
+      RecordSuppressions(c.slice(start, c.pos()), line, result.suppressions);
+      continue;
+    }
+
+    // Block comment. A marker anywhere in it applies to the line it sits on.
+    if (ch == '/' && c.peek(1) == '*') {
+      c.skip(2);
+      size_t line_start = c.pos();
+      int line = c.line();
+      while (!c.done()) {
+        if (c.match("*/")) {
+          RecordSuppressions(c.slice(line_start, c.pos()), line, result.suppressions);
+          c.skip(2);
+          break;
+        }
+        if (c.peek() == '\n') {
+          RecordSuppressions(c.slice(line_start, c.pos()), line, result.suppressions);
+          c.advance();
+          line_start = c.pos();
+          line = c.line();
+        } else {
+          c.advance();
+        }
+      }
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim". Also LR/uR/u8R prefixes.
+    if ((ch == 'R' && c.peek(1) == '"') ||
+        ((ch == 'L' || ch == 'u' || ch == 'U') && c.peek(1) == 'R' && c.peek(2) == '"') ||
+        (ch == 'u' && c.peek(1) == '8' && c.peek(2) == 'R' && c.peek(3) == '"')) {
+      const int line = c.line();
+      while (c.peek() != '"') {
+        c.advance();
+      }
+      c.advance();  // consume the opening quote
+      std::string delim;
+      while (!c.done() && c.peek() != '(') {
+        delim.push_back(c.advance());
+      }
+      c.advance();  // '('
+      const std::string closer = ")" + delim + "\"";
+      const size_t body_start = c.pos();
+      size_t body_end = body_start;
+      while (!c.done()) {
+        if (c.match(closer)) {
+          body_end = c.pos();
+          c.skip(closer.size());
+          break;
+        }
+        c.advance();
+      }
+      result.tokens.push_back(
+          {TokenKind::kString, std::string(c.slice(body_start, body_end)), line});
+      continue;
+    }
+
+    // Ordinary string literal (with possible L/u/U/u8 prefix handled by the
+    // identifier path falling through only when not followed by a quote).
+    if (ch == '"') {
+      const int line = c.line();
+      c.advance();
+      const size_t start = c.pos();
+      size_t end = start;
+      while (!c.done()) {
+        if (c.peek() == '\\') {
+          c.skip(2);
+          continue;
+        }
+        if (c.peek() == '"' || c.peek() == '\n') {
+          end = c.pos();
+          c.advance();
+          break;
+        }
+        c.advance();
+      }
+      result.tokens.push_back({TokenKind::kString, std::string(c.slice(start, end)), line});
+      continue;
+    }
+
+    // Character literal. A lone ' after an identifier/number could be a C++14
+    // digit separator, but those only occur inside numbers which we lex below.
+    if (ch == '\'') {
+      const int line = c.line();
+      c.advance();
+      const size_t start = c.pos();
+      size_t end = start;
+      while (!c.done()) {
+        if (c.peek() == '\\') {
+          c.skip(2);
+          continue;
+        }
+        if (c.peek() == '\'' || c.peek() == '\n') {
+          end = c.pos();
+          c.advance();
+          break;
+        }
+        c.advance();
+      }
+      result.tokens.push_back({TokenKind::kCharLit, std::string(c.slice(start, end)), line});
+      continue;
+    }
+
+    if (IsIdentStart(ch)) {
+      const int line = c.line();
+      const size_t start = c.pos();
+      while (!c.done() && IsIdentCont(c.peek())) {
+        c.advance();
+      }
+      // String-literal prefixes: if the identifier is exactly a prefix and a
+      // quote follows, reprocess so the literal path consumes it.
+      std::string text(c.slice(start, c.pos()));
+      if ((text == "L" || text == "u" || text == "U" || text == "u8") &&
+          (c.peek() == '"' || c.peek() == '\'')) {
+        // Fall through: the next loop iteration lexes the literal; the prefix
+        // itself is dropped, which is fine for analysis purposes.
+        continue;
+      }
+      result.tokens.push_back({TokenKind::kIdentifier, std::move(text), line});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      const int line = c.line();
+      const size_t start = c.pos();
+      while (!c.done()) {
+        const char d = c.peek();
+        if (IsIdentCont(d) || d == '.' || d == '\'') {
+          c.advance();
+          continue;
+        }
+        // Exponent signs: 1e+5, 0x1p-3.
+        if ((d == '+' || d == '-') && c.pos() > start) {
+          const char prev = c.slice(c.pos() - 1, c.pos())[0];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            c.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      result.tokens.push_back({TokenKind::kNumber, std::string(c.slice(start, c.pos())), line});
+      continue;
+    }
+
+    // Punctuation: longest match among multi-char operators, else single char.
+    {
+      const int line = c.line();
+      bool matched = false;
+      for (std::string_view p : kPuncts) {
+        if (c.match(p)) {
+          result.tokens.push_back({TokenKind::kPunct, std::string(p), line});
+          c.skip(p.size());
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        result.tokens.push_back({TokenKind::kPunct, std::string(1, c.advance()), line});
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace fwlint

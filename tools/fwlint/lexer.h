@@ -1,0 +1,55 @@
+// Token-aware C++ lexer for fwlint.
+//
+// This is not a full C++ front end: fwlint's checks only need to tell code
+// apart from comments and string literals, track line numbers, and walk a
+// flat token stream. The lexer therefore recognises identifiers, numbers,
+// string/char literals (including raw strings), punctuation, and comments —
+// enough that `// std::mt19937 would be bad here` never trips the
+// determinism check, which is exactly what the old grep could not do.
+//
+// Comments are not emitted as tokens; instead the lexer records, per line,
+// any `fwlint:allow(check1[,check2...])` suppression markers found inside
+// them so the analyzer can silence same-line diagnostics.
+#ifndef FIREWORKS_TOOLS_FWLINT_LEXER_H_
+#define FIREWORKS_TOOLS_FWLINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fwlint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (the analyzer distinguishes them)
+  kNumber,
+  kString,      // "..." and R"(...)" — text() is the literal contents, unescaped-as-written
+  kCharLit,     // '...'
+  kPunct,       // operators and punctuation, longest-match (e.g. "::", "->", "<<")
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+
+  bool is(TokenKind k, std::string_view t) const { return kind == k && text == t; }
+  bool ident(std::string_view t) const { return is(TokenKind::kIdentifier, t); }
+  bool punct(std::string_view t) const { return is(TokenKind::kPunct, t); }
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  // line -> set of check names suppressed on that line via fwlint:allow(...).
+  // The special name "all" suppresses every check.
+  std::map<int, std::set<std::string>> suppressions;
+};
+
+// Lexes a translation unit. Never fails: unrecognised bytes are skipped so a
+// half-written file still yields a usable (if partial) token stream.
+LexResult Lex(std::string_view source);
+
+}  // namespace fwlint
+
+#endif  // FIREWORKS_TOOLS_FWLINT_LEXER_H_
