@@ -1,0 +1,349 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/base/strings.h"
+
+namespace fwcluster {
+
+Cluster::Cluster(fwsim::Simulation& sim, std::vector<std::unique_ptr<ClusterHost>> hosts,
+                 const Config& config)
+    : sim_(sim),
+      config_(config),
+      obs_([this] { return sim_.Now(); }),
+      scheduler_(MakeScheduler(config.policy, static_cast<int>(hosts.size()),
+                               config.vnodes_per_host)) {
+  FW_CHECK(!hosts.empty());
+  FW_CHECK(config.workers_per_host > 0);
+  FW_CHECK(config.max_attempts >= 1);
+  hosts_.resize(hosts.size());
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    hosts_[i].host = std::move(hosts[i]);
+    hosts_[i].queue = std::make_unique<fwsim::Channel<Request>>(sim_);
+  }
+  for (int i = 0; i < static_cast<int>(hosts_.size()); ++i) {
+    for (int w = 0; w < config_.workers_per_host; ++w) {
+      sim_.Spawn(Worker(i));
+    }
+    if (config_.autoscale) {
+      sim_.Spawn(Autoscaler(i));
+    }
+  }
+  sim_.Spawn(Sampler());
+}
+
+Cluster::~Cluster() { Shutdown(); }
+
+void Cluster::Shutdown() { running_ = false; }
+
+fwsim::Co<Status> Cluster::InstallAll(const fwlang::FunctionSource& fn) {
+  for (auto& hs : hosts_) {
+    Status s = co_await hs.host->Install(fn);
+    if (!s.ok()) {
+      co_return s;
+    }
+  }
+  installed_.push_back(fn.name);
+  co_return Status::Ok();
+}
+
+std::vector<HostView> Cluster::Views() const {
+  std::vector<HostView> views(hosts_.size());
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    views[i].alive = hosts_[i].alive && sim_.Now() >= hosts_[i].partitioned_until;
+    views[i].inflight = hosts_[i].inflight;
+  }
+  return views;
+}
+
+uint64_t Cluster::Submit(const std::string& fn_name, const std::string& args) {
+  Request req;
+  req.id = ++submitted_;
+  req.fn = fn_name;
+  req.args = args;
+  req.submitted = sim_.Now();
+  outcomes_.emplace_back();
+  outcomes_.back().fn = fn_name;
+  obs_.metrics().GetCounter("cluster.submitted").Increment();
+  Dispatch(std::move(req));
+  return submitted_;
+}
+
+void Cluster::Dispatch(Request req) {
+  const int target = scheduler_->Pick(req.fn, Views());
+  if (target < 0) {
+    RecordFailure(req, Status::Unavailable("no schedulable host"));
+    return;
+  }
+  HostState& hs = hosts_[target];
+  ++hs.inflight;
+  ++hs.arrivals[req.fn];
+  hs.queue->Send(std::move(req));
+}
+
+void Cluster::RecordFailure(const Request& req, Status status) {
+  Outcome& out = outcomes_[req.id - 1];
+  out.status = std::move(status);
+  out.attempts = req.attempts;
+  out.latency = sim_.Now() - req.submitted;
+  ++out.completions;
+  ++failed_;
+  obs_.metrics().GetCounter("cluster.failed").Increment();
+}
+
+void Cluster::RecordCompletion(const Request& req, const fwcore::InvocationResult& result,
+                               int host_index, bool warm_hit) {
+  Outcome& out = outcomes_[req.id - 1];
+  out.status = Status::Ok();
+  out.host = host_index;
+  out.attempts = req.attempts;
+  out.latency = sim_.Now() - req.submitted;
+  out.startup = result.startup;
+  out.exec = result.exec;
+  out.warm_hit = warm_hit;
+  ++out.completions;
+  ++completed_;
+  latency_ms_.Add(out.latency.millis());
+  startup_ms_.Add(result.startup.millis());
+  obs_.metrics().GetCounter("cluster.completed").Increment();
+  if (warm_hit) {
+    obs_.metrics().GetCounter("cluster.warm_hits").Increment();
+  }
+}
+
+fwsim::Co<void> Cluster::Worker(int host_index) {
+  HostState& hs = hosts_[host_index];
+  while (true) {
+    Request req = co_await hs.queue->Recv();
+    if (!hs.alive) {
+      // The host died with this request still queued: bounce it back to the
+      // front end. (Not a zombie — it never started.)
+      --hs.inflight;
+      ++retries_;
+      ++req.attempts;
+      obs_.metrics().GetCounter("cluster.retries").Increment();
+      if (req.attempts > config_.max_attempts) {
+        RecordFailure(req, Status::Unavailable("retry budget exhausted"));
+      } else {
+        Dispatch(std::move(req));
+      }
+      continue;
+    }
+    const uint64_t epoch = hs.epoch;
+    const uint64_t warm_before = hs.host->warm_hits();
+    Result<fwcore::InvocationResult> result = Status::Internal("not run");
+    {
+      fwobs::ScopedSpan span(&obs_.tracer(), "cluster.invoke", "cluster");
+      span.SetAttribute("host", static_cast<uint64_t>(host_index));
+      span.SetAttribute("fn", req.fn);
+      span.SetAttribute("attempt", static_cast<uint64_t>(req.attempts));
+      result = co_await hs.host->Invoke(req.fn, req.args);
+    }
+    // A partitioned host keeps computing, but its response cannot reach the
+    // front end until the partition heals.
+    while (hs.alive && hs.epoch == epoch && sim_.Now() < hs.partitioned_until) {
+      co_await fwsim::Delay(sim_, hs.partitioned_until - sim_.Now());
+    }
+    --hs.inflight;
+    if (!hs.alive || hs.epoch != epoch) {
+      // Zombie: the host crashed while this invocation was in flight. The
+      // result (if any) is discarded and the request retried elsewhere —
+      // never both, so completions stay exactly-once.
+      ++zombie_discards_;
+      ++retries_;
+      ++req.attempts;
+      obs_.metrics().GetCounter("cluster.zombie_discards").Increment();
+      obs_.metrics().GetCounter("cluster.retries").Increment();
+      if (req.attempts > config_.max_attempts) {
+        RecordFailure(req, Status::Unavailable("retry budget exhausted"));
+      } else {
+        Dispatch(std::move(req));
+      }
+      continue;
+    }
+    if (!result.ok()) {
+      // The platform exhausted its own recovery (internal retries + cold-boot
+      // fallback): surface the failure rather than retrying endlessly.
+      RecordFailure(req, result.status());
+      continue;
+    }
+    const bool warm_hit = hs.host->warm_hits() > warm_before;
+    RecordCompletion(req, *result, host_index, warm_hit);
+    if (warm_hit && config_.autoscale && running_) {
+      // Replenish the consumed clone right away (one for one) instead of
+      // waiting for the next autoscaler tick; the tick's shrink hysteresis
+      // still trims the pool when the app's rate drops.
+      const int pending = static_cast<int>(hs.host->PooledClones(req.fn)) +
+                          hs.preparing[req.fn];
+      if (pending < config_.max_pool_per_app) {
+        ++hs.preparing[req.fn];
+        sim_.Spawn(PrepareOne(host_index, req.fn, hs.epoch));
+      }
+    }
+  }
+}
+
+fwsim::Co<void> Cluster::Autoscaler(int host_index) {
+  HostState& hs = hosts_[host_index];
+  const double interval_s = config_.autoscale_interval.seconds();
+  while (running_) {
+    co_await fwsim::Delay(sim_, config_.autoscale_interval);
+    if (!running_) {
+      break;
+    }
+    if (!hs.alive) {
+      hs.arrivals.clear();
+      continue;
+    }
+    for (const std::string& app : installed_) {
+      const auto ait = hs.arrivals.find(app);
+      const double observed =
+          (ait == hs.arrivals.end() ? 0.0 : static_cast<double>(ait->second)) / interval_s;
+      double& ewma = hs.rate_ewma[app];
+      ewma = config_.autoscale_ewma_alpha * observed +
+             (1.0 - config_.autoscale_ewma_alpha) * ewma;
+      // Little's law: cover the arrivals that land while a replacement clone
+      // is being prepared, with safety headroom.
+      const int target = std::min(
+          config_.max_pool_per_app,
+          static_cast<int>(
+              std::ceil(ewma * hs.prepare_seconds_ewma * config_.autoscale_safety)));
+      const int deficit = target - static_cast<int>(hs.host->PooledClones(app)) -
+                          hs.preparing[app];
+      for (int k = 0; k < deficit; ++k) {
+        ++hs.preparing[app];
+        sim_.Spawn(PrepareOne(host_index, app, hs.epoch));
+      }
+      // Shrink with hysteresis so a borderline target does not flap.
+      while (static_cast<int>(hs.host->PooledClones(app)) > target + 1) {
+        if (!hs.host->DiscardClone(app).ok()) {
+          break;
+        }
+      }
+    }
+    hs.arrivals.clear();
+  }
+}
+
+fwsim::Co<void> Cluster::PrepareOne(int host_index, std::string app, uint64_t epoch) {
+  HostState& hs = hosts_[host_index];
+  const fwbase::SimTime t0 = sim_.Now();
+  Status s = co_await hs.host->PrepareClone(app);
+  --hs.preparing[app];
+  if (!s.ok()) {
+    co_return;
+  }
+  if (hs.epoch != epoch) {
+    // The host crashed while this clone was being prepared: its memory (and
+    // the clone with it) did not survive.
+    (void)hs.host->DiscardClone(app);
+    co_return;
+  }
+  hs.prepare_seconds_ewma =
+      0.3 * (sim_.Now() - t0).seconds() + 0.7 * hs.prepare_seconds_ewma;
+}
+
+fwsim::Co<void> Cluster::Sampler() {
+  while (running_) {
+    co_await fwsim::Delay(sim_, config_.sample_interval);
+    if (!running_) {
+      break;
+    }
+    double pss = 0.0;
+    uint64_t vms = 0;
+    for (const auto& hs : hosts_) {
+      pss += hs.host->PssBytes();
+      vms += hs.host->LiveVmCount();
+    }
+    peak_pss_bytes_ = std::max(peak_pss_bytes_, pss);
+    peak_live_vms_ = std::max(peak_live_vms_, vms);
+    obs_.metrics().GetGauge("cluster.pss_bytes").Set(pss);
+    obs_.metrics().GetGauge("cluster.live_vms").Set(static_cast<double>(vms));
+  }
+}
+
+void Cluster::Drain(uint64_t until_terminal) {
+  while (terminal() < until_terminal && sim_.StepOne()) {
+  }
+  FW_CHECK_MSG(terminal() >= until_terminal,
+               "cluster drained its event queue with requests still pending");
+  Shutdown();
+}
+
+void Cluster::CrashHost(int host) {
+  FW_CHECK(host >= 0 && host < num_hosts());
+  HostState& hs = hosts_[host];
+  if (!hs.alive) {
+    return;
+  }
+  hs.alive = false;
+  ++hs.epoch;
+  // The parked clones lived in the host's memory.
+  hs.host->DropWarmPool();
+  hs.arrivals.clear();
+  hs.rate_ewma.clear();
+  obs_.metrics().GetCounter("cluster.host_crashes").Increment();
+}
+
+void Cluster::RestartHost(int host) {
+  FW_CHECK(host >= 0 && host < num_hosts());
+  HostState& hs = hosts_[host];
+  if (hs.alive) {
+    return;
+  }
+  hs.alive = true;
+  hs.partitioned_until = fwbase::SimTime::Zero();
+  obs_.metrics().GetCounter("cluster.host_restarts").Increment();
+}
+
+void Cluster::PartitionHost(int host, Duration duration) {
+  FW_CHECK(host >= 0 && host < num_hosts());
+  HostState& hs = hosts_[host];
+  hs.partitioned_until = std::max(hs.partitioned_until, sim_.Now() + duration);
+  obs_.metrics().GetCounter("cluster.host_partitions").Increment();
+}
+
+const Cluster::Outcome& Cluster::outcome(uint64_t id) const {
+  FW_CHECK(id >= 1 && id <= outcomes_.size());
+  return outcomes_[id - 1];
+}
+
+Cluster::Rollup Cluster::ComputeRollup() const {
+  Rollup r;
+  r.submitted = submitted_;
+  r.completed = completed_;
+  r.failed = failed_;
+  r.retries = retries_;
+  r.zombie_discards = zombie_discards_;
+  for (const auto& hs : hosts_) {
+    r.warm_hits += hs.host->warm_hits();
+  }
+  r.latency_ms = latency_ms_;
+  r.startup_ms = startup_ms_;
+  r.peak_pss_bytes = peak_pss_bytes_;
+  r.peak_live_vms = peak_live_vms_;
+  return r;
+}
+
+uint64_t Cluster::OutcomeDigest() const {
+  uint64_t digest = 0xcbf29ce484222325ull;
+  auto mix = [&digest](uint64_t v) {
+    digest ^= v;
+    digest *= 0x100000001b3ull;
+  };
+  for (size_t i = 0; i < outcomes_.size(); ++i) {
+    const Outcome& out = outcomes_[i];
+    mix(i + 1);
+    mix(static_cast<uint64_t>(out.host) + 2);
+    mix(static_cast<uint64_t>(out.attempts));
+    mix(static_cast<uint64_t>(out.latency.nanos()));
+    mix(out.completions);
+    mix(static_cast<uint64_t>(out.status.code()) + 1);
+  }
+  return digest;
+}
+
+}  // namespace fwcluster

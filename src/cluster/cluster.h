@@ -1,0 +1,208 @@
+// Multi-host Fireworks deployment on one shared discrete-event simulation.
+//
+// The Cluster owns N ClusterHosts (FullHost or ModelHost), a front-end
+// Scheduler, per-host dispatch queues with a fixed worker-coroutine pool, a
+// per-host × per-app warm-pool autoscaler, and cluster-level observability
+// (metrics + spans rolled up across hosts).
+//
+// Request lifecycle: Submit() stamps the request, the front end picks a host
+// (scheduler policy over live host views) and enqueues it on that host's
+// dispatch queue; a worker coroutine runs the invocation on the host and
+// records the outcome. The submit→completion latency therefore includes
+// front-end queueing, which is where overload shows up in P99.9.
+//
+// Failure semantics (the chaos tests assert these):
+//   * CrashHost marks the host dead, bumps its epoch, and drops its parked
+//     clones (they lived in host memory). Queued requests are bounced back to
+//     the front end. In-flight invocations cannot be cancelled — they drain
+//     as zombies whose results are discarded (stale epoch) and the requests
+//     are retried on a surviving host, so every accepted request reaches
+//     exactly one recorded completion: retried, never duplicated.
+//   * PartitionHost makes the host unreachable from the front end for a
+//     duration: the scheduler skips it and responses of in-flight work are
+//     held until the partition heals. Partitioned work is delayed, not
+//     retried (retrying non-idempotent work during a partition would risk
+//     duplicate completions).
+#ifndef FIREWORKS_SRC_CLUSTER_CLUSTER_H_
+#define FIREWORKS_SRC_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/cluster/host.h"
+#include "src/cluster/scheduler.h"
+#include "src/obs/observability.h"
+#include "src/simcore/primitives.h"
+#include "src/simcore/simulation.h"
+
+namespace fwcluster {
+
+class Cluster {
+ public:
+  struct Config {
+    Config() {}
+
+    SchedulerPolicy policy = SchedulerPolicy::kSnapshotLocality;
+    int vnodes_per_host = 64;
+    // Dispatch worker coroutines per host: the host-level concurrency cap.
+    int workers_per_host = 32;
+    // Front-end retries per request (crash recovery), counting the first try.
+    int max_attempts = 4;
+
+    // Warm-pool autoscaler: per host × app, target pool size from Little's
+    // law over an EWMA of the observed per-app arrival rate at that host.
+    bool autoscale = true;
+    Duration autoscale_interval = Duration::Seconds(1);
+    double autoscale_ewma_alpha = 0.3;
+    double autoscale_safety = 1.5;
+    int max_pool_per_app = 8;
+
+    // Sampling period for the cluster-wide memory/density gauges.
+    Duration sample_interval = Duration::Millis(250);
+  };
+
+  // `hosts` are indexed by position; each must already schedule on `sim`.
+  Cluster(fwsim::Simulation& sim, std::vector<std::unique_ptr<ClusterHost>> hosts,
+          const Config& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Installs `fn` on every host (apps can be scheduled anywhere).
+  fwsim::Co<Status> InstallAll(const fwlang::FunctionSource& fn);
+
+  // Accepts one invocation request at the current simulated time and returns
+  // its request id (1-based, dense).
+  uint64_t Submit(const std::string& fn_name, const std::string& args);
+
+  // Pumps the shared simulation until `until_terminal` requests have reached
+  // a terminal state (completed or failed), then stops background services.
+  void Drain(uint64_t until_terminal);
+  // Drains everything submitted so far.
+  void DrainAll() { Drain(submitted_); }
+  // Stops the autoscaler/sampler loops so the event queue can empty.
+  void Shutdown();
+
+  // --- Fault operations ----------------------------------------------------
+  void CrashHost(int host);
+  void RestartHost(int host);
+  void PartitionHost(int host, Duration duration);
+
+  // --- Results -------------------------------------------------------------
+  struct Outcome {
+    Outcome() {}
+
+    std::string fn;
+    Status status;        // Terminal status of the request.
+    int host = -1;        // Host that served the recorded completion.
+    int attempts = 1;     // Dispatch attempts (1 = no retry).
+    Duration latency;     // Submit → recorded completion.
+    Duration startup;
+    Duration exec;
+    bool warm_hit = false;
+    uint64_t completions = 0;  // Recorded completions; exactly-once ⇒ 1.
+  };
+
+  struct Rollup {
+    Rollup() {}
+
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t retries = 0;
+    uint64_t zombie_discards = 0;
+    uint64_t warm_hits = 0;
+    fwbase::SampleStats latency_ms;     // Completed requests only.
+    fwbase::SampleStats startup_ms;
+    double peak_pss_bytes = 0.0;
+    uint64_t peak_live_vms = 0;
+  };
+
+  // Outcome of request `id` (valid once terminal).
+  const Outcome& outcome(uint64_t id) const;
+  uint64_t submitted() const { return submitted_; }
+  uint64_t terminal() const { return completed_ + failed_; }
+  Rollup ComputeRollup() const;
+
+  // Order-insensitive digest of every terminal outcome (id, host, attempts,
+  // latency): equal digests ⇒ the two runs scheduled and timed identically.
+  uint64_t OutcomeDigest() const;
+
+  ClusterHost& host(int i) { return *hosts_[i].host; }
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  bool alive(int i) const { return hosts_[i].alive; }
+  // Cluster-level observability (per-host metrics live on each FullHost's
+  // own HostEnv). Enable obs().tracer() for cluster spans.
+  fwobs::Observability& obs() { return obs_; }
+
+ private:
+  struct Request {
+    uint64_t id = 0;
+    std::string fn;
+    std::string args;
+    int attempts = 1;
+    fwbase::SimTime submitted;
+  };
+
+  struct HostState {
+    std::unique_ptr<ClusterHost> host;
+    std::unique_ptr<fwsim::Channel<Request>> queue;
+    bool alive = true;
+    uint64_t epoch = 0;
+    fwbase::SimTime partitioned_until;
+    int64_t inflight = 0;  // Dispatched and not yet terminal.
+    // Autoscaler state: arrivals since the last tick and the rate EWMA,
+    // per app (ordered maps: tick iteration order is part of determinism).
+    std::map<std::string, uint64_t> arrivals;
+    std::map<std::string, double> rate_ewma;
+    // Clone preparations currently in flight (so a slow prepare is not
+    // double-counted into the next tick's deficit).
+    std::map<std::string, int> preparing;
+    // EWMA of observed PrepareClone wall time, for the Little's-law target.
+    double prepare_seconds_ewma = 0.05;
+  };
+
+  std::vector<HostView> Views() const;
+  // Front-end placement; records a failed outcome when no host is available
+  // or the retry budget is exhausted.
+  void Dispatch(Request req);
+  void RecordFailure(const Request& req, Status status);
+  void RecordCompletion(const Request& req, const fwcore::InvocationResult& result,
+                        int host_index, bool warm_hit);
+  fwsim::Co<void> Worker(int host_index);
+  fwsim::Co<void> Autoscaler(int host_index);
+  // One concurrent clone preparation; discards the clone if the host crashed
+  // while it was being prepared (its memory is gone).
+  fwsim::Co<void> PrepareOne(int host_index, std::string app, uint64_t epoch);
+  fwsim::Co<void> Sampler();
+
+  fwsim::Simulation& sim_;
+  Config config_;
+  fwobs::Observability obs_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<HostState> hosts_;
+  std::vector<std::string> installed_;  // Install order (autoscaler iteration).
+  bool running_ = true;
+
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t zombie_discards_ = 0;
+  std::vector<Outcome> outcomes_;  // Indexed by request id - 1.
+  fwbase::SampleStats latency_ms_;
+  fwbase::SampleStats startup_ms_;
+  double peak_pss_bytes_ = 0.0;
+  uint64_t peak_live_vms_ = 0;
+};
+
+}  // namespace fwcluster
+
+#endif  // FIREWORKS_SRC_CLUSTER_CLUSTER_H_

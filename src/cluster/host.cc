@@ -1,0 +1,173 @@
+#include "src/cluster/host.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace fwcluster {
+
+// ---------------------------------------------------------------------------
+// FullHost
+// ---------------------------------------------------------------------------
+
+FullHost::FullHost(fwsim::Simulation& sim, int id, const Config& config)
+    : id_(id), env_(sim, config.env), platform_(env_, config.fw) {}
+
+fwsim::Co<Status> FullHost::Install(const fwlang::FunctionSource& fn) {
+  auto r = co_await platform_.Install(fn);
+  co_return r.status();
+}
+
+fwsim::Co<Result<fwcore::InvocationResult>> FullHost::Invoke(const std::string& fn_name,
+                                                             const std::string& args) {
+  fwcore::InvokeOptions options;
+  if (platform_.PooledCloneCount(fn_name) > 0) {
+    auto r = co_await platform_.InvokeOnClone(fn_name, args, options);
+    // kFailedPrecondition means the pool drained between the check and the
+    // pop (another dispatch worker took the clone); fall through to the
+    // regular snapshot path. Other errors are real invocation failures.
+    if (r.ok()) {
+      ++warm_hits_;
+      co_return r;
+    }
+    if (r.status().code() != fwbase::StatusCode::kFailedPrecondition) {
+      co_return r;
+    }
+  }
+  co_return co_await platform_.Invoke(fn_name, args, options);
+}
+
+fwsim::Co<Status> FullHost::PrepareClone(const std::string& fn_name) {
+  auto r = co_await platform_.PrepareClone(fn_name);
+  co_return r.status();
+}
+
+Status FullHost::DiscardClone(const std::string& fn_name) {
+  return platform_.DiscardClone(fn_name);
+}
+
+size_t FullHost::PooledClones(const std::string& fn_name) const {
+  return platform_.PooledCloneCount(fn_name);
+}
+
+size_t FullHost::TotalPooledClones() const { return platform_.TotalPooledClones(); }
+
+double FullHost::PssBytes() const {
+  return platform_.MeasurePssBytes() + platform_.PooledPssBytes();
+}
+
+size_t FullHost::LiveVmCount() { return platform_.hypervisor().live_vm_count(); }
+
+size_t FullHost::LiveNetnsCount() { return env_.network().namespace_count(); }
+
+void FullHost::DropWarmPool() {
+  // ReleaseInstances also clears kept instances; the cluster never keeps any,
+  // so this only drains the parked-clone pool.
+  platform_.ReleaseInstances();
+}
+
+// ---------------------------------------------------------------------------
+// ModelHost
+// ---------------------------------------------------------------------------
+
+ModelHost::ModelHost(fwsim::Simulation& sim, int id, const Config& config)
+    : id_(id), sim_(sim), config_(config), rng_(sim.rng().Fork()), cpu_(sim, config.vcpus) {
+  FW_CHECK(config.vcpus > 0);
+}
+
+Duration ModelHost::Jitter(Duration d) {
+  const double j = config_.calibration.jitter;
+  const double scale = rng_.UniformDouble(1.0 - j, 1.0 + j);
+  return Duration::Nanos(static_cast<int64_t>(static_cast<double>(d.nanos()) * scale));
+}
+
+fwsim::Co<Status> ModelHost::Install(const fwlang::FunctionSource& fn) {
+  installed_.insert(fn.name);
+  co_return Status::Ok();
+}
+
+fwsim::Co<Result<fwcore::InvocationResult>> ModelHost::Invoke(const std::string& fn_name,
+                                                              const std::string& args) {
+  if (installed_.count(fn_name) == 0) {
+    co_return Status::NotFound("function " + fn_name + " is not installed");
+  }
+  // Claim a parked clone up front: a burst drains the pool even while its
+  // requests are still queueing for vCPUs, as on a real host.
+  bool warm = false;
+  auto pit = pool_.find(fn_name);
+  if (pit != pool_.end() && pit->second > 0) {
+    warm = true;
+    --pit->second;
+    --pooled_total_;
+    if (pit->second == 0) {
+      pool_.erase(pit);
+    }
+    ++warm_hits_;
+  }
+  const fwbase::SimTime t0 = sim_.Now();
+  co_await cpu_.Acquire();
+  ++inflight_vms_;
+  const HostCalibration& cal = config_.calibration;
+  const Duration startup = Jitter(warm ? cal.warm_startup : cal.cold_startup);
+  const Duration exec = Jitter(warm ? cal.warm_exec : cal.cold_exec);
+  const Duration others = Jitter(warm ? cal.warm_others : cal.cold_others);
+  co_await fwsim::Delay(sim_, startup);
+  co_await fwsim::Delay(sim_, exec);
+  co_await fwsim::Delay(sim_, others);
+  --inflight_vms_;
+  cpu_.Release();
+
+  fwcore::InvocationResult result;
+  result.startup = startup;
+  result.exec = exec;
+  // Queueing delay (vCPU wait) lands in `others`, as response-path time.
+  result.total = sim_.Now() - t0;
+  result.others = result.total - startup - exec;
+  co_return result;
+}
+
+fwsim::Co<Status> ModelHost::PrepareClone(const std::string& fn_name) {
+  if (installed_.count(fn_name) == 0) {
+    co_return Status::NotFound("function " + fn_name + " is not installed");
+  }
+  co_await fwsim::Delay(sim_, Jitter(config_.calibration.prepare_cost));
+  ++pool_[fn_name];
+  ++pooled_total_;
+  co_return Status::Ok();
+}
+
+Status ModelHost::DiscardClone(const std::string& fn_name) {
+  auto pit = pool_.find(fn_name);
+  if (pit == pool_.end() || pit->second == 0) {
+    return Status::NotFound("no parked clone for " + fn_name);
+  }
+  --pit->second;
+  --pooled_total_;
+  if (pit->second == 0) {
+    pool_.erase(pit);
+  }
+  return Status::Ok();
+}
+
+size_t ModelHost::PooledClones(const std::string& fn_name) const {
+  auto pit = pool_.find(fn_name);
+  return pit == pool_.end() ? 0 : pit->second;
+}
+
+size_t ModelHost::TotalPooledClones() const { return pooled_total_; }
+
+double ModelHost::PssBytes() const {
+  return static_cast<double>(inflight_vms_) * config_.calibration.instance_pss_bytes +
+         static_cast<double>(pooled_total_) * config_.calibration.pooled_clone_pss_bytes;
+}
+
+size_t ModelHost::LiveVmCount() { return inflight_vms_ + pooled_total_; }
+
+size_t ModelHost::LiveNetnsCount() { return inflight_vms_ + pooled_total_; }
+
+void ModelHost::DropWarmPool() {
+  pool_.clear();
+  pooled_total_ = 0;
+}
+
+}  // namespace fwcluster

@@ -1,0 +1,107 @@
+// Front-end scheduling policies for the multi-host cluster (src/cluster).
+//
+// The front end picks a host for every invocation from a snapshot of per-host
+// state (alive? how many in flight?). Three policies:
+//
+//   * kRoundRobin       — rotate over alive hosts; ignores the app entirely.
+//   * kLeastLoaded      — pick the alive host with the fewest in-flight
+//                         invocations (ties break to the lowest host index so
+//                         decisions are deterministic).
+//   * kSnapshotLocality — consistent hashing with virtual nodes and bounded
+//                         loads: each app maps to a stable ring owner, so its
+//                         post-JIT snapshot pages (and parked warm clones)
+//                         stay hot on one host. When the owner is saturated
+//                         (inflight above c× the alive-host mean) the request
+//                         spills to the next alive host clockwise — a Zipf
+//                         head app cannot melt its owner. Crashed owners'
+//                         apps spill the same way and return home on restart.
+//
+// All policies are pure functions of (app, host views, internal counters) —
+// no RNG — so a replayed request stream schedules identically.
+#ifndef FIREWORKS_SRC_CLUSTER_SCHEDULER_H_
+#define FIREWORKS_SRC_CLUSTER_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fwcluster {
+
+enum class SchedulerPolicy { kRoundRobin, kLeastLoaded, kSnapshotLocality };
+
+const char* SchedulerPolicyName(SchedulerPolicy policy);
+std::optional<SchedulerPolicy> ParseSchedulerPolicy(const std::string& name);
+std::vector<SchedulerPolicy> AllSchedulerPolicies();
+
+// What the scheduler may consult about one host when picking.
+struct HostView {
+  HostView() {}
+
+  // False while crashed or partitioned away from the front end.
+  bool alive = true;
+  // Invocations dispatched to the host and not yet completed.
+  int64_t inflight = 0;
+};
+
+// Deterministic 64-bit string hash (FNV-1a); exposed for tests.
+uint64_t HashKey(const std::string& key);
+
+// A consistent-hash ring with virtual nodes. Structural guarantees (the
+// scheduler property tests assert these exactly):
+//   * adding a host moves keys only onto the new host;
+//   * removing a host moves only the keys it owned.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int vnodes_per_host);
+
+  void AddHost(int host);
+  void RemoveHost(int host);
+  bool Contains(int host) const;
+
+  // Ring owner of `key`; -1 when the ring is empty.
+  int Owner(const std::string& key) const;
+  // First owner clockwise from `key` for which alive(host) is true; -1 when
+  // no member host is alive.
+  int OwnerIf(const std::string& key, const std::function<bool(int)>& alive) const;
+  // Visits distinct member hosts clockwise from `key`'s ring point (each at
+  // most once); stops early when `visit` returns false.
+  void Walk(const std::string& key, const std::function<bool(int)>& visit) const;
+
+  size_t host_count() const { return members_.size(); }
+
+ private:
+  int vnodes_per_host_;
+  // hash point -> host. Ordered: ring walks must not depend on hash-map order.
+  std::map<uint64_t, int> ring_;
+  std::map<int, bool> members_;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual SchedulerPolicy policy() const = 0;
+
+  // Picks a host index for one invocation of `app`; hosts[i] describes host i.
+  // Returns -1 when no host is schedulable.
+  virtual int Pick(const std::string& app, const std::vector<HostView>& hosts) = 0;
+
+  // Permanent membership changes (decommission / recommission). A crash is
+  // NOT a leave: the host keeps its ring assignment so its apps come home on
+  // restart; Pick simply skips non-alive hosts meanwhile.
+  virtual void OnHostJoin(int host) {}
+  virtual void OnHostLeave(int host) {}
+};
+
+// Builds a scheduler over hosts [0, num_hosts). `vnodes_per_host` only
+// affects kSnapshotLocality.
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerPolicy policy, int num_hosts,
+                                         int vnodes_per_host = 64);
+
+}  // namespace fwcluster
+
+#endif  // FIREWORKS_SRC_CLUSTER_SCHEDULER_H_

@@ -430,6 +430,205 @@ fwsim::Co<Status> FireworksPlatform::InvokeAttempt(const InstalledFunction& fn,
   co_return Status::Ok();
 }
 
+fwsim::Co<Result<uint64_t>> FireworksPlatform::PrepareClone(const std::string& fn_name) {
+  auto it = installed_.find(fn_name);
+  if (it == installed_.end()) {
+    co_return Status::NotFound("function " + fn_name + " is not installed");
+  }
+  const InstalledFunction& fn = it->second;
+  fwobs::ScopedSpan root(tracer_, "fireworks.prepare_clone", "warmpool");
+  root.SetAttribute("function", fn_name);
+  auto instance = std::make_unique<Instance>();
+  instance->fn = &fn;
+
+  auto wired = co_await WireNetwork();
+  if (!wired.ok()) {
+    co_return wired.status();
+  }
+  const auto [netns_id, external_ip] = *wired;
+  instance->netns_id = netns_id;
+  instance->external_ip = external_ip;
+
+  const uint64_t fc_id = next_fc_id_++;
+  instance->fc_id = fc_id;
+  const std::string topic =
+      fwbase::StrFormat("topic%llu", static_cast<unsigned long long>(fc_id));
+  Status topic_status = env_.broker().CreateTopic(topic);
+  if (!topic_status.ok()) {
+    Teardown(*instance);
+    co_return topic_status;
+  }
+  instance->topic = topic;
+
+  auto restored = co_await hv_.RestoreMicroVm(
+      fn.snapshot_name, fwbase::StrFormat("fw-%s-%llu", fn_name.c_str(),
+                                          static_cast<unsigned long long>(fc_id)));
+  if (!restored.ok()) {
+    Teardown(*instance);
+    co_return restored.status();
+  }
+  MicroVm* vm = *restored;
+  instance->vm = vm;
+  vm->set_netns_id(netns_id);
+  vm->set_tap_name(kGuestTapName);
+  vm->SetMetadata("fcID", std::to_string(fc_id));
+  vm->SetMetadata("topic", topic);
+
+  if (config_.prefetch_on_restore && !fn.image->cache_warm()) {
+    co_await hv_.PrefetchWorkingSet(*fn.image, fn.image->file_bytes());
+  }
+
+  // Post-resume guest-kernel activity, identical to the invoke path (salts
+  // are keyed by fc_id, so clones never collide).
+  {
+    auto& space = vm->address_space();
+    fwmem::FaultCounts faults;
+    const auto kern = space.SegmentByName(fwvmm::kSegGuestKernel);
+    const auto os = space.SegmentByName(fwvmm::kSegGuestOs);
+    faults += space.TouchRandomFraction(kern, config_.guest_os_resume_touch_fraction, 7);
+    faults += space.TouchRandomFraction(os, config_.guest_os_resume_touch_fraction, 8);
+    faults += space.DirtyRandomFraction(kern, config_.guest_os_resume_dirty_fraction,
+                                        1000 + fc_id);
+    faults += space.DirtyRandomFraction(os, config_.guest_os_resume_dirty_fraction,
+                                        2000 + fc_id);
+    co_await hv_.ServiceFaults(*vm, faults);
+  }
+
+  instance->fs = std::make_unique<fwstore::Filesystem>(env_.sim(), env_.disk(),
+                                                       fwstore::FsKind::kVirtio);
+  instance->process = GuestProcess::FromState(fn.process_state, env_.sim(),
+                                              vm->address_space(),
+                                              MakeGuestEnv(instance->fs.get(), netns_id,
+                                                           kGuestIp),
+                                              ChargerFor(vm));
+  instance->process->set_mem_salt(fc_id);
+  auto fc_id_value = co_await hv_.GuestReadMmds(*vm, "fcID");
+  FW_CHECK(fc_id_value.ok());
+
+  env_.metrics().GetCounter("fw.warmpool.prepared.count").Increment();
+  pool_[fn_name].push_back(std::move(instance));
+  co_return fc_id;
+}
+
+fwsim::Co<Result<InvocationResult>> FireworksPlatform::InvokeOnClone(
+    const std::string& fn_name, const std::string& args, const InvokeOptions& options) {
+  auto pit = pool_.find(fn_name);
+  if (pit == pool_.end() || pit->second.empty()) {
+    co_return Status::FailedPrecondition("no parked clone for " + fn_name);
+  }
+  std::unique_ptr<Instance> instance = std::move(pit->second.front());
+  pit->second.pop_front();
+  if (pit->second.empty()) {
+    pool_.erase(pit);
+  }
+  const InstalledFunction& fn = *instance->fn;
+  InvocationResult result;
+  result.cold = false;
+  const SimTime t0 = env_.sim().Now();
+  fwobs::ScopedSpan root(tracer_, "fireworks.invoke_warm", "invoke");
+  root.SetAttribute("function", fn_name);
+
+  fwobs::ScopedSpan frontend_span(tracer_, "invoke.frontend", "invoke");
+  co_await fwsim::Delay(env_.sim(), config_.controller_cost);
+  frontend_span.End();
+
+  // Produce the arguments; the parked guest is already blocked on the topic.
+  fwobs::ScopedSpan produce_span(tracer_, "invoke.params.produce", "invoke");
+  auto produced = co_await env_.broker().Produce(instance->topic, 0,
+                                                 fwbus::Record("args", args));
+  if (!produced.ok()) {
+    Teardown(*instance);
+    co_return produced.status();
+  }
+  produce_span.End();
+
+  fwobs::ScopedSpan consume_span(tracer_, "invoke.params.consume", "invoke");
+  auto params = co_await env_.broker().ConsumeLastWithTimeout(instance->topic, 0,
+                                                              config_.params_consume_timeout);
+  if (!params.ok()) {
+    Teardown(*instance);
+    co_return params.status();
+  }
+  consume_span.End();
+  const SimTime t_params_read = env_.sim().Now();
+
+  if (env_.fault_injector().Trip(fwfault::FaultKind::kVmCrashDuringExec)) {
+    Teardown(*instance);
+    co_return Status::Unavailable("guest VM crashed executing " + fn_name);
+  }
+  fwobs::ScopedSpan exec_span(tracer_, "invoke.exec", "invoke");
+  result.exec_stats =
+      co_await instance->process->CallMethod(fn.annotated->entry_method, options.type_sig);
+  exec_span.End();
+  const SimTime t_exec_done = env_.sim().Now();
+
+  fwobs::ScopedSpan response_span(tracer_, "invoke.response", "invoke");
+  auto sent = co_await env_.network().SendOutbound(instance->netns_id, kGuestIp, 579);
+  if (!sent.ok()) {
+    Teardown(*instance);
+    co_return sent.status();
+  }
+  response_span.End();
+  const SimTime t_done = env_.sim().Now();
+
+  // Startup spans request arrival → function entry, as on the snapshot path;
+  // the restore itself happened off-path at PrepareClone time.
+  result.startup = t_params_read - t0;
+  result.exec = t_exec_done - t_params_read;
+  result.total = t_done - t0;
+  result.others = result.total - result.startup - result.exec;
+  root.End();
+  result.root_span = root.get();
+  env_.metrics().GetCounter("fw.warmpool.invoked.count").Increment();
+
+  if (options.keep_instance) {
+    instances_.push_back(std::move(instance));
+  } else {
+    Teardown(*instance);
+  }
+  co_return result;
+}
+
+Status FireworksPlatform::DiscardClone(const std::string& fn_name) {
+  auto pit = pool_.find(fn_name);
+  if (pit == pool_.end() || pit->second.empty()) {
+    return Status::NotFound("no parked clone for " + fn_name);
+  }
+  std::unique_ptr<Instance> instance = std::move(pit->second.front());
+  pit->second.pop_front();
+  if (pit->second.empty()) {
+    pool_.erase(pit);
+  }
+  Teardown(*instance);
+  env_.metrics().GetCounter("fw.warmpool.discarded.count").Increment();
+  return Status::Ok();
+}
+
+size_t FireworksPlatform::PooledCloneCount(const std::string& fn_name) const {
+  auto pit = pool_.find(fn_name);
+  return pit == pool_.end() ? 0 : pit->second.size();
+}
+
+size_t FireworksPlatform::TotalPooledClones() const {
+  size_t total = 0;
+  for (const auto& [name, clones] : pool_) {
+    total += clones.size();
+  }
+  return total;
+}
+
+double FireworksPlatform::PooledPssBytes() const {
+  double total = 0.0;
+  for (const auto& [name, clones] : pool_) {
+    for (const auto& instance : clones) {
+      if (instance->vm != nullptr) {
+        total += instance->vm->address_space().pss_bytes();
+      }
+    }
+  }
+  return total;
+}
+
 fwsim::Co<Status> FireworksPlatform::ReinstallSnapshot(const InstalledFunction& fn) {
   fwobs::ScopedSpan span(tracer_, "invoke.snapshot_reinstall", "invoke");
   span.SetAttribute("snapshot", fn.snapshot_name);
@@ -525,6 +724,12 @@ void FireworksPlatform::ReleaseInstances() {
     Teardown(*instance);
   }
   instances_.clear();
+  for (auto& [name, clones] : pool_) {
+    for (auto& instance : clones) {
+      Teardown(*instance);
+    }
+  }
+  pool_.clear();
 }
 
 double FireworksPlatform::MeasurePssBytes() const {

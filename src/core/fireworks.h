@@ -17,6 +17,7 @@
 #define FIREWORKS_SRC_CORE_FIREWORKS_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -84,6 +85,31 @@ class FireworksPlatform : public ServerlessPlatform {
                                              const std::string& args,
                                              const InvokeOptions& options) override;
   bool SupportsChains() const override { return true; }
+
+  // --- Warm pool (cluster layer) ------------------------------------------
+  // PrepareClone runs the off-critical-path half of an invocation: netns +
+  // NAT wiring, parameter-topic creation, snapshot restore, the post-resume
+  // kernel page activity, and the guest's MMDS identity read. The clone is
+  // then parked, blocked on its (still empty) parameter topic — exactly the
+  // state a real Fireworks clone idles in between restore and parameter
+  // consumption (§3.6). Returns the clone's fcID.
+  fwsim::Co<Result<uint64_t>> PrepareClone(const std::string& fn_name);
+  // Invokes on the oldest parked clone of `fn_name`: produce the arguments,
+  // let the waiting guest consume + execute, send the response. Latency
+  // excludes netns setup and snapshot restore — the cluster's warm-hit path.
+  // Fails with kFailedPrecondition when the pool is empty (callers fall back
+  // to Invoke()). The clone is torn down afterwards, success or not.
+  fwsim::Co<Result<InvocationResult>> InvokeOnClone(const std::string& fn_name,
+                                                    const std::string& args,
+                                                    const InvokeOptions& options);
+  // Tears down the oldest parked clone (warm-pool shrink). kNotFound if the
+  // pool for `fn_name` is empty.
+  Status DiscardClone(const std::string& fn_name);
+  size_t PooledCloneCount(const std::string& fn_name) const;
+  size_t TotalPooledClones() const;
+  // Total PSS of parked clones (they share the post-JIT image pages, so the
+  // marginal cost per clone is far below its RSS — the Fig 10 density story).
+  double PooledPssBytes() const;
 
   // §6 mitigation for snapshot entropy/ASLR staleness: resumes the current
   // snapshot, lets the guest re-randomise its address-space layout, and
@@ -171,6 +197,9 @@ class FireworksPlatform : public ServerlessPlatform {
   fwobs::Tracer* tracer_;
   std::map<std::string, InstalledFunction> installed_;
   std::vector<std::unique_ptr<Instance>> instances_;  // Kept instances.
+  // Parked clones per function, oldest first (ordered map: release order must
+  // not depend on hash order).
+  std::map<std::string, std::deque<std::unique_ptr<Instance>>> pool_;
   uint64_t next_fc_id_ = 1;
 };
 

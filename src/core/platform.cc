@@ -1,9 +1,20 @@
 #include "src/core/platform.h"
 
+#include <memory>
+#include <utility>
+
 namespace fwcore {
 
 HostEnv::HostEnv(const Config& config)
-    : sim_(config.seed),
+    : HostEnv(std::make_unique<fwsim::Simulation>(config.seed), nullptr, config) {}
+
+HostEnv::HostEnv(fwsim::Simulation& sim, const Config& config)
+    : HostEnv(nullptr, &sim, config) {}
+
+HostEnv::HostEnv(std::unique_ptr<fwsim::Simulation> owned, fwsim::Simulation* borrowed,
+                 const Config& config)
+    : owned_sim_(std::move(owned)),
+      sim_(owned_sim_ != nullptr ? *owned_sim_ : *borrowed),
       obs_([this] { return sim_.Now(); }),
       fault_injector_(sim_, config.fault_plan, config.fault_seed),
       memory_(config.memory_bytes, config.swap_start_fraction),

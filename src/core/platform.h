@@ -5,6 +5,11 @@
 // The HostEnv mirrors Fig. 1: one host with physical memory, disk, a message
 // bus, networking, a document database (the Cloud data service used by the
 // ServerlessBench applications), and a snapshot store.
+//
+// A HostEnv normally owns its own Simulation, but it can also borrow an
+// external one so that several hosts share a single virtual clock and event
+// queue — the basis of the cluster layer (src/cluster/), where N hosts run as
+// one deterministic simulation.
 #ifndef FIREWORKS_SRC_CORE_PLATFORM_H_
 #define FIREWORKS_SRC_CORE_PLATFORM_H_
 
@@ -55,6 +60,10 @@ class HostEnv {
 
   HostEnv() : HostEnv(Config()) {}
   explicit HostEnv(const Config& config);
+  // Borrows `sim` instead of owning one: the host schedules on the shared
+  // clock, and `config.seed` is ignored (the borrowed simulation's RNG is the
+  // stream of record). `sim` must outlive the HostEnv.
+  HostEnv(fwsim::Simulation& sim, const Config& config);
 
   fwsim::Simulation& sim() { return sim_; }
   // Host-wide observability: one tracer + metrics registry on the sim clock,
@@ -74,7 +83,13 @@ class HostEnv {
   fwfault::FaultInjector& fault_injector() { return fault_injector_; }
 
  private:
-  fwsim::Simulation sim_;
+  HostEnv(std::unique_ptr<fwsim::Simulation> owned, fwsim::Simulation* borrowed,
+          const Config& config);
+
+  // Null when the simulation is borrowed. Declared before sim_ so the
+  // reference can bind to it during construction.
+  std::unique_ptr<fwsim::Simulation> owned_sim_;
+  fwsim::Simulation& sim_;
   fwobs::Observability obs_;  // Before the subsystems that register metrics.
   fwfault::FaultInjector fault_injector_;  // Before the subsystems it faults.
   fwmem::HostMemory memory_;

@@ -1,0 +1,426 @@
+// Property tests for the cluster layer: consistent-hash ring invariants,
+// scheduler policies, load-generator statistics, autoscaler behaviour, and
+// bit-identical replay of whole cluster runs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/cluster/cluster.h"
+#include "src/cluster/host.h"
+#include "src/cluster/scheduler.h"
+#include "src/workloads/faasdom.h"
+#include "src/workloads/loadgen.h"
+#include "tests/test_util.h"
+
+namespace fwcluster {
+namespace {
+
+using fwbase::Duration;
+using fwtest::RunSync;
+using fwwork::ArrivalProcess;
+
+std::vector<std::string> TestKeys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(fwbase::StrFormat("app-%d", i));
+  }
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring.
+// ---------------------------------------------------------------------------
+
+TEST(HashKeyTest, IsStableAcrossBuilds) {
+  // Pinned values (FNV-1a + murmur3 finalizer): ring placement — and thus
+  // every golden and outcome digest — depends on these never drifting.
+  EXPECT_EQ(HashKey(""), 0xefd01f60ba992926ull);
+  EXPECT_EQ(HashKey("a"), 0x82a2a958a9bece5bull);
+}
+
+TEST(ConsistentHashRingTest, JoinMovesKeysOnlyToTheNewHost) {
+  constexpr int kHosts = 8;
+  constexpr int kKeys = 2000;
+  ConsistentHashRing ring(64);
+  for (int h = 0; h < kHosts; ++h) {
+    ring.AddHost(h);
+  }
+  const std::vector<std::string> keys = TestKeys(kKeys);
+  std::map<std::string, int> before;
+  for (const std::string& key : keys) {
+    before[key] = ring.Owner(key);
+  }
+
+  ring.AddHost(kHosts);
+  int moved = 0;
+  for (const std::string& key : keys) {
+    const int now = ring.Owner(key);
+    if (now != before[key]) {
+      // Every moved key must land on the new host — never shuffle between
+      // existing hosts.
+      EXPECT_EQ(now, kHosts) << key;
+      ++moved;
+    }
+  }
+  // Expect roughly kKeys/(kHosts+1) moves; allow generous slack for hash
+  // variance, but a naive mod-N scheme (~kKeys * kHosts/(kHosts+1) moves)
+  // must fail this bound.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 3 * kKeys / (kHosts + 1));
+}
+
+TEST(ConsistentHashRingTest, LeaveMovesOnlyTheLeavingHostsKeys) {
+  constexpr int kHosts = 8;
+  ConsistentHashRing ring(64);
+  for (int h = 0; h < kHosts; ++h) {
+    ring.AddHost(h);
+  }
+  const std::vector<std::string> keys = TestKeys(2000);
+  std::map<std::string, int> before;
+  for (const std::string& key : keys) {
+    before[key] = ring.Owner(key);
+  }
+
+  constexpr int kLeaver = 3;
+  ring.RemoveHost(kLeaver);
+  EXPECT_FALSE(ring.Contains(kLeaver));
+  for (const std::string& key : keys) {
+    const int now = ring.Owner(key);
+    if (before[key] == kLeaver) {
+      EXPECT_NE(now, kLeaver) << key;
+    } else {
+      EXPECT_EQ(now, before[key]) << key;  // Unrelated keys must not move.
+    }
+  }
+}
+
+TEST(ConsistentHashRingTest, JoinThenLeaveRestoresOriginalOwnership) {
+  ConsistentHashRing ring(64);
+  for (int h = 0; h < 8; ++h) {
+    ring.AddHost(h);
+  }
+  const std::vector<std::string> keys = TestKeys(500);
+  std::map<std::string, int> before;
+  for (const std::string& key : keys) {
+    before[key] = ring.Owner(key);
+  }
+  ring.AddHost(8);
+  ring.RemoveHost(8);
+  for (const std::string& key : keys) {
+    EXPECT_EQ(ring.Owner(key), before[key]) << key;
+  }
+}
+
+TEST(ConsistentHashRingTest, OwnerIfSkipsDeadHosts) {
+  ConsistentHashRing ring(64);
+  for (int h = 0; h < 4; ++h) {
+    ring.AddHost(h);
+  }
+  for (const std::string& key : TestKeys(200)) {
+    const int owner = ring.Owner(key);
+    const int fallback =
+        ring.OwnerIf(key, [owner](int h) { return h != owner; });
+    EXPECT_NE(fallback, owner) << key;
+    EXPECT_GE(fallback, 0) << key;
+    EXPECT_EQ(ring.OwnerIf(key, [](int) { return false; }), -1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler policies.
+// ---------------------------------------------------------------------------
+
+std::vector<HostView> MakeViews(int n) { return std::vector<HostView>(n); }
+
+TEST(SchedulerTest, RoundRobinRotatesAndSkipsDead) {
+  auto sched = MakeScheduler(SchedulerPolicy::kRoundRobin, 4);
+  std::vector<HostView> views = MakeViews(4);
+  views[1].alive = false;
+  std::vector<int> picks;
+  for (int i = 0; i < 6; ++i) {
+    picks.push_back(sched->Pick("app", views));
+  }
+  EXPECT_EQ(picks, (std::vector<int>{0, 2, 3, 0, 2, 3}));
+}
+
+TEST(SchedulerTest, LeastLoadedPicksArgminAndNeverPicksCrashed) {
+  auto sched = MakeScheduler(SchedulerPolicy::kLeastLoaded, 5);
+  std::vector<HostView> views = MakeViews(5);
+  views[0].inflight = 7;
+  views[1].inflight = 2;
+  views[2].inflight = 1;
+  views[2].alive = false;  // The least-loaded host is dead.
+  views[3].inflight = 2;
+  views[4].inflight = 9;
+  // Argmin over the alive hosts, ties to the lowest index.
+  EXPECT_EQ(sched->Pick("app", views), 1);
+  // Sweep: whatever the load vector, a crashed host is never picked.
+  fwbase::Rng rng(fwtest::PerTestSeed());
+  for (int round = 0; round < 500; ++round) {
+    for (auto& v : views) {
+      v.inflight = static_cast<int64_t>(rng.UniformU64(20));
+      v.alive = rng.UniformU64(4) != 0;
+    }
+    const int pick = sched->Pick("app", views);
+    if (pick >= 0) {
+      EXPECT_TRUE(views[pick].alive);
+    }
+  }
+}
+
+TEST(SchedulerTest, AllPoliciesReturnMinusOneWhenAllHostsDead) {
+  for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+    auto sched = MakeScheduler(policy, 3);
+    std::vector<HostView> views = MakeViews(3);
+    for (auto& v : views) {
+      v.alive = false;
+    }
+    EXPECT_EQ(sched->Pick("app", views), -1) << SchedulerPolicyName(policy);
+  }
+}
+
+TEST(SchedulerTest, SnapshotLocalityIsStickyPerApp) {
+  auto sched = MakeScheduler(SchedulerPolicy::kSnapshotLocality, 8);
+  std::vector<HostView> views = MakeViews(8);
+  std::set<int> hosts_used;
+  for (const std::string& app : TestKeys(64)) {
+    const int first = sched->Pick(app, views);
+    ASSERT_GE(first, 0);
+    hosts_used.insert(first);
+    // An idle cluster never spills: the same app goes to the same host.
+    EXPECT_EQ(sched->Pick(app, views), first) << app;
+  }
+  // 64 apps over 8 hosts must not all collapse onto a couple of hosts.
+  EXPECT_GE(hosts_used.size(), 4u);
+}
+
+TEST(SchedulerTest, SnapshotLocalityCrashIsNotALeave) {
+  auto sched = MakeScheduler(SchedulerPolicy::kSnapshotLocality, 8);
+  std::vector<HostView> views = MakeViews(8);
+  const std::string app = "app-7";
+  const int home = sched->Pick(app, views);
+  ASSERT_GE(home, 0);
+
+  views[home].alive = false;  // Crash the owner: spill somewhere else…
+  const int spill = sched->Pick(app, views);
+  ASSERT_GE(spill, 0);
+  EXPECT_NE(spill, home);
+  EXPECT_TRUE(views[spill].alive);
+
+  views[home].alive = true;  // …and come home on restart (no ring change).
+  EXPECT_EQ(sched->Pick(app, views), home);
+}
+
+TEST(SchedulerTest, SnapshotLocalitySpillsWhenOwnerIsSaturated) {
+  auto sched = MakeScheduler(SchedulerPolicy::kSnapshotLocality, 8);
+  std::vector<HostView> views = MakeViews(8);
+  const std::string app = "app-0";
+  const int home = sched->Pick(app, views);
+  ASSERT_GE(home, 0);
+  // Load the owner far above the bounded-load threshold (mean is ~12.5 here,
+  // bound = 1.25 * mean + 8): the head app must spill to another host.
+  for (auto& v : views) {
+    v.inflight = 4;
+  }
+  views[home].inflight = 300;
+  const int spill = sched->Pick(app, views);
+  ASSERT_GE(spill, 0);
+  EXPECT_NE(spill, home);
+}
+
+// ---------------------------------------------------------------------------
+// Load generator.
+// ---------------------------------------------------------------------------
+
+TEST(LoadGenTest, OffsetsAreMonotoneNonDecreasing) {
+  for (ArrivalProcess process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty, ArrivalProcess::kDiurnal}) {
+    fwwork::LoadGenConfig cfg;
+    cfg.arrival = process;
+    cfg.seed = fwtest::PerTestSeed();
+    fwwork::LoadGen gen(cfg);
+    Duration prev;
+    for (int i = 0; i < 5000; ++i) {
+      const fwwork::Arrival a = gen.Next();
+      EXPECT_GE(a.offset.nanos(), prev.nanos());
+      EXPECT_GE(a.app, 0);
+      EXPECT_LT(a.app, cfg.num_apps);
+      prev = a.offset;
+    }
+  }
+}
+
+TEST(LoadGenTest, LongRunMeanRateMatchesConfig) {
+  // All three processes are normalised to the same long-run mean rate.
+  for (ArrivalProcess process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty, ArrivalProcess::kDiurnal}) {
+    fwwork::LoadGenConfig cfg;
+    cfg.arrival = process;
+    cfg.rate_per_sec = 2000.0;
+    // Shrink the modulation periods so the measurement window spans many
+    // burst cycles / diurnal periods; otherwise the observed mean is
+    // dominated by whichever phase the window happens to cover.
+    cfg.mean_burst_seconds = 0.2;
+    cfg.mean_calm_seconds = 1.8;
+    cfg.diurnal_period_seconds = 5.0;
+    cfg.seed = 7;
+    fwwork::LoadGen gen(cfg);
+    constexpr int kN = 200000;
+    fwwork::Arrival last;
+    for (int i = 0; i < kN; ++i) {
+      last = gen.Next();
+    }
+    const double observed = kN / last.offset.seconds();
+    EXPECT_NEAR(observed, cfg.rate_per_sec, 0.08 * cfg.rate_per_sec)
+        << fwwork::ArrivalProcessName(process);
+  }
+}
+
+TEST(LoadGenTest, ZipfPopularityIsSkewedAndNormalised) {
+  fwwork::LoadGenConfig cfg;
+  cfg.num_apps = 32;
+  cfg.seed = fwtest::PerTestSeed();
+  fwwork::LoadGen gen(cfg);
+  double total = 0.0;
+  for (int app = 0; app < cfg.num_apps; ++app) {
+    total += gen.AppProbability(app);
+    if (app > 0) {
+      EXPECT_LE(gen.AppProbability(app), gen.AppProbability(app - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  // Empirical frequencies track the pmf for the head app.
+  std::vector<int> counts(cfg.num_apps, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[gen.Next().app];
+  }
+  const double head = static_cast<double>(counts[0]) / kN;
+  EXPECT_NEAR(head, gen.AppProbability(0), 0.02);
+  EXPECT_GT(counts[0], counts[cfg.num_apps - 1]);
+}
+
+TEST(LoadGenTest, SameSeedReplaysIdentically) {
+  fwwork::LoadGenConfig cfg;
+  cfg.arrival = ArrivalProcess::kBursty;
+  cfg.seed = 1234;
+  fwwork::LoadGen a(cfg);
+  fwwork::LoadGen b(cfg);
+  bool any_difference_from_other_seed = false;
+  cfg.seed = 1235;
+  fwwork::LoadGen c(cfg);
+  for (int i = 0; i < 10000; ++i) {
+    const fwwork::Arrival aa = a.Next();
+    const fwwork::Arrival bb = b.Next();
+    const fwwork::Arrival cc = c.Next();
+    ASSERT_EQ(aa.offset.nanos(), bb.offset.nanos());
+    ASSERT_EQ(aa.app, bb.app);
+    any_difference_from_other_seed |=
+        aa.offset.nanos() != cc.offset.nanos() || aa.app != cc.app;
+  }
+  EXPECT_TRUE(any_difference_from_other_seed);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-cluster determinism + autoscaler (model hosts: fast enough for unit
+// scale).
+// ---------------------------------------------------------------------------
+
+HostCalibration TestCalibration() {
+  HostCalibration cal;
+  cal.cold_startup = Duration::Millis(17);
+  cal.cold_exec = Duration::Millis(3);
+  cal.cold_others = Duration::Millis(1);
+  cal.warm_startup = Duration::Micros(1600);
+  cal.warm_exec = Duration::Millis(3);
+  cal.warm_others = Duration::Micros(400);
+  cal.prepare_cost = Duration::Millis(16);
+  cal.instance_pss_bytes = 50e6;
+  cal.pooled_clone_pss_bytes = 6e6;
+  return cal;
+}
+
+struct RunResult {
+  uint64_t digest = 0;
+  Cluster::Rollup rollup;
+};
+
+fwsim::Co<void> DriveArrivals(fwsim::Simulation& sim, Cluster& cluster,
+                              fwwork::LoadGen& gen, int count) {
+  for (int i = 0; i < count; ++i) {
+    const fwwork::Arrival a = gen.Next();
+    const Duration wait = a.offset - (sim.Now() - fwbase::SimTime::Zero());
+    if (wait.nanos() > 0) {
+      co_await fwsim::Delay(sim, wait);
+    }
+    (void)cluster.Submit(fwbase::StrFormat("app-%d", a.app), "{}");
+  }
+}
+
+RunResult RunModelCluster(uint64_t seed, SchedulerPolicy policy, int invocations) {
+  fwsim::Simulation sim(seed);
+  std::vector<std::unique_ptr<ClusterHost>> hosts;
+  for (int i = 0; i < 4; ++i) {
+    ModelHost::Config mc;
+    mc.calibration = TestCalibration();
+    hosts.push_back(std::make_unique<ModelHost>(sim, i, mc));
+  }
+  Cluster::Config cc;
+  cc.policy = policy;
+  Cluster cluster(sim, std::move(hosts), cc);
+
+  fwwork::LoadGenConfig lg;
+  lg.arrival = ArrivalProcess::kBursty;
+  lg.rate_per_sec = 800.0;
+  lg.num_apps = 8;
+  lg.seed = seed;
+  fwwork::LoadGen gen(lg);
+  for (int a = 0; a < lg.num_apps; ++a) {
+    fwlang::FunctionSource fn = fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency,
+                                                    fwlang::Language::kNodeJs);
+    fn.name = fwbase::StrFormat("app-%d", a);
+    FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+  }
+  sim.Spawn(DriveArrivals(sim, cluster, gen, invocations));
+  cluster.Drain(invocations);
+
+  RunResult r;
+  r.digest = cluster.OutcomeDigest();
+  r.rollup = cluster.ComputeRollup();
+  return r;
+}
+
+TEST(ClusterDeterminismTest, SameSeedIsBitIdenticalAcrossPolicies) {
+  for (SchedulerPolicy policy : AllSchedulerPolicies()) {
+    const RunResult a = RunModelCluster(99, policy, 2000);
+    const RunResult b = RunModelCluster(99, policy, 2000);
+    EXPECT_EQ(a.digest, b.digest) << SchedulerPolicyName(policy);
+    EXPECT_EQ(a.rollup.completed, b.rollup.completed);
+    EXPECT_EQ(a.rollup.warm_hits, b.rollup.warm_hits);
+  }
+}
+
+TEST(ClusterDeterminismTest, DifferentSeedsDiverge) {
+  const RunResult a = RunModelCluster(1, SchedulerPolicy::kLeastLoaded, 1000);
+  const RunResult b = RunModelCluster(2, SchedulerPolicy::kLeastLoaded, 1000);
+  EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(ClusterAutoscalerTest, SustainedLoadProducesWarmHits) {
+  const RunResult r = RunModelCluster(7, SchedulerPolicy::kSnapshotLocality, 4000);
+  EXPECT_EQ(r.rollup.completed, 4000u);
+  EXPECT_EQ(r.rollup.failed, 0u);
+  // After the autoscaler's first ticks, the steady-state request stream
+  // should be served overwhelmingly from parked clones.
+  EXPECT_GT(r.rollup.warm_hits, r.rollup.completed / 2);
+}
+
+}  // namespace
+}  // namespace fwcluster

@@ -34,9 +34,8 @@ using namespace fwbase::literals;
 // GuestProcess::AttachRuntime (the isolate path).
 // ---------------------------------------------------------------------------
 
-class AttachRuntimeTest : public ::testing::Test {
+class AttachRuntimeTest : public fwtest::SimTest {
  protected:
-  Simulation sim_;
   fwmem::HostMemory host_{16_GiB};
   fwstore::BlockDevice dev_{sim_, fwstore::BlockDevice::Config{}};
   fwstore::Filesystem fs_{sim_, dev_, fwstore::FsKind::kHostDirect};

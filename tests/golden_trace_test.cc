@@ -1,0 +1,214 @@
+// Golden-trace regression tests.
+//
+// Each test runs a fixed, seeded scenario with tracing enabled, renders the
+// resulting span tree to text, and compares it line-by-line against a golden
+// file checked in under tests/goldens/. Because spans record simulated time,
+// the rendering is bit-stable: any diff means the timing model, the span
+// structure, or the scheduling order actually changed.
+//
+// When a change is intentional, regenerate the goldens and review the diff
+// like code:
+//
+//   FW_REGEN_GOLDENS=1 ctest --test-dir build -R golden_trace_test
+//   git diff tests/goldens/
+//
+// The binary writes into the source tree via the FW_GOLDEN_DIR compile
+// definition, so regeneration works from any build directory.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/cluster/cluster.h"
+#include "src/cluster/host.h"
+#include "src/core/fireworks.h"
+#include "src/core/platform.h"
+#include "src/obs/trace.h"
+#include "src/workloads/faasdom.h"
+#include "tests/test_util.h"
+
+#ifndef FW_GOLDEN_DIR
+#define FW_GOLDEN_DIR "tests/goldens"
+#endif
+
+namespace {
+
+using fwbase::Duration;
+using fwtest::RunSync;
+using namespace fwbase::literals;
+
+// ---------------------------------------------------------------------------
+// Rendering + comparison machinery.
+// ---------------------------------------------------------------------------
+
+void RenderSpan(const fwobs::Tracer& tracer, const fwobs::Span& span, int depth,
+                std::ostringstream& out) {
+  out << std::string(static_cast<size_t>(depth) * 2, ' ');
+  out << span.name();
+  if (!span.category().empty()) {
+    out << " [" << span.category() << "]";
+  }
+  out << fwbase::StrFormat(" t=%lldns dur=%lldns",
+                           static_cast<long long>(span.start().nanos()),
+                           static_cast<long long>(span.duration().nanos()));
+  for (const auto& [key, value] : span.attributes()) {
+    out << " " << key << "=" << value;
+  }
+  out << "\n";
+  for (const fwobs::Span* child : tracer.ChildrenOf(span.id())) {
+    RenderSpan(tracer, *child, depth + 1, out);
+  }
+}
+
+std::string RenderTrace(const fwobs::Tracer& tracer) {
+  std::ostringstream out;
+  for (const fwobs::Span& span : tracer.spans()) {
+    if (span.is_root()) {
+      RenderSpan(tracer, span, 0, out);
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+// Compares `actual` against the golden file, printing a readable line diff on
+// mismatch. With FW_REGEN_GOLDENS=1 in the environment, rewrites the golden
+// instead and passes.
+void ExpectMatchesGolden(const std::string& golden_name, const std::string& actual) {
+  const std::string path = std::string(FW_GOLDEN_DIR) + "/" + golden_name;
+  if (std::getenv("FW_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write golden: " << path;
+    out << actual;
+    std::cout << "[regen] wrote " << path << " (" << SplitLines(actual).size()
+              << " lines)\n";
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << "; generate it with FW_REGEN_GOLDENS=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  if (golden.str() == actual) {
+    return;
+  }
+  const std::vector<std::string> want = SplitLines(golden.str());
+  const std::vector<std::string> got = SplitLines(actual);
+  std::ostringstream diff;
+  diff << "trace diverges from " << path << " (golden " << want.size()
+       << " lines, actual " << got.size() << " lines)\n";
+  const size_t n = std::max(want.size(), got.size());
+  int shown = 0;
+  for (size_t i = 0; i < n && shown < 12; ++i) {
+    const std::string* w = i < want.size() ? &want[i] : nullptr;
+    const std::string* g = i < got.size() ? &got[i] : nullptr;
+    if (w != nullptr && g != nullptr && *w == *g) {
+      continue;
+    }
+    diff << "  line " << (i + 1) << ":\n";
+    diff << "    golden: " << (w != nullptr ? *w : "<missing>") << "\n";
+    diff << "    actual: " << (g != nullptr ? *g : "<missing>") << "\n";
+    ++shown;
+  }
+  diff << "if this change is intentional: FW_REGEN_GOLDENS=1 ctest --test-dir "
+          "build -R golden_trace_test && git diff tests/goldens/";
+  ADD_FAILURE() << diff.str();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: one Fireworks host — install, cold invoke, clone prepare, warm
+// invoke. The golden pins the full span tree of the paper's §3 pipeline.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenTrace, FireworksInvokePipeline) {
+  fwcore::HostEnv env;  // Owns a seed-42 simulation: fixed scenario, fixed seed.
+  env.obs().tracer().Enable();
+  fwcore::FireworksPlatform platform(env);
+
+  fwlang::FunctionSource fn =
+      fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+  ASSERT_TRUE(RunSync(env.sim(), platform.Install(fn)).ok());
+  ASSERT_TRUE(
+      RunSync(env.sim(), platform.Invoke(fn.name, "{}", fwcore::InvokeOptions())).ok());
+  ASSERT_TRUE(RunSync(env.sim(), platform.PrepareClone(fn.name)).ok());
+  ASSERT_TRUE(
+      RunSync(env.sim(), platform.InvokeOnClone(fn.name, "{}", fwcore::InvokeOptions()))
+          .ok());
+
+  ExpectMatchesGolden("fireworks_invoke_trace.golden",
+                      RenderTrace(env.obs().tracer()));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: a 2-host model cluster serving a fixed request schedule. The
+// golden pins front-end placement (host attribute per request), retries, and
+// per-invocation timing under the snapshot-locality policy.
+// ---------------------------------------------------------------------------
+
+fwsim::Co<void> DriveFixedSchedule(fwsim::Simulation& sim, fwcluster::Cluster& cluster) {
+  for (int i = 0; i < 8; ++i) {
+    co_await fwsim::Delay(sim, Duration::Millis(25));
+    (void)cluster.Submit(i % 2 == 0 ? "app-a" : "app-b", "{}");
+  }
+}
+
+TEST(GoldenTrace, ClusterFixedSchedule) {
+  fwsim::Simulation sim(42);  // Fixed seed: the golden depends on it.
+  fwcluster::HostCalibration cal;
+  cal.cold_startup = Duration::Millis(17);
+  cal.cold_exec = Duration::Millis(3);
+  cal.cold_others = Duration::Millis(1);
+  cal.warm_startup = Duration::Micros(1600);
+  cal.warm_exec = Duration::Millis(3);
+  cal.warm_others = Duration::Micros(400);
+  cal.prepare_cost = Duration::Millis(16);
+  cal.instance_pss_bytes = 50e6;
+  cal.pooled_clone_pss_bytes = 6e6;
+
+  std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
+  for (int i = 0; i < 2; ++i) {
+    fwcluster::ModelHost::Config mc;
+    mc.calibration = cal;
+    hosts.push_back(std::make_unique<fwcluster::ModelHost>(sim, i, mc));
+  }
+  fwcluster::Cluster::Config cc;
+  cc.policy = fwcluster::SchedulerPolicy::kSnapshotLocality;
+  fwcluster::Cluster cluster(sim, std::move(hosts), cc);
+  cluster.obs().tracer().Enable();
+
+  for (const char* app : {"app-a", "app-b"}) {
+    fwlang::FunctionSource fn = fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency,
+                                                    fwlang::Language::kNodeJs);
+    fn.name = app;
+    ASSERT_TRUE(RunSync(sim, cluster.InstallAll(fn)).ok());
+  }
+  sim.Spawn(DriveFixedSchedule(sim, cluster));
+  cluster.Drain(8);
+
+  std::string rendered = RenderTrace(cluster.obs().tracer());
+  const fwcluster::Cluster::Rollup rollup = cluster.ComputeRollup();
+  rendered += fwbase::StrFormat(
+      "rollup completed=%llu failed=%llu retries=%llu warm_hits=%llu\n",
+      static_cast<unsigned long long>(rollup.completed),
+      static_cast<unsigned long long>(rollup.failed),
+      static_cast<unsigned long long>(rollup.retries),
+      static_cast<unsigned long long>(rollup.warm_hits));
+  ExpectMatchesGolden("cluster_fixed_schedule_trace.golden", rendered);
+}
+
+}  // namespace

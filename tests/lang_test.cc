@@ -90,7 +90,7 @@ TEST(RuntimeCostsTest, NodeVsPythonShapes) {
 // GuestProcess fixture.
 // ---------------------------------------------------------------------------
 
-class GuestProcessTest : public ::testing::Test {
+class GuestProcessTest : public fwtest::SimTest {
  protected:
   GuestProcessTest() {
     env_ = ExecEnv(&fs_, nullptr, nullptr, Duration::Micros(400));
@@ -115,7 +115,6 @@ class GuestProcessTest : public ::testing::Test {
     return process;
   }
 
-  Simulation sim_;
   fwmem::HostMemory host_{64_GiB};
   fwstore::BlockDevice dev_{sim_, fwstore::BlockDevice::Config{}};
   fwstore::Filesystem fs_{sim_, dev_, fwstore::FsKind::kVirtio};

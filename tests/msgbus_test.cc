@@ -18,9 +18,8 @@ using fwsim::Simulation;
 using fwtest::RunSync;
 using namespace fwbase::literals;
 
-class BrokerTest : public ::testing::Test {
+class BrokerTest : public fwtest::SimTest {
  protected:
-  Simulation sim_;
   Broker broker_{sim_};
 };
 

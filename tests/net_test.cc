@@ -96,7 +96,7 @@ TEST(NamespaceTest, DuplicateNatRuleRejected) {
 // HostNetwork end-to-end.
 // ---------------------------------------------------------------------------
 
-class HostNetworkTest : public ::testing::Test {
+class HostNetworkTest : public fwtest::SimTest {
  protected:
   // Wires one "microVM clone": fresh namespace, tap0/A.A.A.A, NAT to a fresh
   // external IP. Returns {namespace id, external ip}.
@@ -109,7 +109,6 @@ class HostNetworkTest : public ::testing::Test {
     return {ns.id(), external};
   }
 
-  Simulation sim_;
   HostNetwork net_{sim_};
 };
 

@@ -20,7 +20,7 @@ using fwsim::Simulation;
 using fwtest::RunSync;
 using namespace fwbase::literals;
 
-class ContainerEngineTest : public ::testing::Test {
+class ContainerEngineTest : public fwtest::SimTest {
  protected:
   // Builds a runtime rootfs base image with 20 MiB of binary text.
   std::shared_ptr<fwmem::SnapshotImage> MakeBaseImage() {
@@ -32,7 +32,6 @@ class ContainerEngineTest : public ::testing::Test {
     return image;
   }
 
-  Simulation sim_;
   fwmem::HostMemory host_{64_GiB};
   fwstore::BlockDevice dev_{sim_, fwstore::BlockDevice::Config{}};
   fwstore::SnapshotStore store_{sim_, dev_, 32_GiB};

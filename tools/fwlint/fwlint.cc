@@ -120,7 +120,7 @@ const std::map<std::string, int>& LayerRank() {
       {"base", 0},    {"obs", 1},     {"simcore", 2}, {"fault", 3},
       {"mem", 3},     {"net", 4},     {"msgbus", 4},  {"storage", 4},
       {"vmm", 5},     {"sandbox", 5}, {"lang", 5},    {"core", 6},
-      {"baselines", 7}, {"workloads", 7},
+      {"baselines", 7}, {"workloads", 7}, {"cluster", 8},
   };
   return kRank;
 }
