@@ -15,7 +15,14 @@ Cluster::Cluster(fwsim::Simulation& sim, std::vector<std::unique_ptr<ClusterHost
       config_(config),
       obs_([this] { return sim_.Now(); }),
       scheduler_(MakeScheduler(config.policy, static_cast<int>(hosts.size()),
-                               config.vnodes_per_host)) {
+                               config.vnodes_per_host)),
+      health_(std::make_unique<FailureDetector>(static_cast<int>(hosts.size()),
+                                                config.health, sim.Now())),
+      admission_(static_cast<int>(hosts.size()), config.workers_per_host,
+                 config.admission),
+      retry_budget_(config.retry_budget, config.retry_budget_ratio,
+                    config.retry_budget_burst),
+      injector_(sim, config.fault_plan, config.fault_seed) {
   FW_CHECK(!hosts.empty());
   FW_CHECK(config.workers_per_host > 0);
   FW_CHECK(config.max_attempts >= 1);
@@ -30,6 +37,9 @@ Cluster::Cluster(fwsim::Simulation& sim, std::vector<std::unique_ptr<ClusterHost
     }
     if (config_.autoscale) {
       sim_.Spawn(Autoscaler(i));
+    }
+    if (config_.health_checks) {
+      sim_.Spawn(Heartbeater(i));
     }
   }
   sim_.Spawn(Sampler());
@@ -50,38 +60,134 @@ fwsim::Co<Status> Cluster::InstallAll(const fwlang::FunctionSource& fn) {
   co_return Status::Ok();
 }
 
-std::vector<HostView> Cluster::Views() const {
+std::vector<HostView> Cluster::Views() {
   std::vector<HostView> views(hosts_.size());
+  const fwbase::SimTime now = sim_.Now();
   for (size_t i = 0; i < hosts_.size(); ++i) {
-    views[i].alive = hosts_[i].alive && sim_.Now() >= hosts_[i].partitioned_until;
+    const int h = static_cast<int>(i);
+    if (config_.health_checks) {
+      // Detected state: what heartbeats + data-path evidence support, not
+      // what the fault bookkeeping knows. A freshly crashed host looks alive
+      // until it misses heartbeats or bounces a request.
+      ApplyTransition(h, health_->Evaluate(h, now));
+      const HealthState state = health_->state(h);
+      views[i].alive = state != HealthState::kDead;
+      views[i].suspect = state == HealthState::kSuspect;
+      views[i].pressured = health_->pressured(h);
+    } else {
+      views[i].alive = hosts_[i].alive && now >= hosts_[i].partitioned_until;
+    }
     views[i].inflight = hosts_[i].inflight;
+    views[i].queue_depth = static_cast<int64_t>(hosts_[i].queue->size());
   }
   return views;
 }
 
-uint64_t Cluster::Submit(const std::string& fn_name, const std::string& args) {
+uint64_t Cluster::Submit(const std::string& fn_name, const std::string& args,
+                         Duration deadline) {
   Request req;
-  req.id = ++submitted_;
+  const uint64_t id = ++submitted_;
+  req.id = id;
   req.fn = fn_name;
   req.args = args;
   req.submitted = sim_.Now();
+  if (deadline.nanos() <= 0) {
+    deadline = config_.admission.default_deadline;
+  }
+  if (deadline.nanos() > 0) {
+    req.deadline = req.submitted + deadline;
+  }
   outcomes_.emplace_back();
   outcomes_.back().fn = fn_name;
+  primary_host_.push_back(-1);
+  hedged_.push_back(0);
   obs_.metrics().GetCounter("cluster.submitted").Increment();
+  if (config_.hedging) {
+    sim_.Spawn(Hedger(id, fn_name, args, req.submitted, req.deadline));
+  }
   Dispatch(std::move(req));
-  return submitted_;
+  return id;
 }
 
-void Cluster::Dispatch(Request req) {
-  const int target = scheduler_->Pick(req.fn, Views());
+void Cluster::Dispatch(Request req, int exclude_host) {
+  std::vector<HostView> views = Views();
+  if (exclude_host >= 0 && exclude_host < static_cast<int>(views.size())) {
+    // Skip the host that just failed this request (or the hedge primary's
+    // host) — but only when somewhere else could take it: a one-host-left
+    // cluster still retries in place.
+    bool other_alive = false;
+    for (int h = 0; h < static_cast<int>(views.size()); ++h) {
+      if (h != exclude_host && views[h].alive) {
+        other_alive = true;
+        break;
+      }
+    }
+    if (other_alive) {
+      views[exclude_host].alive = false;
+    }
+  }
+  const int target = scheduler_->Pick(req.fn, views);
   if (target < 0) {
+    if (req.hedge) {
+      // A hedge copy that cannot be placed is simply abandoned — the primary
+      // still owns the request's outcome.
+      ++hedge_discards_;
+      obs_.metrics().GetCounter("cluster.hedge_discards").Increment();
+      return;
+    }
     RecordFailure(req, Status::Unavailable("no schedulable host"));
     return;
   }
   HostState& hs = hosts_[target];
+  const Status admit = admission_.Admit(target, static_cast<int64_t>(hs.queue->size()),
+                                        sim_.Now(), req.deadline);
+  if (!admit.ok()) {
+    ++shed_;
+    obs_.metrics().GetCounter("cluster.shed").Increment();
+    {
+      fwobs::ScopedSpan span(&obs_.tracer(), "cluster.shed", "cluster");
+      span.SetAttribute("host", static_cast<uint64_t>(target));
+      span.SetAttribute("fn", req.fn);
+      span.SetAttribute("attempt", static_cast<uint64_t>(req.attempts));
+    }
+    if (req.hedge) {
+      ++hedge_discards_;
+      obs_.metrics().GetCounter("cluster.hedge_discards").Increment();
+      return;
+    }
+    RecordFailure(req, admit);
+    return;
+  }
+  if (!req.hedge && req.attempts == 1) {
+    retry_budget_.OnAccepted(req.fn);
+  }
+  if (!req.hedge) {
+    primary_host_[req.id - 1] = target;
+  }
   ++hs.inflight;
   ++hs.arrivals[req.fn];
   hs.queue->Send(std::move(req));
+}
+
+void Cluster::RetryRequest(Request req, int failed_host) {
+  ++retries_;
+  ++req.attempts;
+  obs_.metrics().GetCounter("cluster.retries").Increment();
+  if (req.attempts > config_.max_attempts) {
+    RecordFailure(req, Status::Unavailable("retry attempts exhausted"));
+    return;
+  }
+  if (!retry_budget_.TrySpend(req.fn)) {
+    // The app is already burning its budget on failures: abandoning the
+    // retry keeps recovery traffic a bounded fraction of offered load
+    // instead of a storm.
+    ++retry_budget_denied_;
+    obs_.metrics().GetCounter("cluster.retry_budget_denied").Increment();
+    RecordFailure(req,
+                  Status::ResourceExhausted("retry budget for " + req.fn + " exhausted"));
+    return;
+  }
+  Dispatch(std::move(req), failed_host);
 }
 
 void Cluster::RecordFailure(const Request& req, Status status) {
@@ -107,41 +213,167 @@ void Cluster::RecordCompletion(const Request& req, const fwcore::InvocationResul
   ++out.completions;
   ++completed_;
   latency_ms_.Add(out.latency.millis());
+  if (recent_latency_ms_.size() < static_cast<size_t>(config_.hedge_window)) {
+    recent_latency_ms_.push_back(out.latency.millis());
+  } else {
+    recent_latency_ms_[recent_latency_next_] = out.latency.millis();
+    recent_latency_next_ = (recent_latency_next_ + 1) % recent_latency_ms_.size();
+  }
   startup_ms_.Add(result.startup.millis());
   obs_.metrics().GetCounter("cluster.completed").Increment();
   if (warm_hit) {
     obs_.metrics().GetCounter("cluster.warm_hits").Increment();
   }
+  if (req.hedge) {
+    ++hedge_wins_;
+    obs_.metrics().GetCounter("cluster.hedge_wins").Increment();
+  }
+}
+
+void Cluster::ReportHostFailure(int host_index) {
+  if (!config_.health_checks) {
+    return;
+  }
+  // Connection-refused analog: no need to wait out phi when the data path
+  // already proved the host gone.
+  ApplyTransition(host_index, health_->ReportFailure(host_index));
+}
+
+void Cluster::ApplyTransition(int host_index, HealthTransition transition) {
+  switch (transition) {
+    case HealthTransition::kNone:
+      return;
+    case HealthTransition::kSuspected:
+      ++suspects_;
+      obs_.metrics().GetCounter("cluster.suspects").Increment();
+      return;
+    case HealthTransition::kDied:
+      ++detector_deaths_;
+      obs_.metrics().GetCounter("cluster.detector_deaths").Increment();
+      return;
+    case HealthTransition::kReinstated:
+      ++reinstated_;
+      obs_.metrics().GetCounter("cluster.reinstated").Increment();
+      return;
+  }
+}
+
+double Cluster::PssFraction(int host_index) const {
+  const double capacity = hosts_[host_index].host->MemoryBytes();
+  if (capacity <= 0.0) {
+    return 0.0;
+  }
+  return hosts_[host_index].host->PssBytes() / capacity;
+}
+
+Duration Cluster::HedgeDelay() const {
+  if (static_cast<int64_t>(recent_latency_ms_.size()) >= config_.hedge_min_samples) {
+    // Nearest-rank quantile over the recent-latency ring (order within the
+    // ring is irrelevant to a quantile).
+    std::vector<double> window = recent_latency_ms_;
+    const size_t rank = std::min(
+        window.size() - 1,
+        static_cast<size_t>(config_.hedge_quantile / 100.0 *
+                            static_cast<double>(window.size())));
+    std::nth_element(window.begin(), window.begin() + rank, window.end());
+    const Duration observed = Duration::MillisF(window[rank]);
+    if (observed > config_.hedge_min_delay) {
+      return observed;
+    }
+  }
+  return config_.hedge_min_delay;
+}
+
+fwsim::Co<void> Cluster::Hedger(uint64_t id, std::string fn, std::string args,
+                                fwbase::SimTime submitted, fwbase::SimTime deadline) {
+  co_await fwsim::Delay(sim_, HedgeDelay());
+  if (!running_ || Terminal(id) || hedged_[id - 1] != 0) {
+    co_return;
+  }
+  hedged_[id - 1] = 1;
+  ++hedges_;
+  obs_.metrics().GetCounter("cluster.hedges").Increment();
+  {
+    fwobs::ScopedSpan span(&obs_.tracer(), "cluster.hedge", "cluster");
+    span.SetAttribute("request", id);
+    span.SetAttribute("fn", fn);
+  }
+  Request copy;
+  copy.id = id;
+  copy.fn = std::move(fn);
+  copy.args = std::move(args);
+  copy.submitted = submitted;  // Latency stays submit→completion.
+  copy.deadline = deadline;
+  copy.hedge = true;
+  Dispatch(std::move(copy), /*exclude_host=*/primary_host_[id - 1]);
 }
 
 fwsim::Co<void> Cluster::Worker(int host_index) {
   HostState& hs = hosts_[host_index];
   while (true) {
     Request req = co_await hs.queue->Recv();
+    if (Terminal(req.id)) {
+      // The other copy of a hedged request already recorded the outcome;
+      // this copy is surplus the moment it surfaces.
+      --hs.inflight;
+      ++hedge_discards_;
+      obs_.metrics().GetCounter("cluster.hedge_discards").Increment();
+      continue;
+    }
     if (!hs.alive) {
       // The host died with this request still queued: bounce it back to the
       // front end. (Not a zombie — it never started.)
       --hs.inflight;
-      ++retries_;
-      ++req.attempts;
-      obs_.metrics().GetCounter("cluster.retries").Increment();
-      if (req.attempts > config_.max_attempts) {
-        RecordFailure(req, Status::Unavailable("retry budget exhausted"));
-      } else {
-        Dispatch(std::move(req));
+      ReportHostFailure(host_index);
+      if (req.hedge) {
+        ++hedge_discards_;
+        obs_.metrics().GetCounter("cluster.hedge_discards").Increment();
+        continue;
+      }
+      RetryRequest(std::move(req), host_index);
+      continue;
+    }
+    if (req.deadline < fwbase::SimTime::Max() && sim_.Now() >= req.deadline) {
+      // Already hopeless at dequeue (admission's estimate was optimistic, or
+      // the queue stalled behind a slow host): drop it now instead of
+      // burning a worker on a response nobody is waiting for.
+      --hs.inflight;
+      ++expired_;
+      obs_.metrics().GetCounter("cluster.expired").Increment();
+      if (!req.hedge) {
+        RecordFailure(req, Status::DeadlineExceeded("request expired in dispatch queue"));
       }
       continue;
     }
     const uint64_t epoch = hs.epoch;
     const uint64_t warm_before = hs.host->warm_hits();
+    const fwbase::SimTime service_start = sim_.Now();
+    if (injector_.Trip(fwfault::FaultKind::kHostSlowdown)) {
+      // Gray failure: the host serves, but stalls first (IO contention,
+      // cgroup throttling, a compacting GC). Detection never fires — this is
+      // exactly the case hedging exists for.
+      co_await fwsim::Delay(
+          sim_, injector_.SampleDelay(fwfault::FaultKind::kHostSlowdown,
+                                      config_.slow_host_mean_delay));
+    }
     Result<fwcore::InvocationResult> result = Status::Internal("not run");
     {
       fwobs::ScopedSpan span(&obs_.tracer(), "cluster.invoke", "cluster");
       span.SetAttribute("host", static_cast<uint64_t>(host_index));
       span.SetAttribute("fn", req.fn);
       span.SetAttribute("attempt", static_cast<uint64_t>(req.attempts));
-      result = co_await hs.host->Invoke(req.fn, req.args);
+      if (req.hedge) {
+        span.SetAttribute("hedge", static_cast<uint64_t>(1));
+      }
+      Duration budget = Duration::Zero();  // Zero = platform default timeout.
+      if (req.deadline < fwbase::SimTime::Max()) {
+        budget = req.deadline - sim_.Now();
+      }
+      result = co_await hs.host->Invoke(req.fn, req.args, budget);
     }
+    // Observed dequeue→response time feeds the admission controller's wait
+    // estimate (failures included: they hold the worker just the same).
+    admission_.RecordService(host_index, sim_.Now() - service_start);
     // A partitioned host keeps computing, but its response cannot reach the
     // front end until the partition heals.
     while (hs.alive && hs.epoch == epoch && sim_.Now() < hs.partitioned_until) {
@@ -153,18 +385,31 @@ fwsim::Co<void> Cluster::Worker(int host_index) {
       // result (if any) is discarded and the request retried elsewhere —
       // never both, so completions stay exactly-once.
       ++zombie_discards_;
-      ++retries_;
-      ++req.attempts;
       obs_.metrics().GetCounter("cluster.zombie_discards").Increment();
-      obs_.metrics().GetCounter("cluster.retries").Increment();
-      if (req.attempts > config_.max_attempts) {
-        RecordFailure(req, Status::Unavailable("retry budget exhausted"));
-      } else {
-        Dispatch(std::move(req));
+      ReportHostFailure(host_index);
+      if (req.hedge || Terminal(req.id)) {
+        ++hedge_discards_;
+        obs_.metrics().GetCounter("cluster.hedge_discards").Increment();
+        continue;
       }
+      RetryRequest(std::move(req), host_index);
+      continue;
+    }
+    if (Terminal(req.id)) {
+      // The other copy won while this one was executing: first recorded
+      // completion stands, this result is discarded unrecorded.
+      ++hedge_discards_;
+      obs_.metrics().GetCounter("cluster.hedge_discards").Increment();
       continue;
     }
     if (!result.ok()) {
+      if (req.hedge) {
+        // Hedge copies never drive terminal failures; the primary is still
+        // in flight and owns the outcome.
+        ++hedge_discards_;
+        obs_.metrics().GetCounter("cluster.hedge_discards").Increment();
+        continue;
+      }
       // The platform exhausted its own recovery (internal retries + cold-boot
       // fallback): surface the failure rather than retrying endlessly.
       RecordFailure(req, result.status());
@@ -186,6 +431,21 @@ fwsim::Co<void> Cluster::Worker(int host_index) {
   }
 }
 
+fwsim::Co<void> Cluster::Heartbeater(int host_index) {
+  HostState& hs = hosts_[host_index];
+  while (running_) {
+    // A crashed host sends nothing; a partitioned host's beats never arrive;
+    // heartbeat_loss drops one on the wire. The detector only ever sees
+    // beats that got through.
+    if (hs.alive && sim_.Now() >= hs.partitioned_until &&
+        !injector_.Trip(fwfault::FaultKind::kHeartbeatLoss)) {
+      ApplyTransition(host_index,
+                      health_->Heartbeat(host_index, sim_.Now(), PssFraction(host_index)));
+    }
+    co_await fwsim::Delay(sim_, config_.health.heartbeat_interval);
+  }
+}
+
 fwsim::Co<void> Cluster::Autoscaler(int host_index) {
   HostState& hs = hosts_[host_index];
   const double interval_s = config_.autoscale_interval.seconds();
@@ -195,6 +455,22 @@ fwsim::Co<void> Cluster::Autoscaler(int host_index) {
       break;
     }
     if (!hs.alive) {
+      hs.arrivals.clear();
+      continue;
+    }
+    if (config_.health_checks && health_->pressured(host_index)) {
+      // Brownout: shed the parked clones (reclaimable memory) before the
+      // host OOMs, and skip growth this tick. The scheduler is already
+      // steering new work away via the pressured view bit.
+      for (const std::string& app : installed_) {
+        while (hs.host->PooledClones(app) > 0) {
+          if (!hs.host->DiscardClone(app).ok()) {
+            break;
+          }
+          ++brownout_discards_;
+          obs_.metrics().GetCounter("cluster.brownout_discards").Increment();
+        }
+      }
       hs.arrivals.clear();
       continue;
     }
@@ -266,7 +542,32 @@ fwsim::Co<void> Cluster::Sampler() {
 }
 
 void Cluster::Drain(uint64_t until_terminal) {
+  // The background services (heartbeats, autoscaler, sampler) keep the event
+  // queue non-empty forever, so "queue ran dry" cannot detect an impossible
+  // target (e.g. until_terminal > what the workload will ever submit).
+  // Instead: abort once simulated time advances drain_stall_timeout past the
+  // last new submission or terminal outcome.
+  uint64_t last_terminal = terminal();
+  uint64_t last_submitted = submitted_;
+  fwbase::SimTime last_progress = sim_.Now();
   while (terminal() < until_terminal && sim_.StepOne()) {
+    if (terminal() != last_terminal || submitted_ != last_submitted) {
+      last_terminal = terminal();
+      last_submitted = submitted_;
+      last_progress = sim_.Now();
+    } else if (sim_.Now() - last_progress > config_.drain_stall_timeout) {
+      FW_CHECK_MSG(
+          false,
+          fwbase::StrFormat(
+              "Cluster::Drain(%llu) stalled: %llu submitted, %llu terminal, and no "
+              "progress for %.0fs of simulated time — until_terminal exceeds what "
+              "this workload will ever produce",
+              static_cast<unsigned long long>(until_terminal),
+              static_cast<unsigned long long>(submitted_),
+              static_cast<unsigned long long>(terminal()),
+              config_.drain_stall_timeout.seconds())
+              .c_str());
+    }
   }
   FW_CHECK_MSG(terminal() >= until_terminal,
                "cluster drained its event queue with requests still pending");
@@ -296,6 +597,8 @@ void Cluster::RestartHost(int host) {
   }
   hs.alive = true;
   hs.partitioned_until = fwbase::SimTime::Zero();
+  // The detector reinstates the host on its next heartbeat, not here: a
+  // restart the front end has no evidence for does not exist yet.
   obs_.metrics().GetCounter("cluster.host_restarts").Increment();
 }
 
@@ -321,6 +624,16 @@ Cluster::Rollup Cluster::ComputeRollup() const {
   for (const auto& hs : hosts_) {
     r.warm_hits += hs.host->warm_hits();
   }
+  r.shed = shed_;
+  r.expired = expired_;
+  r.retry_budget_denied = retry_budget_denied_;
+  r.hedges = hedges_;
+  r.hedge_wins = hedge_wins_;
+  r.hedge_discards = hedge_discards_;
+  r.suspects = suspects_;
+  r.detector_deaths = detector_deaths_;
+  r.reinstated = reinstated_;
+  r.brownout_discards = brownout_discards_;
   r.latency_ms = latency_ms_;
   r.startup_ms = startup_ms_;
   r.peak_pss_bytes = peak_pss_bytes_;

@@ -5,24 +5,38 @@
 // per-host × per-app warm-pool autoscaler, and cluster-level observability
 // (metrics + spans rolled up across hosts).
 //
-// Request lifecycle: Submit() stamps the request, the front end picks a host
-// (scheduler policy over live host views) and enqueues it on that host's
-// dispatch queue; a worker coroutine runs the invocation on the host and
-// records the outcome. The submit→completion latency therefore includes
-// front-end queueing, which is where overload shows up in P99.9.
+// Request lifecycle: Submit() stamps the request (and its deadline), the
+// front end picks a host (scheduler policy over *detected* host health, see
+// health.h) and asks the admission controller (admission.h) whether the
+// host's bounded dispatch queue can still meet the deadline; admitted
+// requests enqueue, the rest are shed fast with kResourceExhausted. A worker
+// coroutine runs the invocation on the host and records the outcome. The
+// submit→completion latency therefore includes front-end queueing, which is
+// where overload shows up in P99.9 — and where admission control converts a
+// collapse into a plateau.
 //
 // Failure semantics (the chaos tests assert these):
-//   * CrashHost marks the host dead, bumps its epoch, and drops its parked
-//     clones (they lived in host memory). Queued requests are bounced back to
-//     the front end. In-flight invocations cannot be cancelled — they drain
-//     as zombies whose results are discarded (stale epoch) and the requests
-//     are retried on a surviving host, so every accepted request reaches
-//     exactly one recorded completion: retried, never duplicated.
+//   * Liveness is detected, not known: hosts heartbeat into a phi-accrual
+//     FailureDetector; data-path errors (bounced queues, stale-epoch
+//     zombies) short-circuit detection. A suspect host is deprioritized, a
+//     dead one excluded, and a heartbeat reinstates either.
+//   * CrashHost stops the host's heartbeats, bumps its epoch, and drops its
+//     parked clones (they lived in host memory). Queued requests are bounced
+//     back to the front end. In-flight invocations cannot be cancelled —
+//     they drain as zombies whose results are discarded (stale epoch) and
+//     the requests are retried on a surviving host, subject to the per-app
+//     retry budget, so every accepted request reaches exactly one recorded
+//     completion: retried, never duplicated.
 //   * PartitionHost makes the host unreachable from the front end for a
-//     duration: the scheduler skips it and responses of in-flight work are
-//     held until the partition heals. Partitioned work is delayed, not
-//     retried (retrying non-idempotent work during a partition would risk
-//     duplicate completions).
+//     duration: heartbeats stop arriving (the detector degrades it to
+//     suspect, then dead) and responses of in-flight work are held until the
+//     partition heals. Partitioned work is delayed, not retried (retrying
+//     non-idempotent work during a partition would risk duplicate
+//     completions).
+//   * Hedging (off by default): after a quantile-based delay, a still-
+//     inflight request is re-dispatched to a second host. The first recorded
+//     completion wins; the loser is discarded by a terminal check on the
+//     request, so completions stay exactly-once (DESIGN.md §11).
 #ifndef FIREWORKS_SRC_CLUSTER_CLUSTER_H_
 #define FIREWORKS_SRC_CLUSTER_CLUSTER_H_
 
@@ -35,8 +49,11 @@
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/units.h"
+#include "src/cluster/admission.h"
+#include "src/cluster/health.h"
 #include "src/cluster/host.h"
 #include "src/cluster/scheduler.h"
+#include "src/fault/fault.h"
 #include "src/obs/observability.h"
 #include "src/simcore/primitives.h"
 #include "src/simcore/simulation.h"
@@ -65,6 +82,40 @@ class Cluster {
 
     // Sampling period for the cluster-wide memory/density gauges.
     Duration sample_interval = Duration::Millis(250);
+
+    // --- Overload control & health (DESIGN.md §11) -----------------------
+    // Heartbeat-driven failure detection. When false the front end falls
+    // back to the omniscient oracle (its own fault bookkeeping) — kept for
+    // A/B runs; production-shaped configs leave this on.
+    bool health_checks = true;
+    HealthConfig health;
+    // Bounded dispatch queues + deadline-aware shedding at enqueue.
+    AdmissionConfig admission;
+    // Per-app token-bucket retry budget (crash-recovery retries spend one
+    // token; accepted first attempts deposit retry_budget_ratio).
+    bool retry_budget = true;
+    double retry_budget_ratio = 0.1;
+    double retry_budget_burst = 10.0;
+    // Tail-latency hedging: after max(hedge_min_delay, observed
+    // hedge_quantile latency), re-dispatch a still-inflight request to a
+    // second host. First recorded completion wins.
+    bool hedging = false;
+    Duration hedge_min_delay = Duration::Millis(20);
+    double hedge_quantile = 99.0;
+    int64_t hedge_min_samples = 50;
+    // The trigger quantile is computed over the last hedge_window completed
+    // latencies, so the delay tracks the current tail instead of staying
+    // inflated by every overload episode the run has ever seen.
+    int64_t hedge_window = 1024;
+    // Cluster-level fault injection (heartbeat_loss, host_slowdown). The
+    // default empty plan is inert: no randomness is drawn.
+    fwfault::FaultPlan fault_plan;
+    uint64_t fault_seed = 777;
+    // Mean of the exponential stall injected per host_slowdown trip.
+    Duration slow_host_mean_delay = Duration::Millis(100);
+    // Drain() aborts after this much simulated time without a new submission
+    // or terminal outcome (see Drain()).
+    Duration drain_stall_timeout = Duration::Seconds(120);
   };
 
   // `hosts` are indexed by position; each must already schedule on `sim`.
@@ -79,15 +130,22 @@ class Cluster {
   fwsim::Co<Status> InstallAll(const fwlang::FunctionSource& fn);
 
   // Accepts one invocation request at the current simulated time and returns
-  // its request id (1-based, dense).
-  uint64_t Submit(const std::string& fn_name, const std::string& args);
+  // its request id (1-based, dense). `deadline` is the request's end-to-end
+  // latency budget; zero falls back to admission.default_deadline, and zero
+  // again means no deadline (shedding then only happens on the queue cap).
+  uint64_t Submit(const std::string& fn_name, const std::string& args,
+                  Duration deadline = Duration::Zero());
 
   // Pumps the shared simulation until `until_terminal` requests have reached
-  // a terminal state (completed or failed), then stops background services.
+  // a terminal state (completed, failed, or shed), then stops background
+  // services. Aborts (FW_CHECK) if the run stops making progress — e.g.
+  // until_terminal exceeds what the workload will ever submit — instead of
+  // spinning forever on the background services' event stream.
   void Drain(uint64_t until_terminal);
   // Drains everything submitted so far.
   void DrainAll() { Drain(submitted_); }
-  // Stops the autoscaler/sampler loops so the event queue can empty.
+  // Stops the autoscaler/heartbeat/sampler loops so the event queue can
+  // empty.
   void Shutdown();
 
   // --- Fault operations ----------------------------------------------------
@@ -119,6 +177,17 @@ class Cluster {
     uint64_t retries = 0;
     uint64_t zombie_discards = 0;
     uint64_t warm_hits = 0;
+    // Overload control & health (failed includes shed + expired).
+    uint64_t shed = 0;             // Rejected at enqueue (admission).
+    uint64_t expired = 0;          // Deadline already blown at dequeue.
+    uint64_t retry_budget_denied = 0;
+    uint64_t hedges = 0;           // Hedge copies dispatched.
+    uint64_t hedge_wins = 0;       // Completions recorded from a hedge copy.
+    uint64_t hedge_discards = 0;   // Surplus copies dropped post-terminal.
+    uint64_t suspects = 0;         // alive→suspect transitions.
+    uint64_t detector_deaths = 0;  // →dead transitions (phi or data-path).
+    uint64_t reinstated = 0;       // suspect/dead→alive (heartbeat).
+    uint64_t brownout_discards = 0;  // Warm clones shed under pressure.
     fwbase::SampleStats latency_ms;     // Completed requests only.
     fwbase::SampleStats startup_ms;
     double peak_pss_bytes = 0.0;
@@ -137,7 +206,11 @@ class Cluster {
 
   ClusterHost& host(int i) { return *hosts_[i].host; }
   int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  // Ground truth (the fault bookkeeping), not the detector's belief; tests
+  // compare the two.
   bool alive(int i) const { return hosts_[i].alive; }
+  // The failure detector's view (only meaningful with health_checks on).
+  const FailureDetector& detector() const { return *health_; }
   // Cluster-level observability (per-host metrics live on each FullHost's
   // own HostEnv). Enable obs().tracer() for cluster spans.
   fwobs::Observability& obs() { return obs_; }
@@ -149,6 +222,12 @@ class Cluster {
     std::string args;
     int attempts = 1;
     fwbase::SimTime submitted;
+    // Absolute deadline (Max = none): admission sheds against it at enqueue,
+    // workers drop against it at dequeue.
+    fwbase::SimTime deadline = fwbase::SimTime::Max();
+    // True for the second copy of a hedged request: its failures are dropped
+    // silently (the primary drives retries and terminal failure).
+    bool hedge = false;
   };
 
   struct HostState {
@@ -169,14 +248,35 @@ class Cluster {
     double prepare_seconds_ewma = 0.05;
   };
 
-  std::vector<HostView> Views() const;
+  // Non-const: consulting host views re-evaluates phi (suspect/dead
+  // transitions happen at observation time, as they would in a control
+  // plane polling its detector).
+  std::vector<HostView> Views();
+  // True once the request has a recorded terminal outcome; the losing copy
+  // of a hedged pair checks this before recording anything.
+  bool Terminal(uint64_t id) const { return outcomes_[id - 1].completions > 0; }
   // Front-end placement; records a failed outcome when no host is available
-  // or the retry budget is exhausted.
-  void Dispatch(Request req);
+  // or admission sheds the request. `exclude_host` (>= 0) is skipped when
+  // any other alive host exists — retries avoid the host that just failed,
+  // hedges avoid the primary's host.
+  void Dispatch(Request req, int exclude_host = -1);
+  // Retry after a crash bounce / zombie discard: spends retry budget,
+  // respects max_attempts.
+  void RetryRequest(Request req, int failed_host);
   void RecordFailure(const Request& req, Status status);
   void RecordCompletion(const Request& req, const fwcore::InvocationResult& result,
                         int host_index, bool warm_hit);
+  // Data-path death evidence for the detector + transition bookkeeping.
+  void ReportHostFailure(int host_index);
+  void ApplyTransition(int host_index, HealthTransition transition);
+  double PssFraction(int host_index) const;
+  // Quantile-based hedge trigger delay (hedge_min_delay until enough
+  // completions have been observed).
+  Duration HedgeDelay() const;
   fwsim::Co<void> Worker(int host_index);
+  fwsim::Co<void> Heartbeater(int host_index);
+  fwsim::Co<void> Hedger(uint64_t id, std::string fn, std::string args,
+                         fwbase::SimTime submitted, fwbase::SimTime deadline);
   fwsim::Co<void> Autoscaler(int host_index);
   // One concurrent clone preparation; discards the clone if the host crashed
   // while it was being prepared (its memory is gone).
@@ -187,6 +287,10 @@ class Cluster {
   Config config_;
   fwobs::Observability obs_;
   std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<FailureDetector> health_;
+  AdmissionController admission_;
+  RetryBudget retry_budget_;
+  fwfault::FaultInjector injector_;
   std::vector<HostState> hosts_;
   std::vector<std::string> installed_;  // Install order (autoscaler iteration).
   bool running_ = true;
@@ -196,7 +300,25 @@ class Cluster {
   uint64_t failed_ = 0;
   uint64_t retries_ = 0;
   uint64_t zombie_discards_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t expired_ = 0;
+  uint64_t retry_budget_denied_ = 0;
+  uint64_t hedges_ = 0;
+  uint64_t hedge_wins_ = 0;
+  uint64_t hedge_discards_ = 0;
+  uint64_t suspects_ = 0;
+  uint64_t detector_deaths_ = 0;
+  uint64_t reinstated_ = 0;
+  uint64_t brownout_discards_ = 0;
   std::vector<Outcome> outcomes_;  // Indexed by request id - 1.
+  std::vector<int> primary_host_;  // Last host the primary copy went to.
+  std::vector<uint8_t> hedged_;    // 1 once a hedge copy was dispatched.
+  // Ring of the most recent completed latencies, feeding HedgeDelay(). The
+  // hedge trigger must track the *current* tail: a cumulative quantile stays
+  // poisoned by a past overload episode long after the fleet recovers,
+  // pinning the delay above any real straggler so hedges never fire.
+  std::vector<double> recent_latency_ms_;
+  size_t recent_latency_next_ = 0;
   fwbase::SampleStats latency_ms_;
   fwbase::SampleStats startup_ms_;
   double peak_pss_bytes_ = 0.0;

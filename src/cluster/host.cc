@@ -11,7 +11,10 @@ namespace fwcluster {
 // ---------------------------------------------------------------------------
 
 FullHost::FullHost(fwsim::Simulation& sim, int id, const Config& config)
-    : id_(id), env_(sim, config.env), platform_(env_, config.fw) {}
+    : id_(id),
+      memory_bytes_(static_cast<double>(config.env.memory_bytes)),
+      env_(sim, config.env),
+      platform_(env_, config.fw) {}
 
 fwsim::Co<Status> FullHost::Install(const fwlang::FunctionSource& fn) {
   auto r = co_await platform_.Install(fn);
@@ -19,8 +22,10 @@ fwsim::Co<Status> FullHost::Install(const fwlang::FunctionSource& fn) {
 }
 
 fwsim::Co<Result<fwcore::InvocationResult>> FullHost::Invoke(const std::string& fn_name,
-                                                             const std::string& args) {
+                                                             const std::string& args,
+                                                             Duration deadline) {
   fwcore::InvokeOptions options;
+  options.deadline = deadline;
   if (platform_.PooledCloneCount(fn_name) > 0) {
     auto r = co_await platform_.InvokeOnClone(fn_name, args, options);
     // kFailedPrecondition means the pool drained between the check and the
@@ -51,6 +56,8 @@ size_t FullHost::PooledClones(const std::string& fn_name) const {
 }
 
 size_t FullHost::TotalPooledClones() const { return platform_.TotalPooledClones(); }
+
+double FullHost::MemoryBytes() const { return memory_bytes_; }
 
 double FullHost::PssBytes() const {
   return platform_.MeasurePssBytes() + platform_.PooledPssBytes();
@@ -87,7 +94,11 @@ fwsim::Co<Status> ModelHost::Install(const fwlang::FunctionSource& fn) {
 }
 
 fwsim::Co<Result<fwcore::InvocationResult>> ModelHost::Invoke(const std::string& fn_name,
-                                                              const std::string& args) {
+                                                              const std::string& args,
+                                                              Duration deadline) {
+  // The calibrated model has no internal retry loop for a deadline to bound;
+  // the cluster already sheds requests whose budget cannot be met.
+  (void)deadline;
   if (installed_.count(fn_name) == 0) {
     co_return Status::NotFound("function " + fn_name + " is not installed");
   }

@@ -51,8 +51,11 @@ class ClusterHost {
 
   // One end-to-end invocation on this host: a warm-pool hit when a parked
   // clone of `fn_name` exists, the snapshot-restore path otherwise.
+  // `deadline` is the request's remaining latency budget (zero = the
+  // platform's own default timeout applies).
   virtual fwsim::Co<Result<fwcore::InvocationResult>> Invoke(const std::string& fn_name,
-                                                             const std::string& args) = 0;
+                                                             const std::string& args,
+                                                             Duration deadline) = 0;
 
   // Warm-pool control (driven by the cluster's autoscaler).
   virtual fwsim::Co<Status> PrepareClone(const std::string& fn_name) = 0;
@@ -61,6 +64,9 @@ class ClusterHost {
   virtual size_t TotalPooledClones() const = 0;
 
   // Memory + liveness accounting for the density report and leak checks.
+  // MemoryBytes is the host's physical capacity; PssBytes/MemoryBytes is the
+  // pressure fraction hosts report in their heartbeats (brownout signal).
+  virtual double MemoryBytes() const = 0;
   virtual double PssBytes() const = 0;
   virtual size_t LiveVmCount() = 0;
   virtual size_t LiveNetnsCount() = 0;
@@ -93,12 +99,14 @@ class FullHost : public ClusterHost {
 
   fwsim::Co<Status> Install(const fwlang::FunctionSource& fn) override;
   fwsim::Co<Result<fwcore::InvocationResult>> Invoke(const std::string& fn_name,
-                                                     const std::string& args) override;
+                                                     const std::string& args,
+                                                     Duration deadline) override;
   fwsim::Co<Status> PrepareClone(const std::string& fn_name) override;
   Status DiscardClone(const std::string& fn_name) override;
+  double MemoryBytes() const override;
+  double PssBytes() const override;
   size_t PooledClones(const std::string& fn_name) const override;
   size_t TotalPooledClones() const override;
-  double PssBytes() const override;
   size_t LiveVmCount() override;
   size_t LiveNetnsCount() override;
   uint64_t warm_hits() const override { return warm_hits_; }
@@ -109,6 +117,7 @@ class FullHost : public ClusterHost {
 
  private:
   int id_;
+  double memory_bytes_;  // Physical capacity (from the HostEnv config).
   fwcore::HostEnv env_;  // Borrows the cluster's shared Simulation.
   fwcore::FireworksPlatform platform_;
   uint64_t warm_hits_ = 0;
@@ -147,6 +156,8 @@ class ModelHost : public ClusterHost {
   struct Config {
     Config() {}
     int vcpus = 16;
+    // Modelled physical memory (denominator of the pressure fraction).
+    double memory_bytes = 8.0 * (1ull << 30);
     HostCalibration calibration;
   };
 
@@ -159,12 +170,14 @@ class ModelHost : public ClusterHost {
 
   fwsim::Co<Status> Install(const fwlang::FunctionSource& fn) override;
   fwsim::Co<Result<fwcore::InvocationResult>> Invoke(const std::string& fn_name,
-                                                     const std::string& args) override;
+                                                     const std::string& args,
+                                                     Duration deadline) override;
   fwsim::Co<Status> PrepareClone(const std::string& fn_name) override;
   Status DiscardClone(const std::string& fn_name) override;
+  double MemoryBytes() const override { return config_.memory_bytes; }
+  double PssBytes() const override;
   size_t PooledClones(const std::string& fn_name) const override;
   size_t TotalPooledClones() const override;
-  double PssBytes() const override;
   size_t LiveVmCount() override;
   size_t LiveNetnsCount() override;
   uint64_t warm_hits() const override { return warm_hits_; }

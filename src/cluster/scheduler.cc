@@ -136,11 +136,15 @@ class RoundRobinScheduler : public Scheduler {
 
   int Pick(const std::string& app, const std::vector<HostView>& hosts) override {
     const int n = static_cast<int>(hosts.size());
-    for (int i = 0; i < n; ++i) {
-      const int h = (next_ + i) % n;
-      if (hosts[h].alive) {
-        next_ = (h + 1) % n;
-        return h;
+    // First rotation over preferred (healthy) hosts, then over anything
+    // alive: a suspect/pressured host only serves when nothing better can.
+    for (const bool healthy_only : {true, false}) {
+      for (int i = 0; i < n; ++i) {
+        const int h = (next_ + i) % n;
+        if (healthy_only ? hosts[h].preferred() : hosts[h].alive) {
+          next_ = (h + 1) % n;
+          return h;
+        }
       }
     }
     return -1;
@@ -150,21 +154,29 @@ class RoundRobinScheduler : public Scheduler {
   int next_ = 0;
 };
 
+// Least-loaded alive host in `hosts`, restricted to preferred() hosts when
+// `healthy_only`; -1 when the restricted set is empty. Shared by the
+// least-loaded policy and the locality policy's spill path.
+int PickLeastLoaded(const std::vector<HostView>& hosts, bool healthy_only) {
+  int best = -1;
+  for (int h = 0; h < static_cast<int>(hosts.size()); ++h) {
+    if (healthy_only ? !hosts[h].preferred() : !hosts[h].alive) {
+      continue;
+    }
+    if (best < 0 || hosts[h].inflight < hosts[best].inflight) {
+      best = h;  // Ties keep the lowest index: deterministic.
+    }
+  }
+  return best;
+}
+
 class LeastLoadedScheduler : public Scheduler {
  public:
   SchedulerPolicy policy() const override { return SchedulerPolicy::kLeastLoaded; }
 
   int Pick(const std::string& app, const std::vector<HostView>& hosts) override {
-    int best = -1;
-    for (int h = 0; h < static_cast<int>(hosts.size()); ++h) {
-      if (!hosts[h].alive) {
-        continue;
-      }
-      if (best < 0 || hosts[h].inflight < hosts[best].inflight) {
-        best = h;  // Ties keep the lowest index: deterministic.
-      }
-    }
-    return best;
+    const int healthy = PickLeastLoaded(hosts, /*healthy_only=*/true);
+    return healthy >= 0 ? healthy : PickLeastLoaded(hosts, /*healthy_only=*/false);
   }
 };
 
@@ -202,32 +214,30 @@ class SnapshotLocalityScheduler : public Scheduler {
         static_cast<int64_t>(kLoadBoundFactor * static_cast<double>(total_inflight) /
                              static_cast<double>(alive_count)) +
         kLoadBoundSlack;
+    // Two ring passes: only preferred (healthy) owners first, then any alive
+    // owner — a suspect/pressured owner loses its locality claim while the
+    // evidence against it stands, but still serves if nothing else can.
     int chosen = -1;
-    ring_.Walk(app, [&hosts, bound, &chosen](int h) {
-      if (h >= static_cast<int>(hosts.size()) || !hosts[h].alive) {
+    for (const bool healthy_only : {true, false}) {
+      ring_.Walk(app, [&hosts, bound, healthy_only, &chosen](int h) {
+        if (h >= static_cast<int>(hosts.size()) ||
+            (healthy_only ? !hosts[h].preferred() : !hosts[h].alive)) {
+          return true;
+        }
+        if (hosts[h].inflight <= bound) {
+          chosen = h;
+          return false;
+        }
         return true;
+      });
+      if (chosen >= 0) {
+        return chosen;
       }
-      if (hosts[h].inflight <= bound) {
-        chosen = h;
-        return false;
-      }
-      return true;
-    });
-    if (chosen >= 0) {
-      return chosen;
     }
     // Every alive member host is above the bound (or the ring lost all alive
-    // members): fall back to the least-loaded alive host.
-    int best = -1;
-    for (int h = 0; h < static_cast<int>(hosts.size()); ++h) {
-      if (!hosts[h].alive) {
-        continue;
-      }
-      if (best < 0 || hosts[h].inflight < hosts[best].inflight) {
-        best = h;
-      }
-    }
-    return best;
+    // members): fall back to the least-loaded host, healthy first.
+    const int healthy = PickLeastLoaded(hosts, /*healthy_only=*/true);
+    return healthy >= 0 ? healthy : PickLeastLoaded(hosts, /*healthy_only=*/false);
   }
 
   void OnHostJoin(int host) override { ring_.AddHost(host); }

@@ -37,14 +37,28 @@ const char* SchedulerPolicyName(SchedulerPolicy policy);
 std::optional<SchedulerPolicy> ParseSchedulerPolicy(const std::string& name);
 std::vector<SchedulerPolicy> AllSchedulerPolicies();
 
-// What the scheduler may consult about one host when picking.
+// What the scheduler may consult about one host when picking. With health
+// checks enabled this is *detected* state (heartbeats + data-path evidence,
+// see health.h), not the cluster's own fault bookkeeping: the front end only
+// knows what a real control plane could know.
 struct HostView {
   HostView() {}
 
-  // False while crashed or partitioned away from the front end.
+  // False once the failure detector declares the host dead.
   bool alive = true;
+  // Late on heartbeats (phi above the suspect threshold) but not yet dead:
+  // schedulable, deprioritized.
+  bool suspect = false;
+  // Reporting memory pressure (brownout): schedulable, deprioritized.
+  bool pressured = false;
   // Invocations dispatched to the host and not yet completed.
   int64_t inflight = 0;
+  // Requests sitting in the host's dispatch queue (subset of inflight).
+  int64_t queue_depth = 0;
+
+  // Every policy prefers healthy hosts and falls back to merely-alive ones,
+  // so a suspect/pressured host sheds new load without being fenced off.
+  bool preferred() const { return alive && !suspect && !pressured; }
 };
 
 // Deterministic 64-bit string hash (FNV-1a); exposed for tests.

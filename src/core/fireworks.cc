@@ -189,7 +189,8 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
   InvocationResult result;
   result.cold = false;  // Fireworks has no cold/warm distinction (§5.1).
   const SimTime t0 = env_.sim().Now();
-  const SimTime deadline = t0 + config_.invoke_timeout;
+  const SimTime deadline =
+      t0 + (options.deadline.nanos() > 0 ? options.deadline : config_.invoke_timeout);
   // The invoke children are contiguous windows: each child ends exactly where
   // the next begins, so their durations sum to the root span's (= total).
   fwobs::ScopedSpan root(tracer_, "fireworks.invoke", "invoke");
@@ -265,7 +266,12 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
       // The stored snapshot failed its checksum. Re-persist the in-memory
       // image so the next attempt restores from a fresh file.
       Status reinstalled = co_await ReinstallSnapshot(fn);
-      if (!reinstalled.ok()) {
+      if (reinstalled.ok()) {
+        // Distinct from snapshot_reinstall.count (which also counts other
+        // reinstall call sites): chaos runs assert on this one to prove the
+        // checksum-repair path actually fired, not just that latency moved.
+        env_.metrics().GetCounter("fw.snapshot.corruption_repairs.count").Increment();
+      } else {
         FW_LOG(kWarning) << "fireworks: snapshot re-install for " << fn_name
                       << " failed: " << reinstalled.ToString();
       }

@@ -154,6 +154,11 @@ struct InvokeOptions {
   // Argument type signature; a mismatch with the JIT-profiled signature
   // triggers de-optimisation (§6).
   std::string type_sig = "default";
+  // Per-invocation latency budget: bounds internal retries + backoff. Zero
+  // means the platform's configured invoke_timeout applies. Cluster fronts
+  // pass the request's remaining deadline here so a nearly-expired request
+  // does not burn a full default timeout on a doomed host.
+  Duration deadline = Duration::Zero();
 };
 static_assert(!std::is_aggregate_v<InvokeOptions>);
 

@@ -31,6 +31,10 @@ const char* FaultKindName(FaultKind kind) {
       return "net_nat_exhausted";
     case FaultKind::kSandboxCrash:
       return "sandbox_crash";
+    case FaultKind::kHeartbeatLoss:
+      return "heartbeat_loss";
+    case FaultKind::kHostSlowdown:
+      return "host_slowdown";
     case FaultKind::kCount:
       break;
   }

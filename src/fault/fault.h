@@ -45,6 +45,8 @@ enum class FaultKind {
   kNetLinkLoss,             // Packet lost on the wire.
   kNetNatExhausted,         // NAT port allocation fails when binding an IP.
   kSandboxCrash,            // Container sandbox dies on unpause/restore.
+  kHeartbeatLoss,           // A host's liveness heartbeat is dropped en route.
+  kHostSlowdown,            // Gray failure: the host serves, but slowly.
   kCount,
 };
 

@@ -112,7 +112,9 @@ class Tracer {
   SimClockFn clock_;
   bool enabled_ = false;
   SpanId next_id_ = 1;
-  std::deque<Span> spans_;
+  // Observational buffer, not a dispatch queue: growth tracks completed
+  // spans and tests/benches drain it with TakeSpans().
+  std::deque<Span> spans_;  // fwlint:allow(unbounded-queue)
   std::vector<Span*> stack_;  // Open spans, innermost last.
 };
 

@@ -55,7 +55,9 @@ class SimEvent {
 
  private:
   Simulation& sim_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  // Bounded by the coroutine population parked on this event, which the
+  // workload fixes up front.
+  std::vector<std::coroutine_handle<>> waiters_;  // fwlint:allow(unbounded-queue)
 };
 
 // ---------------------------------------------------------------------------
@@ -125,8 +127,12 @@ class Channel {
   }
 
   Simulation& sim_;
-  std::deque<T> items_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  // Channel is deliberately the unbounded primitive: capping and shedding is
+  // the admission layer's job (src/cluster/admission.h), and dispatch queues
+  // check size() against their cap before Send().
+  std::deque<T> items_;  // fwlint:allow(unbounded-queue)
+  // Bounded by the worker-coroutine population blocked on Recv().
+  std::deque<std::coroutine_handle<>> waiters_;  // fwlint:allow(unbounded-queue)
   size_t claims_ = 0;
 };
 
@@ -188,7 +194,8 @@ class Resource {
 
   Simulation& sim_;
   int64_t available_;
-  std::deque<Waiting> waiters_;
+  // Bounded by the coroutine population contending for the resource.
+  std::deque<Waiting> waiters_;  // fwlint:allow(unbounded-queue)
 };
 
 // ---------------------------------------------------------------------------

@@ -17,6 +17,7 @@ void SnapshotStore::set_observability(fwobs::Observability* obs) {
   miss_counter_ = &obs->metrics().GetCounter("store.snapshot.miss.count");
   evict_counter_ = &obs->metrics().GetCounter("store.snapshot.evict.count");
   save_counter_ = &obs->metrics().GetCounter("store.snapshot.save.count");
+  corruption_counter_ = &obs->metrics().GetCounter("store.snapshot.corruption.count");
   used_bytes_gauge_ = &obs->metrics().GetGauge("store.snapshot.used_bytes");
 }
 
@@ -99,6 +100,9 @@ Result<std::shared_ptr<fwmem::SnapshotImage>> SnapshotStore::Get(const std::stri
   if (injector_ != nullptr && injector_->Trip(fwfault::FaultKind::kSnapshotCorruption)) {
     // Checksum mismatch: the on-disk file is garbage. Drop the entry so the
     // caller's re-install path can Save a fresh copy under the same name.
+    if (corruption_counter_ != nullptr) {
+      corruption_counter_->Increment();
+    }
     used_bytes_ -= it->second.image->file_bytes();
     order_.erase(it->second.order_it);
     entries_.erase(it);

@@ -91,6 +91,7 @@ class SnapshotStore {
   fwobs::Counter* miss_counter_ = nullptr;
   fwobs::Counter* evict_counter_ = nullptr;
   fwobs::Counter* save_counter_ = nullptr;
+  fwobs::Counter* corruption_counter_ = nullptr;
   fwobs::Gauge* used_bytes_gauge_ = nullptr;
   fwfault::FaultInjector* injector_ = nullptr;
 };

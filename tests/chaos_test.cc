@@ -124,7 +124,8 @@ HostEnv::Config ChaosHostConfig(uint64_t seed, const FaultPlan& plan) {
 // middle), release, and verify nothing leaked. Returns the outcome
 // fingerprint; fills `trace_json` when tracing is requested.
 std::string RunFireworksScenario(uint64_t seed, const FaultPlan& plan,
-                                 std::string* trace_json = nullptr) {
+                                 std::string* trace_json = nullptr,
+                                 uint64_t* corruption_repairs = nullptr) {
   HostEnv env(ChaosHostConfig(seed, plan));
   if (trace_json != nullptr) {
     env.tracer().Enable();
@@ -158,6 +159,10 @@ std::string RunFireworksScenario(uint64_t seed, const FaultPlan& plan,
   EXPECT_EQ(platform.hypervisor().live_vm_count(), 0u) << "leaked VMs";
   EXPECT_EQ(env.memory().used_bytes(), 0u) << "leaked host pages";
   fp += "trips=" + std::to_string(env.fault_injector().total_trips());
+  if (corruption_repairs != nullptr) {
+    *corruption_repairs =
+        env.metrics().GetCounter("fw.snapshot.corruption_repairs.count").value();
+  }
   if (trace_json != nullptr) {
     *trace_json = fwobs::ChromeTraceJson(env.tracer(), "fireworks-chaos");
   }
@@ -246,6 +251,23 @@ TEST(ChaosSweepTest, FireworksSurvivesSeedSweep) {
              << DumpFailureArtifacts(seed);
     }
   }
+}
+
+TEST(ChaosSweepTest, CorruptionRepairsActuallyHappen) {
+  // ChaosPlan corrupts 8% of snapshot loads; the checksum-repair path
+  // (re-persist from the live template VM) must actually run during the
+  // sweep, or the corruption probability is silently not being exercised.
+  const int seeds = std::max(SweepSeeds() / 4, 25);
+  uint64_t total_repairs = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    uint64_t repairs = 0;
+    (void)RunFireworksScenario(seed, ChaosPlan(), nullptr, &repairs);
+    total_repairs += repairs;
+  }
+  EXPECT_GT(total_repairs, 0u)
+      << "no run repaired a corrupted snapshot: the kSnapshotCorruption "
+         "injection point or the repair path is dead";
 }
 
 TEST(ChaosSweepTest, BaselinesSurviveSeedSweep) {
@@ -414,6 +436,206 @@ TEST(ChaosSweepTest, ClusterCrashRecoveryIsBitIdentical) {
   for (uint64_t seed : {1u, 42u, 77u}) {
     SCOPED_TRACE("seed=" + std::to_string(seed));
     EXPECT_EQ(RunClusterCrashScenario(seed), RunClusterCrashScenario(seed));
+  }
+}
+
+
+// --- Partition-then-crash scenario ------------------------------------------
+// The nastier interleaving: a host is partitioned (responses held, heartbeats
+// lost), then crashes *before the partition heals*. Queued work must bounce,
+// in-flight work must die as zombies the moment the crash bumps the epoch
+// (the partition hold must not outlive the crash), and every request still
+// reaches exactly one recorded completion.
+fwsim::Co<void> PartitionThenCrash(fwsim::Simulation& sim, fwcluster::Cluster& cluster,
+                                   int victim) {
+  co_await fwsim::Delay(sim, Duration::Millis(20));
+  cluster.PartitionHost(victim, Duration::Millis(60));  // Would heal at 80 ms.
+  co_await fwsim::Delay(sim, Duration::Millis(15));
+  cluster.CrashHost(victim);                            // ... but dies at 35 ms.
+  co_await fwsim::Delay(sim, Duration::Millis(65));
+  cluster.RestartHost(victim);
+}
+
+uint64_t RunClusterPartitionCrashScenario(uint64_t seed) {
+  constexpr int kHosts = 2;
+  constexpr int kInvocations = 24;
+  fwsim::Simulation sim(seed);
+  std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    fwcluster::FullHost::Config fc;
+    fc.env.seed = seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(i);
+    hosts.push_back(std::make_unique<fwcluster::FullHost>(sim, i, fc));
+  }
+  fwcluster::Cluster::Config cc;
+  cc.policy = fwcluster::SchedulerPolicy::kLeastLoaded;
+  fwcluster::Cluster cluster(sim, std::move(hosts), cc);
+
+  for (const char* app : {"app-a", "app-b"}) {
+    FunctionSource fn =
+        fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+    fn.name = app;
+    FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+  }
+  std::vector<size_t> netns_baseline;
+  for (int i = 0; i < kHosts; ++i) {
+    netns_baseline.push_back(cluster.host(i).LiveNetnsCount());
+  }
+
+  sim.Spawn(DriveClusterStream(sim, cluster, kInvocations));
+  sim.Spawn(PartitionThenCrash(sim, cluster, /*victim=*/0));
+  cluster.Drain(kInvocations);
+  sim.Run();
+
+  const fwcluster::Cluster::Rollup rollup = cluster.ComputeRollup();
+  EXPECT_EQ(rollup.completed + rollup.failed, static_cast<uint64_t>(kInvocations));
+  EXPECT_EQ(rollup.failed, 0u)
+      << "partition+crash of one host must stay within the retry budget";
+  for (uint64_t id = 1; id <= cluster.submitted(); ++id) {
+    EXPECT_EQ(cluster.outcome(id).completions, 1u) << "request " << id;
+    EXPECT_LE(cluster.outcome(id).attempts, cc.max_attempts);
+  }
+  EXPECT_GT(rollup.retries, 0u);
+
+  for (int i = 0; i < kHosts; ++i) {
+    cluster.host(i).DropWarmPool();
+  }
+  sim.Run();
+  for (int i = 0; i < kHosts; ++i) {
+    SCOPED_TRACE("host " + std::to_string(i));
+    EXPECT_EQ(cluster.host(i).TotalPooledClones(), 0u);
+    EXPECT_EQ(cluster.host(i).LiveVmCount(), 0u);
+    EXPECT_EQ(cluster.host(i).LiveNetnsCount(), netns_baseline[i]);
+  }
+  return cluster.OutcomeDigest();
+}
+
+TEST(ChaosSweepTest, ClusterSurvivesPartitionThenCrashBeforeHeal) {
+  const int seeds = std::max(SweepSeeds() / 10, 10);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    (void)RunClusterPartitionCrashScenario(seed);
+    if (::testing::Test::HasFailure()) {
+      std::ofstream(ArtifactDir() + "/chaos_failing_seed.txt") << seed << "\n";
+      FAIL() << "partition+crash chaos invariant violated at seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosSweepTest, PartitionThenCrashIsBitIdentical) {
+  for (uint64_t seed : {1u, 42u, 77u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EXPECT_EQ(RunClusterPartitionCrashScenario(seed), RunClusterPartitionCrashScenario(seed));
+  }
+}
+
+// --- Suspect-threshold recovery ---------------------------------------------
+// A partitioned host goes silent exactly long enough to graze the phi dead
+// threshold. Recovering just *under* it exercises the detector's
+// false-positive path (suspected, never declared dead, reinstated by the
+// first post-heal heartbeat); recovering just *over* it exercises
+// dead-then-recovered. Either way every request completes exactly once.
+fwsim::Co<void> DriveFastStream(fwsim::Simulation& sim, fwcluster::Cluster& cluster,
+                                int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await fwsim::Delay(sim, Duration::Millis(2));
+    (void)cluster.Submit("app-a", "{}");
+  }
+}
+
+fwsim::Co<void> PartitionNearDeadThreshold(fwsim::Simulation& sim,
+                                           fwcluster::Cluster& cluster, int victim,
+                                           bool beyond_dead) {
+  // Let the interval EWMA settle on the real heartbeat cadence first, then
+  // size the partition off the detector's own threshold arithmetic.
+  co_await fwsim::Delay(sim, Duration::Millis(100));
+  const fwcluster::FailureDetector& fd = cluster.detector();
+  const Duration to_dead = fd.TimeToPhi(victim, fd.config().phi_dead);
+  // Post-heal heartbeats resume within one interval (10 ms), so a 30 ms
+  // margin keeps the under case strictly under the threshold; the over case
+  // leaves 50 ms of silence past it for an evaluation to land in.
+  const Duration duration = beyond_dead ? to_dead + Duration::Millis(50)
+                                        : to_dead - Duration::Millis(30);
+  cluster.PartitionHost(victim, duration);
+}
+
+fwcluster::Cluster::Rollup RunSuspectThresholdScenario(uint64_t seed, bool beyond_dead,
+                                                       uint64_t* digest = nullptr) {
+  constexpr int kInvocations = 300;
+  fwsim::Simulation sim(seed);
+  std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
+  for (int i = 0; i < 2; ++i) {
+    hosts.push_back(
+        std::make_unique<fwcluster::ModelHost>(sim, i, fwcluster::ModelHost::Config()));
+  }
+  fwcluster::Cluster::Config cc;
+  cc.policy = fwcluster::SchedulerPolicy::kLeastLoaded;
+  cc.health.heartbeat_interval = Duration::Millis(10);
+  fwcluster::Cluster cluster(sim, std::move(hosts), cc);
+
+  FunctionSource fn =
+      fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+  fn.name = "app-a";
+  FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+
+  sim.Spawn(DriveFastStream(sim, cluster, kInvocations));
+  sim.Spawn(PartitionNearDeadThreshold(sim, cluster, /*victim=*/0, beyond_dead));
+  cluster.Drain(kInvocations);
+  sim.Run();
+
+  const fwcluster::Cluster::Rollup rollup = cluster.ComputeRollup();
+  EXPECT_EQ(rollup.completed, static_cast<uint64_t>(kInvocations));
+  EXPECT_EQ(rollup.failed, 0u) << "a partition delays work, it must not fail it";
+  for (uint64_t id = 1; id <= cluster.submitted(); ++id) {
+    EXPECT_EQ(cluster.outcome(id).completions, 1u) << "request " << id;
+  }
+  EXPECT_GE(rollup.suspects, 1u) << "the partition never even raised suspicion";
+  EXPECT_GE(rollup.reinstated, 1u) << "the healed host was never reinstated";
+  if (digest != nullptr) {
+    *digest = cluster.OutcomeDigest();
+  }
+  return rollup;
+}
+
+TEST(ChaosSweepTest, HostRecoveringJustUnderDeadThresholdIsReinstatedNotKilled) {
+  const int seeds = std::max(SweepSeeds() / 10, 10);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const fwcluster::Cluster::Rollup rollup =
+        RunSuspectThresholdScenario(seed, /*beyond_dead=*/false);
+    EXPECT_EQ(rollup.detector_deaths, 0u)
+        << "phi never crossed the dead threshold, yet the detector killed the host";
+    if (::testing::Test::HasFailure()) {
+      std::ofstream(ArtifactDir() + "/chaos_failing_seed.txt") << seed << "\n";
+      FAIL() << "suspect-threshold (under) invariant violated at seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosSweepTest, HostRecoveringJustOverDeadThresholdIsDeclaredDeadThenHealed) {
+  const int seeds = std::max(SweepSeeds() / 10, 10);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const fwcluster::Cluster::Rollup rollup =
+        RunSuspectThresholdScenario(seed, /*beyond_dead=*/true);
+    EXPECT_GE(rollup.detector_deaths, 1u)
+        << "the partition outlived the dead threshold but no death was declared";
+    if (::testing::Test::HasFailure()) {
+      std::ofstream(ArtifactDir() + "/chaos_failing_seed.txt") << seed << "\n";
+      FAIL() << "suspect-threshold (over) invariant violated at seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosSweepTest, SuspectThresholdRecoveryIsBitIdentical) {
+  for (uint64_t seed : {1u, 42u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    for (const bool beyond : {false, true}) {
+      uint64_t a = 0;
+      uint64_t b = 0;
+      (void)RunSuspectThresholdScenario(seed, beyond, &a);
+      (void)RunSuspectThresholdScenario(seed, beyond, &b);
+      EXPECT_EQ(a, b);
+    }
   }
 }
 

@@ -10,9 +10,12 @@
 #include <vector>
 
 #include "src/base/strings.h"
+#include "src/cluster/admission.h"
 #include "src/cluster/cluster.h"
+#include "src/cluster/health.h"
 #include "src/cluster/host.h"
 #include "src/cluster/scheduler.h"
+#include "src/fault/fault.h"
 #include "src/workloads/faasdom.h"
 #include "src/workloads/loadgen.h"
 #include "tests/test_util.h"
@@ -420,6 +423,272 @@ TEST(ClusterAutoscalerTest, SustainedLoadProducesWarmHits) {
   // After the autoscaler's first ticks, the steady-state request stream
   // should be served overwhelmingly from parked clones.
   EXPECT_GT(r.rollup.warm_hits, r.rollup.completed / 2);
+}
+
+
+// ---------------------------------------------------------------------------
+// Failure detector (health.h).
+// ---------------------------------------------------------------------------
+
+TEST(FailureDetectorTest, SilenceDrivesSuspectThenDeadAtPhiThresholds) {
+  HealthConfig hc;
+  FailureDetector fd(1, hc, fwbase::SimTime::Zero());
+  fwbase::SimTime t = fwbase::SimTime::Zero();
+  for (int i = 0; i < 5; ++i) {
+    t = t + hc.heartbeat_interval;
+    EXPECT_EQ(fd.Heartbeat(0, t, 0.0), HealthTransition::kNone);
+  }
+  EXPECT_EQ(fd.state(0), HealthState::kAlive);
+
+  const Duration to_suspect = fd.TimeToPhi(0, hc.phi_suspect);
+  const Duration to_dead = fd.TimeToPhi(0, hc.phi_dead);
+  EXPECT_LT(to_suspect.nanos(), to_dead.nanos());
+  EXPECT_EQ(fd.Evaluate(0, t + to_suspect - Duration::Millis(1)), HealthTransition::kNone);
+  EXPECT_EQ(fd.Evaluate(0, t + to_suspect + Duration::Millis(1)),
+            HealthTransition::kSuspected);
+  EXPECT_EQ(fd.state(0), HealthState::kSuspect);
+  // Idempotent between new evidence: re-evaluating does not re-announce.
+  EXPECT_EQ(fd.Evaluate(0, t + to_suspect + Duration::Millis(2)), HealthTransition::kNone);
+  EXPECT_EQ(fd.Evaluate(0, t + to_dead + Duration::Millis(1)), HealthTransition::kDied);
+  EXPECT_EQ(fd.state(0), HealthState::kDead);
+  EXPECT_EQ(fd.Evaluate(0, t + to_dead + Duration::Seconds(10)), HealthTransition::kNone);
+}
+
+TEST(FailureDetectorTest, PhiGrowsWithSilence) {
+  HealthConfig hc;
+  FailureDetector fd(1, hc, fwbase::SimTime::Zero());
+  const double early = fd.Phi(0, fwbase::SimTime::Zero() + Duration::Millis(50));
+  const double late = fd.Phi(0, fwbase::SimTime::Zero() + Duration::Millis(500));
+  EXPECT_LT(early, late);
+}
+
+TEST(FailureDetectorTest, HeartbeatReinstatesSuspectAndDead) {
+  HealthConfig hc;
+  FailureDetector fd(1, hc, fwbase::SimTime::Zero());
+  const Duration to_suspect = fd.TimeToPhi(0, hc.phi_suspect);
+  fwbase::SimTime t = fwbase::SimTime::Zero() + to_suspect + Duration::Millis(1);
+  EXPECT_EQ(fd.Evaluate(0, t), HealthTransition::kSuspected);
+  EXPECT_EQ(fd.Heartbeat(0, t + Duration::Millis(1), 0.0), HealthTransition::kReinstated);
+  EXPECT_EQ(fd.state(0), HealthState::kAlive);
+
+  EXPECT_EQ(fd.ReportFailure(0), HealthTransition::kDied);
+  EXPECT_EQ(fd.state(0), HealthState::kDead);
+  EXPECT_EQ(fd.Heartbeat(0, t + Duration::Seconds(30), 0.0), HealthTransition::kReinstated);
+  EXPECT_EQ(fd.state(0), HealthState::kAlive);
+}
+
+TEST(FailureDetectorTest, ReportFailureIsImmediateAndIdempotent) {
+  HealthConfig hc;
+  FailureDetector fd(2, hc, fwbase::SimTime::Zero());
+  EXPECT_EQ(fd.ReportFailure(0), HealthTransition::kDied);
+  EXPECT_EQ(fd.ReportFailure(0), HealthTransition::kNone);
+  EXPECT_EQ(fd.state(0), HealthState::kDead);
+  EXPECT_EQ(fd.state(1), HealthState::kAlive);
+}
+
+TEST(FailureDetectorTest, DowntimeGapIsNotAnIntervalSample) {
+  HealthConfig hc;
+  FailureDetector fd(1, hc, fwbase::SimTime::Zero());
+  fwbase::SimTime t = fwbase::SimTime::Zero();
+  for (int i = 0; i < 10; ++i) {
+    t = t + hc.heartbeat_interval;
+    fd.Heartbeat(0, t, 0.0);
+  }
+  const Duration before = fd.TimeToPhi(0, hc.phi_dead);
+
+  // Death, 30s of downtime, then a reinstating heartbeat: the 30s gap must
+  // not be folded into the interval EWMA (it was downtime, not lateness).
+  fd.ReportFailure(0);
+  t = t + Duration::Seconds(30);
+  EXPECT_EQ(fd.Heartbeat(0, t, 0.0), HealthTransition::kReinstated);
+  EXPECT_EQ(fd.TimeToPhi(0, hc.phi_dead).nanos(), before.nanos());
+}
+
+TEST(FailureDetectorTest, PressureTracksHeartbeatPayload) {
+  HealthConfig hc;  // pressure_fraction = 0.9
+  FailureDetector fd(1, hc, fwbase::SimTime::Zero());
+  EXPECT_FALSE(fd.pressured(0));
+  fd.Heartbeat(0, fwbase::SimTime::Zero() + Duration::Millis(100), 0.95);
+  EXPECT_TRUE(fd.pressured(0));
+  EXPECT_DOUBLE_EQ(fd.pss_fraction(0), 0.95);
+  fd.Heartbeat(0, fwbase::SimTime::Zero() + Duration::Millis(200), 0.5);
+  EXPECT_FALSE(fd.pressured(0));
+}
+
+// ---------------------------------------------------------------------------
+// Admission control + retry budget (admission.h).
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionControllerTest, ShedsAtQueueCapacity) {
+  AdmissionConfig ac;
+  ac.queue_capacity = 2;
+  AdmissionController adm(1, 4, ac);
+  const fwbase::SimTime now = fwbase::SimTime::Zero();
+  EXPECT_TRUE(adm.Admit(0, 1, now, fwbase::SimTime::Max()).ok());
+  const Status s = adm.Admit(0, 2, now, fwbase::SimTime::Max());
+  EXPECT_EQ(s.code(), fwbase::StatusCode::kResourceExhausted);
+}
+
+TEST(AdmissionControllerTest, ShedsWhenEstimatedWaitExceedsDeadline) {
+  AdmissionConfig ac;  // initial service estimate 5ms
+  ac.queue_capacity = 1000;
+  AdmissionController adm(1, /*workers_per_host=*/1, ac);
+  const fwbase::SimTime now = fwbase::SimTime::Zero();
+  // Ten queued requests at ~5ms each on one worker: ~50ms of wait.
+  EXPECT_EQ(adm.EstimatedWait(0, 10).nanos(), Duration::Millis(50).nanos());
+  EXPECT_EQ(adm.Admit(0, 10, now, now + Duration::Millis(20)).code(),
+            fwbase::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(adm.Admit(0, 10, now, now + Duration::Millis(100)).ok());
+  // No deadline: only the hard cap sheds.
+  EXPECT_TRUE(adm.Admit(0, 10, now, fwbase::SimTime::Max()).ok());
+}
+
+TEST(AdmissionControllerTest, ServiceEwmaTracksObservedTimes) {
+  AdmissionConfig ac;
+  AdmissionController adm(2, 1, ac);
+  const Duration before = adm.EstimatedWait(0, 4);
+  for (int i = 0; i < 20; ++i) {
+    adm.RecordService(0, Duration::Millis(1));
+  }
+  EXPECT_LT(adm.EstimatedWait(0, 4).nanos(), before.nanos());
+  // Per-host estimates are independent.
+  EXPECT_EQ(adm.EstimatedWait(1, 4).nanos(), before.nanos());
+}
+
+TEST(AdmissionControllerTest, DisabledAdmitsEverything) {
+  AdmissionConfig ac;
+  ac.enabled = false;
+  ac.queue_capacity = 1;
+  AdmissionController adm(1, 1, ac);
+  const fwbase::SimTime now = fwbase::SimTime::Zero();
+  EXPECT_TRUE(adm.Admit(0, 1000, now, now + Duration::Millis(1)).ok());
+}
+
+TEST(RetryBudgetTest, ClampsRetriesAndRefillsOnAcceptedWork) {
+  // 0.25 is exact in binary, so four deposits make exactly one token.
+  RetryBudget budget(true, /*deposit_ratio=*/0.25, /*burst=*/2.0);
+  // Buckets start at burst: two retries fit, the third is denied.
+  EXPECT_TRUE(budget.TrySpend("app-a"));
+  EXPECT_TRUE(budget.TrySpend("app-a"));
+  EXPECT_FALSE(budget.TrySpend("app-a"));
+  // Budgets are per app.
+  EXPECT_TRUE(budget.TrySpend("app-b"));
+  // Four accepted first attempts deposit one token.
+  for (int i = 0; i < 4; ++i) {
+    budget.OnAccepted("app-a");
+  }
+  EXPECT_TRUE(budget.TrySpend("app-a"));
+  EXPECT_FALSE(budget.TrySpend("app-a"));
+}
+
+TEST(RetryBudgetTest, DisabledBudgetAdmitsEveryRetry) {
+  RetryBudget budget(false, 0.1, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(budget.TrySpend("app-a"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hedging: tail shaving with exactly-once completions.
+// ---------------------------------------------------------------------------
+
+RunResult RunHedgedCluster(uint64_t seed, bool hedging) {
+  fwsim::Simulation sim(seed);
+  std::vector<std::unique_ptr<ClusterHost>> hosts;
+  for (int i = 0; i < 4; ++i) {
+    ModelHost::Config mc;
+    mc.calibration = TestCalibration();
+    hosts.push_back(std::make_unique<ModelHost>(sim, i, mc));
+  }
+  Cluster::Config cc;
+  cc.policy = SchedulerPolicy::kLeastLoaded;
+  cc.hedging = hedging;
+  cc.hedge_min_delay = Duration::Millis(15);
+  // Gray failure: 2% of invocations stall for ~200ms — exactly the tail
+  // hedging exists to shave.
+  cc.fault_plan.Set(fwfault::FaultKind::kHostSlowdown, 0.02);
+  cc.fault_seed = seed;
+  cc.slow_host_mean_delay = Duration::Millis(200);
+  Cluster cluster(sim, std::move(hosts), cc);
+
+  fwwork::LoadGenConfig lg;
+  lg.arrival = ArrivalProcess::kPoisson;
+  lg.rate_per_sec = 400.0;
+  lg.num_apps = 4;
+  lg.seed = seed;
+  fwwork::LoadGen gen(lg);
+  for (int a = 0; a < lg.num_apps; ++a) {
+    fwlang::FunctionSource fn = fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency,
+                                                    fwlang::Language::kNodeJs);
+    fn.name = fwbase::StrFormat("app-%d", a);
+    FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+  }
+  constexpr int kInvocations = 1500;
+  sim.Spawn(DriveArrivals(sim, cluster, gen, kInvocations));
+  cluster.Drain(kInvocations);
+
+  RunResult r;
+  r.digest = cluster.OutcomeDigest();
+  r.rollup = cluster.ComputeRollup();
+  // Exactly-once: every terminal request has exactly one recorded completion,
+  // hedges or not.
+  for (uint64_t id = 1; id <= r.rollup.submitted; ++id) {
+    FW_CHECK(cluster.outcome(id).completions == 1);
+  }
+  return r;
+}
+
+TEST(ClusterHedgingTest, HedgesFireAndCompletionsStayExactlyOnce) {
+  const RunResult r = RunHedgedCluster(11, /*hedging=*/true);
+  EXPECT_EQ(r.rollup.completed, 1500u);
+  EXPECT_EQ(r.rollup.failed, 0u);
+  EXPECT_GT(r.rollup.hedges, 0u);
+  EXPECT_LE(r.rollup.hedge_wins, r.rollup.hedges);
+  // Each hedge dispatch makes a pair with exactly one surplus copy: the
+  // hedge when the primary wins, the primary when the hedge wins. Either
+  // way the surplus is discarded by the terminal check (at most one pair —
+  // the very last — can still be in flight when Drain stops pumping).
+  EXPECT_GE(r.rollup.hedge_discards + 1, r.rollup.hedges);
+  EXPECT_LE(r.rollup.hedge_discards, r.rollup.hedges);
+}
+
+TEST(ClusterHedgingTest, HedgingIsDeterministic) {
+  const RunResult a = RunHedgedCluster(23, /*hedging=*/true);
+  const RunResult b = RunHedgedCluster(23, /*hedging=*/true);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.rollup.hedges, b.rollup.hedges);
+  EXPECT_EQ(a.rollup.hedge_wins, b.rollup.hedge_wins);
+}
+
+TEST(ClusterHedgingTest, HedgingShavesTheSlowHostTail) {
+  const RunResult off = RunHedgedCluster(31, /*hedging=*/false);
+  const RunResult on = RunHedgedCluster(31, /*hedging=*/true);
+  EXPECT_EQ(on.rollup.completed, off.rollup.completed);
+  EXPECT_LT(on.rollup.latency_ms.Percentile(99.9), off.rollup.latency_ms.Percentile(99.9));
+}
+
+// ---------------------------------------------------------------------------
+// Drain guard.
+// ---------------------------------------------------------------------------
+
+TEST(ClusterDrainDeathTest, DrainBeyondWorkloadAbortsInsteadOfSpinning) {
+  auto impossible_drain = [] {
+    fwsim::Simulation sim(1);
+    std::vector<std::unique_ptr<ClusterHost>> hosts;
+    ModelHost::Config mc;
+    mc.calibration = TestCalibration();
+    hosts.push_back(std::make_unique<ModelHost>(sim, 0, mc));
+    Cluster::Config cc;
+    cc.drain_stall_timeout = Duration::Seconds(2);
+    Cluster cluster(sim, std::move(hosts), cc);
+    fwlang::FunctionSource fn = fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency,
+                                                    fwlang::Language::kNodeJs);
+    fn.name = "app-0";
+    FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+    (void)cluster.Submit("app-0", "{}");
+    cluster.Drain(5);  // Only 1 request will ever exist.
+  };
+  EXPECT_DEATH(impossible_drain(), "stalled");
 }
 
 }  // namespace

@@ -405,6 +405,62 @@ TEST(CoroHygieneCheckTest, DecoyAndSuppression) {
 }
 
 // ---------------------------------------------------------------------------
+// unbounded-queue
+// ---------------------------------------------------------------------------
+
+TEST(UnboundedQueueCheckTest, FlagsDequeMembersInSrc) {
+  const auto diags = LintOne("src/cluster/mailroom.h", R"cc(
+    class Mailroom {
+     private:
+      std::deque<Request> inbox_;
+      std::deque<std::pair<int, Request>> deferred_ = {};
+    };
+  )cc", "unbounded-queue");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].check, "unbounded-queue");
+  EXPECT_NE(diags[0].message.find("inbox_"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("deferred_"), std::string::npos);
+}
+
+TEST(UnboundedQueueCheckTest, FlagsQueueNamedVectorMembersOnly) {
+  const auto diags = LintOne("src/cluster/dispatch.h", R"cc(
+    class Dispatch {
+      std::vector<Request> pending_queue_;   // flagged: queue-named vector
+      std::vector<HostView> host_views_;     // clean: not queue-ish
+      std::vector<double> latencies_;        // clean: sample buffer
+    };
+  )cc", "unbounded-queue");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("pending_queue_"), std::string::npos);
+}
+
+TEST(UnboundedQueueCheckTest, LocalsReferencesAndNestedTemplateArgsAreClean) {
+  const auto diags = LintOne("src/cluster/clean.cc", R"cc(
+    void F(std::deque<int>& borrowed_) {
+      std::deque<int> local_scratch;          // local: bounded by scope
+      std::deque<int>* view_ = nullptr;       // pointer member: not the owner
+      std::map<std::string, std::deque<int>> by_app_;  // deque is a nested arg
+      (void)local_scratch;
+    }
+  )cc", "unbounded-queue");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(UnboundedQueueCheckTest, NonSrcPathsDecoysAndSuppressionsAreExempt) {
+  EXPECT_TRUE(LintOne("tests/helper.h", "struct H { std::deque<int> backlog_; };",
+                      "unbounded-queue")
+                  .empty());
+  const auto diags = LintOne("src/cluster/mixed.h", R"cc(
+    class Mixed {
+      // std::deque<int> commented_out_;
+      const char* doc_ = "std::deque<int> in_a_string_;";
+      std::deque<int> bounded_;  // fwlint:allow(unbounded-queue) capped by Admit()
+    };
+  )cc", "unbounded-queue");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Analyzer plumbing
 // ---------------------------------------------------------------------------
 

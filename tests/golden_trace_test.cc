@@ -211,4 +211,78 @@ TEST(GoldenTrace, ClusterFixedSchedule) {
   ExpectMatchesGolden("cluster_fixed_schedule_trace.golden", rendered);
 }
 
+
+// ---------------------------------------------------------------------------
+// Scenario 3: overload control on a deliberately starved 2-host cluster —
+// one worker per host, queue capacity 1, five back-to-back submits. The
+// golden pins a shed request (cluster.shed span + kResourceExhausted fast
+// rejection) and a hedged request (cluster.hedge span, the hedge copy's
+// invoke carrying hedge=1, and the surplus copy's discard) with exactly-once
+// completions.
+// ---------------------------------------------------------------------------
+
+fwsim::Co<void> DriveOverloadBurst(fwsim::Simulation& sim, fwcluster::Cluster& cluster) {
+  for (int i = 0; i < 5; ++i) {
+    (void)cluster.Submit("app-a", "{}");
+    co_await fwsim::Delay(sim, Duration::Millis(1));
+  }
+}
+
+TEST(GoldenTrace, ClusterShedAndHedge) {
+  fwsim::Simulation sim(42);  // Fixed seed: the golden depends on it.
+  fwcluster::HostCalibration cal;
+  cal.cold_startup = Duration::Millis(1);
+  cal.cold_exec = Duration::Millis(10);
+  cal.warm_startup = Duration::Millis(1);
+  cal.warm_exec = Duration::Millis(10);
+  cal.jitter = 0.0;  // Phase timings in this golden are exact.
+
+  std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
+  for (int i = 0; i < 2; ++i) {
+    fwcluster::ModelHost::Config mc;
+    mc.vcpus = 1;
+    mc.calibration = cal;
+    hosts.push_back(std::make_unique<fwcluster::ModelHost>(sim, i, mc));
+  }
+  fwcluster::Cluster::Config cc;
+  cc.policy = fwcluster::SchedulerPolicy::kLeastLoaded;
+  cc.workers_per_host = 1;
+  cc.admission.queue_capacity = 1;
+  cc.admission.default_deadline = Duration::Millis(50);
+  cc.hedging = true;
+  cc.hedge_min_delay = Duration::Millis(15);
+  fwcluster::Cluster cluster(sim, std::move(hosts), cc);
+  cluster.obs().tracer().Enable();
+
+  fwlang::FunctionSource fn =
+      fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+  fn.name = "app-a";
+  ASSERT_TRUE(RunSync(sim, cluster.InstallAll(fn)).ok());
+  sim.Spawn(DriveOverloadBurst(sim, cluster));
+  cluster.Drain(5);
+  sim.Run();  // Let surplus hedge copies drain through their discard path.
+
+  const fwcluster::Cluster::Rollup rollup = cluster.ComputeRollup();
+  // The scenario must actually produce both behaviours the golden exists to
+  // pin; if a scheduling change stops it doing so, fail loudly rather than
+  // regenerating a golden that no longer covers them.
+  ASSERT_GE(rollup.shed, 1u) << "scenario no longer sheds any request";
+  ASSERT_GE(rollup.hedges, 1u) << "scenario no longer hedges any request";
+  for (uint64_t id = 1; id <= cluster.submitted(); ++id) {
+    ASSERT_LE(cluster.outcome(id).completions, 1u) << "request " << id;
+  }
+
+  std::string rendered = RenderTrace(cluster.obs().tracer());
+  rendered += fwbase::StrFormat(
+      "rollup completed=%llu failed=%llu shed=%llu hedges=%llu hedge_wins=%llu "
+      "hedge_discards=%llu\n",
+      static_cast<unsigned long long>(rollup.completed),
+      static_cast<unsigned long long>(rollup.failed),
+      static_cast<unsigned long long>(rollup.shed),
+      static_cast<unsigned long long>(rollup.hedges),
+      static_cast<unsigned long long>(rollup.hedge_wins),
+      static_cast<unsigned long long>(rollup.hedge_discards));
+  ExpectMatchesGolden("cluster_shed_hedge_trace.golden", rendered);
+}
+
 }  // namespace

@@ -149,7 +149,8 @@ std::string Diagnostic::ToString() const {
 
 const std::vector<std::string>& AllChecks() {
   static const std::vector<std::string> kChecks = {
-      "determinism", "unordered-iteration", "discarded-status", "layering", "coro-hygiene",
+      "determinism",  "unordered-iteration", "discarded-status",
+      "layering",     "coro-hygiene",        "unbounded-queue",
   };
   return kChecks;
 }
@@ -283,6 +284,9 @@ std::vector<Diagnostic> Analyzer::Run(const std::set<std::string>& checks) {
     }
     if (enabled("layering")) {
       CheckLayering(f, raw);
+    }
+    if (enabled("unbounded-queue")) {
+      CheckUnboundedQueue(f, raw);
     }
   }
 
@@ -536,6 +540,91 @@ void Analyzer::CheckLayering(const File& f, std::vector<Diagnostic>& out) const 
                          ") must not include '" + inc + "' (layer '" + target + "', rank " +
                          std::to_string(it->second) + "); see the layer DAG in DESIGN.md"});
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unbounded-queue
+// ---------------------------------------------------------------------------
+
+// Flags container members in src/ that accumulate work without a cap or shed
+// policy. The pattern is a member declaration
+//   deque<...> name_;            (any deque member)
+//   vector<...> queue-ish-name_; (vectors only when the name says queue)
+// i.e. template id, skipped angles, then an identifier ending in '_' whose
+// declarator ends with ';', '=' or '{'. References/pointers are views of
+// someone else's container and are skipped, as are nested template arguments
+// (`map<K, deque<V>> m_` does not match: the token after the deque's angles
+// is the enclosing '>'). Suppress a justified site with
+// `// fwlint:allow(unbounded-queue)` stating where the bound lives.
+void Analyzer::CheckUnboundedQueue(const File& f, std::vector<Diagnostic>& out) const {
+  if (f.path.rfind("src/", 0) != 0) {
+    return;  // tests/bench/tools scratch containers are not dispatch paths
+  }
+  static const std::vector<std::string> kQueueishWords = {
+      "queue", "pending", "backlog", "inbox", "mailbox", "waiters",
+  };
+  const Tokens& t = f.lex.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier ||
+        (t[i].text != "deque" && t[i].text != "vector")) {
+      continue;
+    }
+    const bool is_deque = (t[i].text == "deque");
+    // Walk back over `ns::` qualifiers; if the container name sits right
+    // after '<' or ',' it is a nested template argument (e.g. the deque in
+    // `map<K, deque<V>>`) and the enclosing member, not this one, is the
+    // declaration to judge.
+    size_t q = i;
+    while (q >= 2 && t[q - 1].punct("::") && t[q - 2].kind == TokenKind::kIdentifier) {
+      q -= 2;
+    }
+    if (q >= 1 && (t[q - 1].punct("<") || t[q - 1].punct(","))) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (!(j < t.size() && t[j].punct("<"))) {
+      continue;
+    }
+    std::optional<size_t> after = TrySkipAngles(t, j);
+    if (!after.has_value()) {
+      continue;
+    }
+    j = *after;
+    if (j < t.size() && (t[j].punct("&") || t[j].punct("*") || t[j].punct("&&"))) {
+      continue;  // a reference/pointer member does not own the growth
+    }
+    if (j + 1 >= t.size() || t[j].kind != TokenKind::kIdentifier ||
+        IsKeyword(t[j].text)) {
+      continue;
+    }
+    const std::string& name = t[j].text;
+    if (name.size() < 2 || name.back() != '_') {
+      continue;  // locals and parameters are bounded by their scope
+    }
+    if (!(t[j + 1].punct(";") || t[j + 1].punct("=") || t[j + 1].punct("{"))) {
+      continue;  // not a member declaration
+    }
+    if (!is_deque) {
+      bool queueish = false;
+      for (const std::string& word : kQueueishWords) {
+        if (name.find(word) != std::string::npos) {
+          queueish = true;
+          break;
+        }
+      }
+      if (!queueish) {
+        continue;
+      }
+    }
+    out.push_back(
+        {f.path, t[j].line, "unbounded-queue",
+         std::string("member '") + name + "' is an unbounded " +
+             (is_deque ? "std::deque" : "queue-named std::vector") +
+             " in a dispatch path: nothing caps its growth, so overload queues to "
+             "death instead of shedding; enforce a capacity/shed policy at enqueue "
+             "(see src/cluster/admission.h) or suppress with a "
+             "fwlint:allow(unbounded-queue) note stating where the bound lives"});
   }
 }
 

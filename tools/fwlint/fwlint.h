@@ -15,6 +15,10 @@
 //                        (see kLayerRank in fwlint.cc and DESIGN.md)
 //   coro-hygiene         calls to functions declared to return fwsim::Co<T>
 //                        dropped without co_await / Spawn / scheduling
+//   unbounded-queue      std::deque members (and queue-named std::vector
+//                        members) declared in src/ dispatch paths, which grow
+//                        without a cap or shed policy; overload then queues
+//                        to death instead of shedding (see DESIGN.md §11)
 //
 // Any diagnostic can be suppressed for one line with
 //   // fwlint:allow(<check>)           e.g.  // fwlint:allow(determinism)
@@ -81,6 +85,7 @@ class Analyzer {
   void CheckUnorderedIteration(const File& f, std::vector<Diagnostic>& out) const;
   void CheckBareCalls(const File& f, std::vector<Diagnostic>& out) const;
   void CheckLayering(const File& f, std::vector<Diagnostic>& out) const;
+  void CheckUnboundedQueue(const File& f, std::vector<Diagnostic>& out) const;
 
   std::vector<File> files_;
   std::set<std::string> status_fns_;
