@@ -23,6 +23,11 @@
 //   --no-baselines    skip the baseline-platform rows
 //   --no-selfcheck    skip the determinism re-run
 //   --json=FILE       write machine-readable results
+//   --report=FILE     write one fwbench/1 report (scripts/bench_trend.py input)
+//   --profile=PREFIX  profile the fireworks runs; writes PREFIX.collapsed
+//                     (wall) + PREFIX.sim.collapsed (flamegraph input) and
+//                     PREFIX.topn.txt, and prints the top-N table
+#include <chrono>  // host wall time for the report // fwlint:allow(determinism)
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +41,8 @@
 #include "src/cluster/cluster.h"
 #include "src/cluster/host.h"
 #include "src/cluster/scheduler.h"
+#include "src/obs/export.h"
+#include "src/obs/profiler.h"
 #include "src/workloads/faasdom.h"
 #include "src/workloads/loadgen.h"
 
@@ -59,6 +66,8 @@ struct Options {
   bool baselines = true;
   bool selfcheck = true;
   std::string json_path;
+  std::string report_path;
+  std::string profile_prefix;
 };
 
 struct RunResult {
@@ -94,7 +103,8 @@ fwsim::Co<void> DriveLoad(fwsim::Simulation& sim, Cluster& cluster,
 }
 
 RunResult RunCluster(const std::string& label, SchedulerPolicy policy,
-                     const HostCalibration& calibration, const Options& opt) {
+                     const HostCalibration& calibration, const Options& opt,
+                     fwobs::Profiler* profile_into = nullptr) {
   fwsim::Simulation sim(opt.seed);
   std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
   hosts.reserve(opt.hosts);
@@ -106,6 +116,9 @@ RunResult RunCluster(const std::string& label, SchedulerPolicy policy,
   Cluster::Config config;
   config.policy = policy;
   Cluster cluster(sim, std::move(hosts), config);
+  if (profile_into != nullptr) {
+    cluster.obs().profiler().Enable();
+  }
 
   const std::vector<std::string> app_names = AppNames(opt.apps);
   for (const std::string& name : app_names) {
@@ -129,6 +142,9 @@ RunResult RunCluster(const std::string& label, SchedulerPolicy policy,
   r.rollup = cluster.ComputeRollup();
   r.digest = cluster.OutcomeDigest();
   r.sim_seconds = sim.Now().seconds();
+  if (profile_into != nullptr) {
+    profile_into->Merge(cluster.obs().profiler());
+  }
   return r;
 }
 
@@ -196,6 +212,16 @@ void WriteJson(const std::string& path, const Options& opt,
   std::printf("wrote %s\n", path.c_str());
 }
 
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
 uint64_t ParseU64(const char* s) { return static_cast<uint64_t>(std::strtoull(s, nullptr, 10)); }
 
 Options ParseFlags(int argc, char** argv) {
@@ -233,6 +259,18 @@ Options ParseFlags(int argc, char** argv) {
       opt.json_path = arg + 7;
       if (opt.json_path.empty()) {
         std::fprintf(stderr, "empty --json= path\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--report=", 9) == 0) {
+      opt.report_path = arg + 9;
+      if (opt.report_path.empty()) {
+        std::fprintf(stderr, "empty --report= path\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+      opt.profile_prefix = arg + 10;
+      if (opt.profile_prefix.empty()) {
+        std::fprintf(stderr, "empty --profile= prefix\n");
         std::exit(2);
       }
     } else {
@@ -305,12 +343,21 @@ int main(int argc, char** argv) {
     policies = {*p};
   }
 
+  // Profiling merges every fireworks run into one profile; it observes but
+  // never perturbs the runs (the selfcheck digest stays bit-identical).
+  fwobs::Profiler merged_profile([] { return fwbase::SimTime(); });
+  fwobs::Profiler* profile = opt.profile_prefix.empty() ? nullptr : &merged_profile;
+
+  const auto wall_start =  // host time; report-only
+      std::chrono::steady_clock::now();  // fwlint:allow(determinism)
   std::vector<RunResult> results;
   for (SchedulerPolicy policy : policies) {
     const std::string label =
         std::string("fireworks/") + fwcluster::SchedulerPolicyName(policy);
-    results.push_back(RunCluster(label, policy, fw_cal, opt));
+    results.push_back(RunCluster(label, policy, fw_cal, opt, profile));
   }
+  const double wall_seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - wall_start).count();  // fwlint:allow(determinism)
   for (const auto& [name, cal] : baseline_cals) {
     // Baselines have no snapshot to keep local; least-loaded is their best
     // placement policy.
@@ -346,6 +393,53 @@ int main(int argc, char** argv) {
 
   if (!opt.json_path.empty()) {
     WriteJson(opt.json_path, opt, results, opt.selfcheck, identical);
+  }
+
+  if (profile != nullptr) {
+    std::printf("\nprofile (merged over %zu fireworks run%s):\n%s", results.size(),
+                results.size() == 1 ? "" : "s",
+                fwobs::ProfilerTopN(merged_profile, 10).c_str());
+    WriteFileOrDie(opt.profile_prefix + ".topn.txt", fwobs::ProfilerTopN(merged_profile, 10));
+    WriteFileOrDie(opt.profile_prefix + ".collapsed",
+                   fwobs::ProfilerCollapsed(merged_profile, fwobs::ProfileDim::kWall));
+    WriteFileOrDie(opt.profile_prefix + ".sim.collapsed",
+                   fwobs::ProfilerCollapsed(merged_profile, fwobs::ProfileDim::kSim));
+    std::printf("wrote %s.{topn.txt,collapsed,sim.collapsed} (collapsed-stack flamegraph "
+                "input)\n", opt.profile_prefix.c_str());
+  }
+
+  if (!opt.report_path.empty()) {
+    // The headline (first) fireworks policy gates the trajectory; baselines
+    // and alternate policies ride along in --json only.
+    const RunResult& head = results[0];
+    const auto& lat = head.rollup.latency_ms;
+    fwbench::BenchReport report("cluster_scale");
+    report.AddConfig("hosts", opt.hosts);
+    report.AddConfig("invocations", opt.invocations);
+    report.AddConfig("rate_per_sec", opt.rate);
+    report.AddConfig("apps", opt.apps);
+    report.AddConfig("arrival", fwwork::ArrivalProcessName(opt.arrival));
+    report.AddConfig("seed", opt.seed);
+    report.AddConfig("policy", head.label);
+    report.AddGuardedMetric("p50_ms", lat.Percentile(50.0), "lower");
+    report.AddGuardedMetric("p99_ms", lat.Percentile(99.0), "lower");
+    report.AddGuardedMetric("p999_ms", lat.Percentile(99.9), "lower");
+    report.AddGuardedMetric("completed", static_cast<double>(head.rollup.completed), "higher");
+    report.AddGuardedMetric("warm_hit_rate",
+                            head.rollup.completed > 0
+                                ? static_cast<double>(head.rollup.warm_hits) /
+                                      static_cast<double>(head.rollup.completed)
+                                : 0.0,
+                            "higher");
+    report.AddGuardedMetric("slo_attainment", head.rollup.slo_attainment, "higher");
+    report.AddGuardedMetric("peak_pss_mib", head.rollup.peak_pss_bytes / (1024.0 * 1024.0),
+                            "lower");
+    report.AddMetric("failed", static_cast<double>(head.rollup.failed));
+    report.AddMetric("slo_alerts", static_cast<double>(head.rollup.slo_alerts));
+    report.AddMetric("sim_seconds", head.sim_seconds);
+    report.AddMetric("wall_seconds", wall_seconds);  // host-dependent: never guarded
+    report.SetDigest(head.digest);
+    report.WriteTo(opt.report_path);
   }
   return 0;
 }

@@ -163,6 +163,120 @@ InvocationResult MeasureWarm(PlatformKind kind, const fwlang::FunctionSource& fn
   return *result;
 }
 
+namespace {
+
+// Minimal JSON string rendering for report keys/values (quotes, backslashes,
+// control characters). Report strings are ASCII flag values in practice.
+std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNum(double value) {
+  // %.10g round-trips every value a bench reports and renders integers bare.
+  return StrFormat("%.10g", value);
+}
+
+void AppendObject(std::string& out, const std::map<std::string, std::string>& kv) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : kv) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += JsonStr(key);
+    out += ':';
+    out += value;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string scenario) : scenario_(std::move(scenario)) {}
+
+void BenchReport::AddConfig(const std::string& key, const std::string& value) {
+  config_[key] = JsonStr(value);
+}
+
+void BenchReport::AddConfig(const std::string& key, const char* value) {
+  AddConfig(key, std::string(value));
+}
+
+void BenchReport::AddConfig(const std::string& key, double value) {
+  config_[key] = JsonNum(value);
+}
+
+void BenchReport::AddConfig(const std::string& key, uint64_t value) {
+  config_[key] = StrFormat("%llu", static_cast<unsigned long long>(value));
+}
+
+void BenchReport::AddConfig(const std::string& key, int value) {
+  config_[key] = StrFormat("%d", value);
+}
+
+void BenchReport::AddMetric(const std::string& name, double value) { metrics_[name] = value; }
+
+void BenchReport::AddGuardedMetric(const std::string& name, double value, const char* better) {
+  FW_CHECK_MSG(std::strcmp(better, "lower") == 0 || std::strcmp(better, "higher") == 0,
+               "guard direction must be 'lower' or 'higher'");
+  metrics_[name] = value;
+  guards_[name] = better;
+}
+
+void BenchReport::SetDigest(uint64_t digest) {
+  digest_ = StrFormat("%016llx", static_cast<unsigned long long>(digest));
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\"schema\":\"fwbench/1\",\"scenario\":";
+  out += JsonStr(scenario_);
+  out += ",\"config\":";
+  AppendObject(out, config_);
+  out += ",\"metrics\":";
+  std::map<std::string, std::string> metrics;
+  for (const auto& [name, value] : metrics_) {
+    metrics[name] = JsonNum(value);
+  }
+  AppendObject(out, metrics);
+  out += ",\"guards\":";
+  std::map<std::string, std::string> guards;
+  for (const auto& [name, better] : guards_) {
+    guards[name] = JsonStr(better);
+  }
+  AppendObject(out, guards);
+  if (!digest_.empty()) {
+    out += ",\"digest\":";
+    out += JsonStr(digest_);
+  }
+  out += "}\n";
+  return out;
+}
+
+void BenchReport::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open report file %s\n", path.c_str());
+    std::exit(1);
+  }
+  const std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s report to %s (schema fwbench/1)\n", scenario_.c_str(), path.c_str());
+}
+
 Table::Table(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {}
 

@@ -4,6 +4,8 @@
 #ifndef FIREWORKS_BENCH_COMMON_H_
 #define FIREWORKS_BENCH_COMMON_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +64,57 @@ InvocationResult MeasureCold(PlatformKind kind, const fwlang::FunctionSource& fn
 // invocation.
 InvocationResult MeasureWarm(PlatformKind kind, const fwlang::FunctionSource& fn,
                              const std::string& type_sig = "default");
+
+// ---------------------------------------------------------------------------
+// Normalized bench result schema ("fwbench/1").
+// ---------------------------------------------------------------------------
+
+// One machine-readable result document per bench run:
+//
+//   {
+//     "schema":   "fwbench/1",
+//     "scenario": "cluster_scale",
+//     "config":   {"hosts": 8, "policy": "snapshot-locality", ...},
+//     "metrics":  {"p99_ms": 12.5, "wall_seconds": 0.8, ...},
+//     "guards":   {"p99_ms": "lower", "goodput_rps": "higher"},
+//     "digest":   "9f86d081884c7d65"
+//   }
+//
+// `guards` names the metrics scripts/bench_trend.py protects against
+// regression and which direction is better; unguarded metrics (host wall
+// time, anything nondeterministic) are recorded for humans but never gate.
+// `digest` is the run's determinism digest (e.g. Cluster::OutcomeDigest) so a
+// trajectory point also witnesses that behavior was bit-identical. Keys are
+// ordered maps: the rendered document is byte-stable for a given run.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string scenario);
+
+  void AddConfig(const std::string& key, const std::string& value);
+  void AddConfig(const std::string& key, const char* value);
+  void AddConfig(const std::string& key, double value);
+  void AddConfig(const std::string& key, uint64_t value);
+  void AddConfig(const std::string& key, int value);
+
+  // Recorded but not regression-gated.
+  void AddMetric(const std::string& name, double value);
+  // Gated by bench_trend.py --check; `better` is "lower" or "higher".
+  void AddGuardedMetric(const std::string& name, double value, const char* better);
+
+  void SetDigest(uint64_t digest);
+
+  std::string ToJson() const;
+  // Writes ToJson() to `path` (exits with a message on IO failure) and
+  // prints where the report went.
+  void WriteTo(const std::string& path) const;
+
+ private:
+  std::string scenario_;
+  std::map<std::string, std::string> config_;  // value pre-rendered as JSON
+  std::map<std::string, double> metrics_;
+  std::map<std::string, std::string> guards_;
+  std::string digest_;
+};
 
 // ---------------------------------------------------------------------------
 // Table rendering.

@@ -7,8 +7,15 @@
 // (warm) steady state of OpenWhisk; Fireworks always resumes snapshots. The
 // data-analysis app exercises the Cloud trigger: inserting a wage record into
 // CouchDB fires the analysis chain automatically (Fig 8(b) dashed box).
+//
+// Flags:
+//   --report=FILE   write one fwbench/1 report (scripts/bench_trend.py input)
+#include <chrono>  // host wall time for the report // fwlint:allow(determinism)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
@@ -110,7 +117,14 @@ InvocationResult RunApp(PlatformKind kind, const ChainApp& app, bool warm,
   return sum;
 }
 
-void RunFigurePanel(char panel, const ChainApp& app) {
+struct PanelResult {
+  PanelResult() {}
+  InvocationResult ow_cold;
+  InvocationResult ow_warm;
+  InvocationResult fw;
+};
+
+PanelResult RunFigurePanel(char panel, const ChainApp& app) {
   PrintTopology(app);
   Table table(StrFormat("Figure 9(%c): %s — per-run latency summed over all chain stages",
                         panel, app.name.c_str()),
@@ -129,15 +143,65 @@ void RunFigurePanel(char panel, const ChainApp& app) {
   std::printf("  vs openwhisk warm: start-up %s faster, exec %s faster\n",
               Ratio(ow_warm.startup / fw.startup).c_str(),
               Ratio(ow_warm.exec / fw.exec).c_str());
+  PanelResult r;
+  r.ow_cold = ow_cold;
+  r.ow_warm = ow_warm;
+  r.fw = fw;
+  return r;
+}
+
+// Per-panel report entries: the fireworks end-to-end latency is what the
+// trajectory defends; the speedup ratios over OpenWhisk ride along guarded
+// too, so a baseline "improvement" that erodes the headline gap also trips.
+void AddPanelMetrics(BenchReport& report, const char* name, const PanelResult& r) {
+  report.AddGuardedMetric(StrFormat("%s_fw_total_ms", name), r.fw.total.millis(), "lower");
+  report.AddGuardedMetric(StrFormat("%s_fw_startup_ms", name), r.fw.startup.millis(),
+                          "lower");
+  report.AddGuardedMetric(StrFormat("%s_cold_startup_speedup", name),
+                          r.ow_cold.startup / r.fw.startup, "higher");
+  report.AddGuardedMetric(StrFormat("%s_warm_startup_speedup", name),
+                          r.ow_warm.startup / r.fw.startup, "higher");
+  report.AddMetric(StrFormat("%s_ow_cold_total_ms", name), r.ow_cold.total.millis());
+  report.AddMetric(StrFormat("%s_ow_warm_total_ms", name), r.ow_warm.total.millis());
 }
 
 }  // namespace
 }  // namespace fwbench
 
-int main() {
+int main(int argc, char** argv) {
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--report=", 9) == 0) {
+      report_path = arg + 9;
+      if (report_path.empty()) {
+        std::fprintf(stderr, "empty --report= path\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s (supported: --report=<file>)\n", arg);
+      return 2;
+    }
+  }
+
+  const auto wall_start =  // host time; report-only
+      std::chrono::steady_clock::now();  // fwlint:allow(determinism)
   std::printf("=== Figure 9: real-world ServerlessBench applications "
               "(Fireworks vs OpenWhisk) ===\n");
-  fwbench::RunFigurePanel('a', fwwork::MakeAlexaSkills());
-  fwbench::RunFigurePanel('b', fwwork::MakeDataAnalysis());
+  const fwbench::PanelResult alexa =
+      fwbench::RunFigurePanel('a', fwwork::MakeAlexaSkills());
+  const fwbench::PanelResult analysis =
+      fwbench::RunFigurePanel('b', fwwork::MakeDataAnalysis());
+
+  if (!report_path.empty()) {
+    const double wall_seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();  // fwlint:allow(determinism)
+    fwbench::BenchReport report("fig9_realworld");
+    report.AddConfig("apps", "alexa,data_analysis");
+    fwbench::AddPanelMetrics(report, "alexa", alexa);
+    fwbench::AddPanelMetrics(report, "analysis", analysis);
+    report.AddMetric("wall_seconds", wall_seconds);  // host-dependent: never guarded
+    report.WriteTo(report_path);
+  }
   return 0;
 }

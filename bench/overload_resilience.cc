@@ -31,6 +31,15 @@
 //   --smoke          reduced scale for CI (4 hosts, 2.5 s window)
 //   --no-selfcheck   skip the determinism re-run
 //   --json=FILE      write machine-readable results
+//   --report=FILE    write one fwbench/1 report (scripts/bench_trend.py input)
+//
+// Every leg also runs the cluster SLO monitor with the objective aligned to
+// the patience window, so the table reports per-leg attainment and how many
+// burn-rate alerts fired. Attainment is cumulative over the whole leg
+// (warmup included): the cold-start ramp costs every leg a few points and
+// typically one burn-rate alert per app, and overload then drives the real
+// separation — in-capacity legs hold high attainment, saturated legs crater.
+#include <chrono>  // host wall time for the report // fwlint:allow(determinism)
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -78,6 +87,7 @@ struct Options {
   uint64_t seed = 42;
   bool selfcheck = true;
   std::string json_path;
+  std::string report_path;
 
   double capacity_rps() const {
     return kPackingEfficiency * static_cast<double>(hosts) * kWorkersPerHost /
@@ -172,6 +182,9 @@ LegResult RunLeg(const std::string& label, const Options& opt, double multiplier
     config.retry_budget = false;
   }
   config.hedging = hedging;
+  // SLO objective = the patience window, so attainment/burn-rate alerting
+  // measures exactly the goodput criterion the bench defends.
+  config.slo.target = kPatience;
   config.fault_plan = plan;
   config.fault_seed = opt.seed * 0x9E3779B97F4A7C15ull + 1;
   Cluster cluster(sim, std::move(hosts), config);
@@ -233,7 +246,9 @@ std::vector<std::string> ResultRow(const Options& opt, const LegResult& r) {
           fwbase::StrFormat("%.0f", r.goodput_rps(opt)),
           fwbase::StrFormat("%.0f%%", 100.0 * r.goodput_frac()),
           fwbase::StrFormat("%.2f", s.Percentile(99.0)),
-          fwbase::StrFormat("%.2f", s.Percentile(99.9))};
+          fwbase::StrFormat("%.2f", s.Percentile(99.9)),
+          fwbase::StrFormat("%.1f%%", 100.0 * r.rollup.slo_attainment),
+          fwbase::StrFormat("%" PRIu64, r.rollup.slo_alerts)};
 }
 
 void WriteJson(const std::string& path, const Options& opt,
@@ -264,11 +279,14 @@ void WriteJson(const std::string& path, const Options& opt,
         ", \"hedges\": %" PRIu64 ", \"hedge_wins\": %" PRIu64
         ", \"goodput_rps\": %.1f, \"goodput_frac\": %.4f, \"p50_ms\": %.4f, "
         "\"p99_ms\": %.4f, \"p999_ms\": %.4f, \"duplicates\": %" PRIu64
+        ", \"slo_attainment\": %.4f, \"slo_worst_attainment\": %.4f, "
+        "\"slo_alerts\": %" PRIu64
         ", \"sim_seconds\": %.3f, \"digest\": \"%016" PRIx64 "\"}%s\n",
         r.label.c_str(), r.multiplier, r.offered, r.rollup.completed, r.rollup.failed,
         r.rollup.shed, r.rollup.expired, r.rollup.retry_budget_denied, r.rollup.hedges,
         r.rollup.hedge_wins, r.goodput_rps(opt), r.goodput_frac(), s.Percentile(50.0),
-        s.Percentile(99.0), s.Percentile(99.9), r.duplicates, r.sim_seconds, r.digest,
+        s.Percentile(99.0), s.Percentile(99.9), r.duplicates, r.rollup.slo_attainment,
+        r.rollup.slo_worst_attainment, r.rollup.slo_alerts, r.sim_seconds, r.digest,
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -307,6 +325,12 @@ Options ParseFlags(int argc, char** argv) {
         std::fprintf(stderr, "empty --json= path\n");
         std::exit(2);
       }
+    } else if (std::strncmp(arg, "--report=", 9) == 0) {
+      opt.report_path = arg + 9;
+      if (opt.report_path.empty()) {
+        std::fprintf(stderr, "empty --report= path\n");
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg);
       std::exit(2);
@@ -330,6 +354,8 @@ int main(int argc, char** argv) {
               opt.hosts, kWorkersPerHost, opt.capacity_rps(), kPatience.millis(),
               opt.duration_sec, opt.seed);
 
+  const auto wall_start =  // host time; report-only
+      std::chrono::steady_clock::now();  // fwlint:allow(determinism)
   const std::vector<double> multipliers = {0.5, 0.8, 1.0, 1.25, 1.5, 2.0};
   std::vector<LegResult> results;
   for (const bool overload_control : {true, false}) {
@@ -360,7 +386,7 @@ int main(int argc, char** argv) {
       fwbase::StrFormat("goodput within %.0f ms patience (%.1f s offered window)",
                         kPatience.millis(), opt.duration_sec),
       {"configuration", "load", "offered", "completed", "shed", "expired",
-       "goodput/s", "goodput%", "P99 ms", "P99.9 ms"});
+       "goodput/s", "goodput%", "P99 ms", "P99.9 ms", "SLO%", "alerts"});
   for (const LegResult& r : results) {
     table.AddRow(ResultRow(opt, r));
   }
@@ -442,6 +468,44 @@ int main(int argc, char** argv) {
 
   if (!opt.json_path.empty()) {
     WriteJson(opt.json_path, opt, results, accepted, opt.selfcheck, identical);
+  }
+
+  if (!opt.report_path.empty()) {
+    const double wall_seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();  // fwlint:allow(determinism)
+    const LegResult* admission_1x = nullptr;
+    for (const LegResult& r : results) {
+      if (r.label == "admission" && r.multiplier == 1.0) {
+        admission_1x = &r;
+      }
+    }
+    FW_CHECK(admission_1x != nullptr);
+    fwbench::BenchReport report("overload_resilience");
+    report.AddConfig("hosts", opt.hosts);
+    report.AddConfig("workers_per_host", kWorkersPerHost);
+    report.AddConfig("duration_sec", opt.duration_sec);
+    report.AddConfig("warmup_sec", opt.warmup_sec);
+    report.AddConfig("apps", opt.apps);
+    report.AddConfig("seed", opt.seed);
+    report.AddConfig("patience_ms", kPatience.millis());
+    // The sweep's defended properties, as trend-gated metrics.
+    report.AddGuardedMetric("peak_goodput_rps", peak_goodput, "higher");
+    report.AddGuardedMetric("admission_2x_goodput_rps", admission_2x->goodput_rps(opt),
+                            "higher");
+    report.AddGuardedMetric("admission_2x_frac_of_peak", admission_2x_frac, "higher");
+    report.AddGuardedMetric("hedge_p999_ms", p999_on, "lower");
+    report.AddGuardedMetric("slo_attainment_1x", admission_1x->rollup.slo_attainment,
+                            "higher");
+    report.AddGuardedMetric("slo_alerts_2x_admission",
+                            static_cast<double>(admission_2x->rollup.slo_alerts), "lower");
+    report.AddMetric("control_2x_goodput_rps", control_2x->goodput_rps(opt));
+    report.AddMetric("slo_alerts_2x_control",
+                     static_cast<double>(control_2x->rollup.slo_alerts));
+    report.AddMetric("nohedge_p999_ms", p999_off);
+    report.AddMetric("accepted", accepted ? 1.0 : 0.0);
+    report.AddMetric("wall_seconds", wall_seconds);  // host-dependent: never guarded
+    report.SetDigest(admission_1x->digest);
+    report.WriteTo(opt.report_path);
   }
   return accepted ? 0 : 1;
 }

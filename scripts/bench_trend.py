@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Maintain and check the committed performance trajectory.
+
+Benches emit one ``fwbench/1`` JSON document each (see bench/common.h). This
+script appends those documents as points to ``BENCH_trajectory.json`` and
+diffs the newest point of each scenario against the previous point with the
+same config, failing on >threshold regression of any *guarded* metric.
+
+Only guarded metrics gate: the benches guard deterministic simulation
+metrics (latency quantiles, goodput, attainment), so on unchanged code the
+diff is exactly 0% and any delta is a real behavior change. Unguarded
+metrics (host wall time) ride along for humans. Points are compared only
+within matching configs, so a CI smoke point never diffs against a
+full-scale point.
+
+Usage:
+  bench_trend.py append --trajectory=FILE [--label=STR] report.json [...]
+  bench_trend.py check  --trajectory=FILE [--threshold=0.10]
+                        [--scenarios=a,b,c] [--require=a,b,c]
+  bench_trend.py diff   --trajectory=FILE
+  bench_trend.py selftest
+
+Exit status: 0 ok, 1 regression (check) or failed selftest, 2 usage error.
+"""
+
+import json
+import sys
+
+SCHEMA = "fwbench-trajectory/1"
+DEFAULT_THRESHOLD = 0.10
+# Scenarios that must be present in the trajectory for `check` to pass.
+DEFAULT_REQUIRED = ["cluster_scale", "overload_resilience", "fig9_realworld"]
+
+
+def fail_usage(msg):
+    print(f"bench_trend: {msg}", file=sys.stderr)
+    print(__doc__, file=sys.stderr)
+    sys.exit(2)
+
+
+def load_trajectory(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        return {"schema": SCHEMA, "points": []}
+    if doc.get("schema") != SCHEMA:
+        fail_usage(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def save_trajectory(path, doc):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+
+def config_key(point):
+    return json.dumps(point.get("config", {}), sort_keys=True)
+
+
+def append(trajectory_path, report_paths, label):
+    doc = load_trajectory(trajectory_path)
+    seq = 1 + max((p.get("seq", 0) for p in doc["points"]), default=0)
+    for report_path in report_paths:
+        with open(report_path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+        if report.get("schema") != "fwbench/1":
+            fail_usage(f"{report_path}: not an fwbench/1 report")
+        point = {
+            "seq": seq,
+            "label": label,
+            "scenario": report["scenario"],
+            "config": report.get("config", {}),
+            "metrics": report.get("metrics", {}),
+            "guards": report.get("guards", {}),
+            "digest": report.get("digest", ""),
+        }
+        doc["points"].append(point)
+        print(f"appended {report['scenario']} point seq={seq} from {report_path}")
+    save_trajectory(trajectory_path, doc)
+
+
+def diff_pair(prev, new, threshold):
+    """Returns (lines, regressions) comparing guarded metrics of two points."""
+    lines = []
+    regressions = []
+    guards = new.get("guards", {})
+    for metric in sorted(guards):
+        better = guards[metric]
+        if metric not in new.get("metrics", {}) or metric not in prev.get("metrics", {}):
+            continue
+        old_value = prev["metrics"][metric]
+        new_value = new["metrics"][metric]
+        if old_value == 0:
+            delta = 0.0 if new_value == 0 else float("inf")
+        else:
+            delta = (new_value - old_value) / abs(old_value)
+        regressed = (better == "lower" and delta > threshold) or (
+            better == "higher" and delta < -threshold
+        )
+        marker = "REGRESSION" if regressed else "ok"
+        lines.append(
+            f"  {metric:30s} {old_value:>14.6g} -> {new_value:>14.6g} "
+            f"({delta:+.1%}, {better} is better) {marker}"
+        )
+        if regressed:
+            regressions.append(
+                f"{new['scenario']}: {metric} went {old_value:g} -> {new_value:g} "
+                f"({delta:+.1%}; {better} is better, threshold {threshold:.0%})"
+            )
+    return lines, regressions
+
+
+def latest_pairs(doc):
+    """Yields (prev, new) for each scenario: the two most recent points with
+    the newest point's config."""
+    by_scenario = {}
+    for point in doc["points"]:
+        by_scenario.setdefault(point["scenario"], []).append(point)
+    for scenario in sorted(by_scenario):
+        points = by_scenario[scenario]
+        new = points[-1]
+        same_config = [p for p in points if config_key(p) == config_key(new)]
+        prev = same_config[-2] if len(same_config) >= 2 else None
+        yield scenario, prev, new
+
+
+def check(trajectory_path, threshold, scenarios, required):
+    doc = load_trajectory(trajectory_path)
+    present = {p["scenario"] for p in doc["points"]}
+    missing = [s for s in required if s not in present]
+    if missing:
+        print(f"FAIL: no trajectory point for required scenario(s): {', '.join(missing)}")
+        return 1
+    all_regressions = []
+    for scenario, prev, new in latest_pairs(doc):
+        if scenarios and scenario not in scenarios:
+            continue
+        if prev is None:
+            print(f"{scenario}: single point (seq={new['seq']}), nothing to diff")
+            continue
+        print(f"{scenario}: seq={prev['seq']} -> seq={new['seq']}")
+        lines, regressions = diff_pair(prev, new, threshold)
+        for line in lines:
+            print(line)
+        all_regressions.extend(regressions)
+    if all_regressions:
+        print("\nFAIL: performance trajectory regressed:")
+        for regression in all_regressions:
+            print(f"  {regression}")
+        return 1
+    print("\nok: no guarded metric regressed beyond "
+          f"{threshold:.0%} (scenarios: {', '.join(sorted(present))})")
+    return 0
+
+
+def diff(trajectory_path):
+    doc = load_trajectory(trajectory_path)
+    for scenario, prev, new in latest_pairs(doc):
+        if prev is None:
+            print(f"{scenario}: single point (seq={new['seq']})")
+            continue
+        print(f"{scenario}: seq={prev['seq']} -> seq={new['seq']}")
+        lines, _ = diff_pair(prev, new, DEFAULT_THRESHOLD)
+        for line in lines:
+            print(line)
+    return 0
+
+
+def selftest():
+    """Proves the gate trips: a synthetic 20% regression must fail check."""
+
+    def point(seq, p99, goodput):
+        return {
+            "seq": seq,
+            "label": "selftest",
+            "scenario": "cluster_scale",
+            "config": {"hosts": 8},
+            "metrics": {"p99_ms": p99, "goodput_rps": goodput},
+            "guards": {"p99_ms": "lower", "goodput_rps": "higher"},
+            "digest": "0",
+        }
+
+    def run_case(name, points, expect_fail):
+        doc = {"schema": SCHEMA, "points": points}
+        regressions = []
+        for _, prev, new in latest_pairs(doc):
+            if prev is not None:
+                _, case_regressions = diff_pair(prev, new, DEFAULT_THRESHOLD)
+                regressions.extend(case_regressions)
+        failed = bool(regressions)
+        status = "ok" if failed == expect_fail else "SELFTEST BUG"
+        print(f"  {name}: regressions={len(regressions)} expected_fail={expect_fail} {status}")
+        return failed == expect_fail
+
+    cases = [
+        ("20% latency regression trips", [point(1, 100.0, 5000.0), point(2, 120.0, 5000.0)], True),
+        ("20% goodput drop trips", [point(1, 100.0, 5000.0), point(2, 100.0, 4000.0)], True),
+        ("5% wobble passes", [point(1, 100.0, 5000.0), point(2, 105.0, 4800.0)], False),
+        ("identical rerun passes", [point(1, 100.0, 5000.0), point(2, 100.0, 5000.0)], False),
+        (
+            "config change is not compared",
+            [
+                {**point(1, 100.0, 5000.0), "config": {"hosts": 64}},
+                point(2, 1000.0, 100.0),
+            ],
+            False,
+        ),
+    ]
+    ok = all(run_case(*case) for case in cases)
+    print("selftest: " + ("ok" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail_usage("missing command")
+    command = argv[1]
+    trajectory = None
+    label = "local"
+    threshold = DEFAULT_THRESHOLD
+    scenarios = []
+    required = DEFAULT_REQUIRED
+    reports = []
+    for arg in argv[2:]:
+        if arg.startswith("--trajectory="):
+            trajectory = arg.split("=", 1)[1]
+        elif arg.startswith("--label="):
+            label = arg.split("=", 1)[1]
+        elif arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--scenarios="):
+            scenarios = [s for s in arg.split("=", 1)[1].split(",") if s]
+        elif arg.startswith("--require="):
+            required = [s for s in arg.split("=", 1)[1].split(",") if s]
+        elif arg.startswith("--"):
+            fail_usage(f"unknown flag {arg}")
+        else:
+            reports.append(arg)
+
+    if command == "selftest":
+        return selftest()
+    if trajectory is None:
+        fail_usage(f"{command} needs --trajectory=FILE")
+    if command == "append":
+        if not reports:
+            fail_usage("append needs at least one report.json")
+        append(trajectory, reports, label)
+        return 0
+    if command == "check":
+        return check(trajectory, threshold, scenarios, required)
+    if command == "diff":
+        return diff(trajectory)
+    fail_usage(f"unknown command {command}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

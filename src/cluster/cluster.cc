@@ -14,6 +14,7 @@ Cluster::Cluster(fwsim::Simulation& sim, std::vector<std::unique_ptr<ClusterHost
     : sim_(sim),
       config_(config),
       obs_([this] { return sim_.Now(); }),
+      slo_(config.slo, config.sample_interval, &obs_),
       scheduler_(MakeScheduler(config.policy, static_cast<int>(hosts.size()),
                                config.vnodes_per_host)),
       health_(std::make_unique<FailureDetector>(static_cast<int>(hosts.size()),
@@ -26,6 +27,11 @@ Cluster::Cluster(fwsim::Simulation& sim, std::vector<std::unique_ptr<ClusterHost
   FW_CHECK(!hosts.empty());
   FW_CHECK(config.workers_per_host > 0);
   FW_CHECK(config.max_attempts >= 1);
+  // Attribute the shared simulation's dispatch cost to the cluster profiler
+  // (disabled by default: one branch per event until someone Enables it).
+  sim_.set_profiler(&obs_.profiler());
+  dispatch_scope_ = obs_.profiler().RegisterScope("cluster.dispatch");
+  invoke_scope_ = obs_.profiler().RegisterScope("cluster.worker.invoke");
   hosts_.resize(hosts.size());
   for (size_t i = 0; i < hosts.size(); ++i) {
     hosts_[i].host = std::move(hosts[i]);
@@ -110,6 +116,7 @@ uint64_t Cluster::Submit(const std::string& fn_name, const std::string& args,
 }
 
 void Cluster::Dispatch(Request req, int exclude_host) {
+  FW_PROFILE_SCOPE_ID(&obs_.profiler(), dispatch_scope_);
   std::vector<HostView> views = Views();
   if (exclude_host >= 0 && exclude_host < static_cast<int>(views.size())) {
     // Skip the host that just failed this request (or the hedge primary's
@@ -198,6 +205,7 @@ void Cluster::RecordFailure(const Request& req, Status status) {
   ++out.completions;
   ++failed_;
   obs_.metrics().GetCounter("cluster.failed").Increment();
+  slo_.Record(req.fn, /*good=*/false);
 }
 
 void Cluster::RecordCompletion(const Request& req, const fwcore::InvocationResult& result,
@@ -221,6 +229,7 @@ void Cluster::RecordCompletion(const Request& req, const fwcore::InvocationResul
   }
   startup_ms_.Add(result.startup.millis());
   obs_.metrics().GetCounter("cluster.completed").Increment();
+  slo_.Record(req.fn, /*good=*/out.latency <= config_.slo.target);
   if (warm_hit) {
     obs_.metrics().GetCounter("cluster.warm_hits").Increment();
   }
@@ -357,6 +366,10 @@ fwsim::Co<void> Cluster::Worker(int host_index) {
                                       config_.slow_host_mean_delay));
     }
     Result<fwcore::InvocationResult> result = Status::Internal("not run");
+    // Detached profiler frame: the invocation spans awaits, so it gets
+    // sim-time attribution only and never parents interleaved event scopes.
+    const uint64_t prof_token =
+        obs_.profiler().enabled() ? obs_.profiler().EnterDetached(invoke_scope_) : 0;
     {
       fwobs::ScopedSpan span(&obs_.tracer(), "cluster.invoke", "cluster");
       span.SetAttribute("host", static_cast<uint64_t>(host_index));
@@ -371,6 +384,7 @@ fwsim::Co<void> Cluster::Worker(int host_index) {
       }
       result = co_await hs.host->Invoke(req.fn, req.args, budget);
     }
+    obs_.profiler().Exit(prof_token);
     // Observed dequeue→response time feeds the admission controller's wait
     // estimate (failures included: they hold the worker just the same).
     admission_.RecordService(host_index, sim_.Now() - service_start);
@@ -530,14 +544,29 @@ fwsim::Co<void> Cluster::Sampler() {
     }
     double pss = 0.0;
     uint64_t vms = 0;
+    uint64_t alive = 0;
+    uint64_t queued = 0;
+    uint64_t inflight = 0;
+    uint64_t warm_hits = 0;
     for (const auto& hs : hosts_) {
       pss += hs.host->PssBytes();
       vms += hs.host->LiveVmCount();
+      alive += hs.alive ? 1 : 0;
+      queued += hs.queue->size();
+      inflight += static_cast<uint64_t>(std::max<int64_t>(hs.inflight, 0));
+      warm_hits += hs.host->warm_hits();
     }
     peak_pss_bytes_ = std::max(peak_pss_bytes_, pss);
     peak_live_vms_ = std::max(peak_live_vms_, vms);
     obs_.metrics().GetGauge("cluster.pss_bytes").Set(pss);
     obs_.metrics().GetGauge("cluster.live_vms").Set(static_cast<double>(vms));
+    // Fleet-wide rollup gauges: per-host state aggregated at the front end,
+    // so one scrape of the cluster registry describes the whole fleet.
+    obs_.metrics().GetGauge("fleet.hosts.alive").Set(static_cast<double>(alive));
+    obs_.metrics().GetGauge("fleet.queue.depth").Set(static_cast<double>(queued));
+    obs_.metrics().GetGauge("fleet.inflight").Set(static_cast<double>(inflight));
+    obs_.metrics().GetGauge("fleet.warm_hits").Set(static_cast<double>(warm_hits));
+    slo_.Tick();
   }
 }
 
@@ -638,6 +667,11 @@ Cluster::Rollup Cluster::ComputeRollup() const {
   r.startup_ms = startup_ms_;
   r.peak_pss_bytes = peak_pss_bytes_;
   r.peak_live_vms = peak_live_vms_;
+  r.slo_total = slo_.total();
+  r.slo_good = slo_.good();
+  r.slo_alerts = slo_.alerts();
+  r.slo_attainment = slo_.Attainment();
+  r.slo_worst_attainment = slo_.WorstAttainment();
   return r;
 }
 

@@ -53,6 +53,7 @@
 #include "src/cluster/health.h"
 #include "src/cluster/host.h"
 #include "src/cluster/scheduler.h"
+#include "src/cluster/slo.h"
 #include "src/fault/fault.h"
 #include "src/obs/observability.h"
 #include "src/simcore/primitives.h"
@@ -80,8 +81,14 @@ class Cluster {
     double autoscale_safety = 1.5;
     int max_pool_per_app = 8;
 
-    // Sampling period for the cluster-wide memory/density gauges.
+    // Sampling period for the cluster-wide memory/density gauges, the
+    // fleet-wide rollup gauges, and the SLO monitor's bucket ring.
     Duration sample_interval = Duration::Millis(250);
+
+    // Per-app latency SLO + multi-window burn-rate alerting (slo.h). Always
+    // on: recording is pure bookkeeping off outcomes the front end already
+    // tracks, and benches read the attainment out of the rollup.
+    SloConfig slo;
 
     // --- Overload control & health (DESIGN.md §11) -----------------------
     // Heartbeat-driven failure detection. When false the front end falls
@@ -192,6 +199,14 @@ class Cluster {
     fwbase::SampleStats startup_ms;
     double peak_pss_bytes = 0.0;
     uint64_t peak_live_vms = 0;
+    // SLO health (slo.h): a request is "good" when it completes OK within
+    // Config::slo.target; attainment is good/total across every terminal
+    // outcome, worst_attainment the minimum per-app value.
+    uint64_t slo_total = 0;
+    uint64_t slo_good = 0;
+    uint64_t slo_alerts = 0;
+    double slo_attainment = 1.0;
+    double slo_worst_attainment = 1.0;
   };
 
   // Outcome of request `id` (valid once terminal).
@@ -212,8 +227,12 @@ class Cluster {
   // The failure detector's view (only meaningful with health_checks on).
   const FailureDetector& detector() const { return *health_; }
   // Cluster-level observability (per-host metrics live on each FullHost's
-  // own HostEnv). Enable obs().tracer() for cluster spans.
+  // own HostEnv). Enable obs().tracer() for cluster spans, obs().profiler()
+  // for sim/wall hot-scope attribution (the ctor hooks it into the shared
+  // Simulation's dispatch path).
   fwobs::Observability& obs() { return obs_; }
+  // SLO attainment + burn-rate alerting state (read-only; fed internally).
+  const SloMonitor& slo() const { return slo_; }
 
  private:
   struct Request {
@@ -286,6 +305,9 @@ class Cluster {
   fwsim::Simulation& sim_;
   Config config_;
   fwobs::Observability obs_;
+  SloMonitor slo_;
+  fwobs::ProfScopeId dispatch_scope_ = 0;
+  fwobs::ProfScopeId invoke_scope_ = 0;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<FailureDetector> health_;
   AdmissionController admission_;

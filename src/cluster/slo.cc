@@ -1,0 +1,140 @@
+#include "src/cluster/slo.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/strings.h"
+
+namespace fwcluster {
+
+namespace {
+
+size_t BucketsFor(Duration window, Duration tick) {
+  FW_CHECK(tick.nanos() > 0);
+  const int64_t n = (window.nanos() + tick.nanos() - 1) / tick.nanos();
+  return static_cast<size_t>(std::max<int64_t>(n, 1));
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(const SloConfig& config, Duration tick, fwobs::Observability* obs)
+    : config_(config),
+      obs_(obs),
+      fast_buckets_(BucketsFor(config.fast_window, tick)),
+      slow_buckets_(BucketsFor(config.slow_window, tick)) {
+  FW_CHECK_MSG(config.objective > 0.0 && config.objective < 1.0,
+               "SLO objective must be in (0, 1)");
+  slow_buckets_ = std::max(slow_buckets_, fast_buckets_);
+}
+
+void SloMonitor::Record(const std::string& app, bool good) {
+  AppState& state = apps_[app];
+  if (state.ring.empty()) {
+    state.ring.resize(slow_buckets_);
+  }
+  state.total += 1;
+  total_ += 1;
+  if (good) {
+    state.good += 1;
+    good_ += 1;
+  } else {
+    state.ring[head_].bad += 1;
+  }
+  state.ring[head_].total += 1;
+}
+
+double SloMonitor::BurnOver(const AppState& state, size_t buckets) const {
+  uint64_t total = 0;
+  uint64_t bad = 0;
+  // Sum the `buckets` most recent buckets, open bucket included.
+  for (size_t k = 0; k < buckets; ++k) {
+    const size_t i = (head_ + state.ring.size() - k) % state.ring.size();
+    total += state.ring[i].total;
+    bad += state.ring[i].bad;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const double error_rate = static_cast<double>(bad) / static_cast<double>(total);
+  return error_rate / (1.0 - config_.objective);
+}
+
+void SloMonitor::Tick() {
+  for (auto& [app, state] : apps_) {
+    state.burn_fast = BurnOver(state, fast_buckets_);
+    state.burn_slow = BurnOver(state, slow_buckets_);
+    // Edge-triggered, with hysteresis on the fast window: the alert fires
+    // when both windows burn too hot, and clears once the fast window cools
+    // (the slow window alone would hold the alert long after recovery).
+    if (!state.alerting && state.burn_fast >= config_.burn_threshold &&
+        state.burn_slow >= config_.burn_threshold) {
+      state.alerting = true;
+      state.alerts += 1;
+      alerts_ += 1;
+      if (obs_ != nullptr) {
+        obs_->metrics().GetCounter("slo.alerts", app).Increment();
+        // Instant span: an annotation on the timeline, not a timed region.
+        fwobs::ScopedSpan span(&obs_->tracer(), "slo.alert", "slo");
+        span.SetAttribute("app", app);
+        span.SetAttribute("burn_fast", state.burn_fast);
+        span.SetAttribute("burn_slow", state.burn_slow);
+        span.SetAttribute("attainment", state.total == 0 ? 1.0 : static_cast<double>(state.good) /
+                                                                     static_cast<double>(state.total));
+      }
+    } else if (state.alerting && state.burn_fast < config_.burn_threshold) {
+      state.alerting = false;
+      if (obs_ != nullptr) {
+        fwobs::ScopedSpan span(&obs_->tracer(), "slo.alert_cleared", "slo");
+        span.SetAttribute("app", app);
+      }
+    }
+    if (obs_ != nullptr) {
+      obs_->metrics().GetGauge("slo.burn.fast", app).Set(state.burn_fast);
+      obs_->metrics().GetGauge("slo.burn.slow", app).Set(state.burn_slow);
+      obs_->metrics()
+          .GetGauge("slo.attainment", app)
+          .Set(state.total == 0
+                   ? 1.0
+                   : static_cast<double>(state.good) / static_cast<double>(state.total));
+    }
+  }
+  // Advance the shared ring head and open a fresh bucket in every app.
+  head_ = (head_ + 1) % slow_buckets_;
+  for (auto& [app, state] : apps_) {
+    state.ring[head_] = Bucket{};
+  }
+}
+
+std::vector<SloMonitor::AppReport> SloMonitor::Reports() const {
+  std::vector<AppReport> reports;
+  reports.reserve(apps_.size());
+  for (const auto& [app, state] : apps_) {
+    AppReport report;
+    report.app = app;
+    report.total = state.total;
+    report.good = state.good;
+    report.alerts = state.alerts;
+    report.alerting = state.alerting;
+    report.burn_fast = state.burn_fast;
+    report.burn_slow = state.burn_slow;
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+double SloMonitor::Attainment() const {
+  return total_ == 0 ? 1.0 : static_cast<double>(good_) / static_cast<double>(total_);
+}
+
+double SloMonitor::WorstAttainment() const {
+  double worst = 1.0;
+  for (const auto& [app, state] : apps_) {
+    if (state.total > 0) {
+      worst = std::min(worst,
+                       static_cast<double>(state.good) / static_cast<double>(state.total));
+    }
+  }
+  return worst;
+}
+
+}  // namespace fwcluster

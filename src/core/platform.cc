@@ -25,9 +25,16 @@ HostEnv::HostEnv(std::unique_ptr<fwsim::Simulation> owned, fwsim::Simulation* bo
       host_fs_(sim_, disk_, fwstore::FsKind::kHostDirect),
       db_(sim_, host_fs_) {
   memory_.set_metrics(&obs_.metrics());
+  memory_.set_profiler(&obs_.profiler());
   snapshot_store_.set_observability(&obs_);
   broker_.set_observability(&obs_);
   fault_injector_.set_observability(&obs_);
+  if (owned_sim_ != nullptr) {
+    // This env is the simulation's only tenant: attribute kernel dispatch to
+    // its profiler. A borrowed sim (multi-host cluster) keeps whatever its
+    // owner installed.
+    owned_sim_->set_profiler(&obs_.profiler());
+  }
   disk_.set_fault_injector(&fault_injector_);
   snapshot_store_.set_fault_injector(&fault_injector_);
   broker_.set_fault_injector(&fault_injector_);

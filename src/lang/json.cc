@@ -163,6 +163,45 @@ class Parser {
     }
   }
 
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Error("truncated \\u escape");
+    }
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<uint32_t>(h - 'A' + 10);
+      } else {
+        return Error(StrFormat("bad hex digit '%c' in \\u escape", h));
+      }
+    }
+    return code;
+  }
+
+  static void AppendUtf8(std::string& out, uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
   Result<std::string> ParseString() {
     ++pos_;  // '"'
     std::string out;
@@ -203,6 +242,34 @@ class Parser {
           case 'f':
             out.push_back('\f');
             break;
+          case 'u': {
+            // \uXXXX, decoded to UTF-8. Surrogate pairs combine; an unpaired
+            // surrogate is replaced with U+FFFD rather than rejected, matching
+            // the exporters, which emit \u00XX for bytes that were never valid
+            // UTF-8 to begin with.
+            auto cp = ParseHex4();
+            if (!cp.ok()) {
+              return cp.status();
+            }
+            uint32_t code = *cp;
+            if (code >= 0xD800 && code <= 0xDBFF && pos_ + 1 < text_.size() &&
+                text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              auto lo = ParseHex4();
+              if (!lo.ok()) {
+                return lo.status();
+              }
+              if (*lo >= 0xDC00 && *lo <= 0xDFFF) {
+                code = 0x10000 + ((code - 0xD800) << 10) + (*lo - 0xDC00);
+              } else {
+                code = 0xFFFD;
+              }
+            } else if (code >= 0xD800 && code <= 0xDFFF) {
+              code = 0xFFFD;
+            }
+            AppendUtf8(out, code);
+            break;
+          }
           default:
             return Status::InvalidArgument(
                 StrFormat("JSON parse error at offset %zu: unsupported escape '\\%c'", pos_ - 1,

@@ -175,6 +175,7 @@ FaultCounts AddressSpace::AccessRange(SegmentId seg, uint64_t first, uint64_t co
                                       bool write) {
   FW_CHECK(!unmapped_);
   FW_CHECK(seg < segments_.size());
+  FW_PROFILE_SCOPE_ID(host_.profiler(), host_.page_walk_scope());
   const auto& layout = segments_[seg];
   FW_CHECK_MSG(first + count <= layout.pages, "access beyond segment end");
   FaultCounts out;

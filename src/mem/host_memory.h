@@ -13,6 +13,7 @@
 
 #include "src/base/units.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 
 namespace fwmem {
 
@@ -26,6 +27,16 @@ class HostMemory {
   // ("mem.host.used_bytes" gauge, "mem.frame.alloc.count" counter). The
   // registry must outlive this object.
   void set_metrics(fwobs::MetricsRegistry* metrics);
+
+  // Optional: attribute page-table-walk cost on every AddressSpace backed by
+  // this host to the profiler's "mem.page_walk" scope. The profiler must
+  // outlive this object; pass nullptr to detach.
+  void set_profiler(fwobs::Profiler* profiler) {
+    profiler_ = profiler;
+    page_walk_scope_ = profiler == nullptr ? 0 : profiler->RegisterScope("mem.page_walk");
+  }
+  fwobs::Profiler* profiler() const { return profiler_; }
+  fwobs::ProfScopeId page_walk_scope() const { return page_walk_scope_; }
 
   void AllocFrames(uint64_t n);
   void FreeFrames(uint64_t n);
@@ -53,6 +64,8 @@ class HostMemory {
   uint64_t total_freed_frames_ = 0;
   fwobs::Gauge* used_bytes_gauge_ = nullptr;
   fwobs::Counter* alloc_counter_ = nullptr;
+  fwobs::Profiler* profiler_ = nullptr;
+  fwobs::ProfScopeId page_walk_scope_ = 0;
 };
 
 }  // namespace fwmem

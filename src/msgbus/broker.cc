@@ -20,6 +20,9 @@ Broker::Broker(fwsim::Simulation& sim, const Config& config) : sim_(sim), config
 
 void Broker::set_observability(fwobs::Observability* obs) {
   tracer_ = &obs->tracer();
+  profiler_ = &obs->profiler();
+  produce_scope_ = profiler_->RegisterScope("bus.produce.commit");
+  consume_scope_ = profiler_->RegisterScope("bus.consume.fetch");
   produce_counter_ = &obs->metrics().GetCounter("bus.produce.count");
   consume_counter_ = &obs->metrics().GetCounter("bus.consume.count");
   produce_latency_ = &obs->metrics().GetHistogram("bus.produce.micros");
@@ -28,6 +31,7 @@ void Broker::set_observability(fwobs::Observability* obs) {
 }
 
 void Broker::RecordConsume(fwbase::SimTime t0) {
+  FW_PROFILE_SCOPE_ID(profiler_, consume_scope_);
   ++records_consumed_;
   if (consume_counter_ != nullptr) {
     consume_counter_->Increment();
@@ -94,6 +98,9 @@ fwsim::Co<Result<int64_t>> Broker::Produce(const std::string& topic, int partiti
     co_await fwsim::Delay(
         sim_, injector_->SampleDelay(fwfault::FaultKind::kBrokerDelayMessage, kDelayFaultMean));
   }
+  // No co_await below: the commit (append + metrics + wakeup) is synchronous
+  // bookkeeping, which is exactly what the profiler scope attributes.
+  FW_PROFILE_SCOPE_ID(profiler_, produce_scope_);
   Partition& p = **part;
   record.offset = static_cast<int64_t>(p.log.size());
   const int64_t offset = record.offset;

@@ -116,6 +116,9 @@ class Broker {
   uint64_t records_produced_ = 0;
   uint64_t records_consumed_ = 0;
   fwobs::Tracer* tracer_ = nullptr;
+  fwobs::Profiler* profiler_ = nullptr;
+  fwobs::ProfScopeId produce_scope_ = 0;
+  fwobs::ProfScopeId consume_scope_ = 0;
   fwobs::Counter* produce_counter_ = nullptr;
   fwobs::Counter* consume_counter_ = nullptr;
   fwobs::Histogram* produce_latency_ = nullptr;

@@ -1,37 +1,105 @@
 #include "src/obs/export.h"
 
+#include <algorithm>
+
 #include "src/base/strings.h"
 
 namespace fwobs {
 namespace {
 
-// Minimal JSON string escaping (quotes, backslashes, control characters).
-// Local on purpose: obs sits below fwlang and cannot use its JSON helpers.
+// Length of the valid UTF-8 sequence starting at s[i], or 0 if the bytes
+// there are not well-formed UTF-8 (truncated sequence, bad continuation
+// byte, overlong encoding, surrogate, or > U+10FFFF).
+size_t Utf8SequenceLength(const std::string& s, size_t i) {
+  const unsigned char lead = static_cast<unsigned char>(s[i]);
+  size_t len;
+  unsigned char lo = 0x80;
+  unsigned char hi = 0xbf;
+  if (lead < 0x80) {
+    return 1;
+  } else if (lead >= 0xc2 && lead <= 0xdf) {
+    len = 2;
+  } else if (lead >= 0xe0 && lead <= 0xef) {
+    len = 3;
+    if (lead == 0xe0) {
+      lo = 0xa0;  // reject overlong
+    } else if (lead == 0xed) {
+      hi = 0x9f;  // reject UTF-16 surrogates
+    }
+  } else if (lead >= 0xf0 && lead <= 0xf4) {
+    len = 4;
+    if (lead == 0xf0) {
+      lo = 0x90;  // reject overlong
+    } else if (lead == 0xf4) {
+      hi = 0x8f;  // reject > U+10FFFF
+    }
+  } else {
+    return 0;  // 0x80..0xc1 and 0xf5..0xff are never lead bytes
+  }
+  if (i + len > s.size()) {
+    return 0;
+  }
+  for (size_t k = 1; k < len; ++k) {
+    const unsigned char c = static_cast<unsigned char>(s[i + k]);
+    const unsigned char min = (k == 1) ? lo : 0x80;
+    const unsigned char max = (k == 1) ? hi : 0xbf;
+    if (c < min || c > max) {
+      return 0;
+    }
+  }
+  return len;
+}
+
+// JSON string escaping. Local on purpose: obs sits below fwlang and cannot
+// use its JSON helpers. Span names and attribute values are arbitrary bytes
+// (workload traces put user strings in them), so beyond the mandatory
+// escapes this validates UTF-8 and renders any invalid byte as \u00XX —
+// the output document is always valid UTF-8 JSON that chrome://tracing and
+// strict parsers accept.
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
   out += '"';
-  for (char c : s) {
+  for (size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
       case '"':
         out += "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         out += "\\\\";
-        break;
+        ++i;
+        continue;
       case '\n':
         out += "\\n";
-        break;
+        ++i;
+        continue;
       case '\t':
         out += "\\t";
-        break;
+        ++i;
+        continue;
+      case '\r':
+        out += "\\r";
+        ++i;
+        continue;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += fwbase::StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
+        break;
     }
+    const unsigned char byte = static_cast<unsigned char>(c);
+    if (byte < 0x20) {
+      out += fwbase::StrFormat("\\u%04x", byte);
+      ++i;
+      continue;
+    }
+    const size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) {
+      out += fwbase::StrFormat("\\u%04x", byte);  // invalid UTF-8 byte
+      ++i;
+      continue;
+    }
+    out.append(s, i, len);
+    i += len;
   }
   out += '"';
   return out;
@@ -83,5 +151,77 @@ std::string ChromeTraceJson(const Tracer& tracer, const std::string& process_nam
 }
 
 std::string MetricsText(const MetricsRegistry& metrics) { return metrics.ToText(); }
+
+namespace {
+
+// Exclusive time per path node in one dimension: total minus direct-child
+// totals, clamped at zero (out-of-order exits; see profiler.h).
+std::vector<int64_t> SelfNanos(const std::vector<Profiler::PathNode>& nodes, ProfileDim dim) {
+  std::vector<int64_t> self(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    self[i] = dim == ProfileDim::kWall ? nodes[i].wall_total_nanos : nodes[i].sim_total_nanos;
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].parent >= 0) {
+      self[nodes[i].parent] -=
+          dim == ProfileDim::kWall ? nodes[i].wall_total_nanos : nodes[i].sim_total_nanos;
+    }
+  }
+  for (int64_t& v : self) {
+    v = std::max<int64_t>(v, 0);
+  }
+  return self;
+}
+
+std::string PathString(const Profiler& profiler, size_t node_index) {
+  const auto& nodes = profiler.nodes();
+  std::vector<const std::string*> parts;
+  for (int32_t i = static_cast<int32_t>(node_index); i >= 0; i = nodes[i].parent) {
+    parts.push_back(&profiler.scope_name(nodes[i].scope));
+  }
+  std::string path;
+  for (size_t i = parts.size(); i > 0; --i) {
+    if (!path.empty()) {
+      path += ';';
+    }
+    path += *parts[i - 1];
+  }
+  return path;
+}
+
+}  // namespace
+
+std::string ProfilerCollapsed(const Profiler& profiler, ProfileDim dim) {
+  const std::vector<int64_t> self = SelfNanos(profiler.nodes(), dim);
+  std::vector<std::string> lines;
+  for (size_t i = 0; i < self.size(); ++i) {
+    if (self[i] <= 0) {
+      continue;
+    }
+    lines.push_back(fwbase::StrFormat("%s %lld\n", PathString(profiler, i).c_str(),
+                                      static_cast<long long>(self[i])));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+  }
+  return out;
+}
+
+std::string ProfilerTopN(const Profiler& profiler, size_t n) {
+  std::string out = fwbase::StrFormat("%-36s %12s %14s %14s %14s %14s\n", "scope", "calls",
+                                      "wall self", "wall total", "sim self", "sim total");
+  for (const Profiler::ScopeTotals& t : profiler.TopN(n)) {
+    out += fwbase::StrFormat(
+        "%-36s %12llu %14s %14s %14s %14s\n", t.name.c_str(),
+        static_cast<unsigned long long>(t.calls),
+        fwbase::Duration::Nanos(t.wall_self_nanos).ToString().c_str(),
+        fwbase::Duration::Nanos(t.wall_total_nanos).ToString().c_str(),
+        fwbase::Duration::Nanos(t.sim_self_nanos).ToString().c_str(),
+        fwbase::Duration::Nanos(t.sim_total_nanos).ToString().c_str());
+  }
+  return out;
+}
 
 }  // namespace fwobs

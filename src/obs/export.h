@@ -11,10 +11,12 @@
 #ifndef FIREWORKS_SRC_OBS_EXPORT_H_
 #define FIREWORKS_SRC_OBS_EXPORT_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 
 namespace fwobs {
@@ -41,6 +43,22 @@ std::string ChromeTraceJson(const Tracer& tracer, const std::string& process_nam
 
 // Human-readable dump of every registered metric.
 std::string MetricsText(const MetricsRegistry& metrics);
+
+// Which profiler clock a report renders.
+enum class ProfileDim {
+  kWall,  // host wall time — where the simulator binary burns CPU
+  kSim,   // simulated time — where modeled latency accrues
+};
+
+// Collapsed-stack ("folded") flamegraph lines: one "root;child;leaf <nanos>"
+// line per call path with nonzero exclusive time in `dim`, sorted by path.
+// Feeds flamegraph.pl / speedscope / inferno unmodified.
+std::string ProfilerCollapsed(const Profiler& profiler, ProfileDim dim = ProfileDim::kWall);
+
+// Human-readable top-N table of the hottest scopes (ranked like
+// Profiler::TopN: max of wall self and sim self), with calls and self/total
+// attribution in both dimensions.
+std::string ProfilerTopN(const Profiler& profiler, size_t n = 10);
 
 }  // namespace fwobs
 

@@ -65,9 +65,9 @@ std::string MetricsRegistry::ToText() const {
       continue;
     }
     out += fwbase::StrFormat(
-        "histogram %-44s count=%lld mean=%.1f p50=%.1f p99=%.1f max=%.1f\n",
-        RenderKey(key).c_str(), static_cast<long long>(stats.count()), stats.mean(),
-        stats.Percentile(50.0), stats.Percentile(99.0), stats.max());
+        "histogram %-44s count=%lld min=%.1f mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+        RenderKey(key).c_str(), static_cast<long long>(stats.count()), stats.min(), stats.mean(),
+        stats.Percentile(50.0), stats.Percentile(95.0), stats.Percentile(99.0), stats.max());
   }
   return out;
 }

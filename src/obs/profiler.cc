@@ -1,0 +1,192 @@
+#include "src/obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/base/check.h"
+
+namespace fwobs {
+namespace {
+
+// Host wall clock. Readings are report-only: they never feed back into the
+// simulation (see the determinism contract in profiler.h).
+int64_t WallNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t ClampNonNegative(int64_t v) { return v < 0 ? 0 : v; }
+
+// Per-node exclusive time: total minus the totals of direct children,
+// clamped at zero. Out-of-order exits can make a child nominally outlive
+// its parent; clamping keeps self times additive-ish rather than negative.
+void ComputeSelf(const std::vector<Profiler::PathNode>& nodes, std::vector<int64_t>& sim_self,
+                 std::vector<int64_t>& wall_self) {
+  sim_self.resize(nodes.size());
+  wall_self.resize(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    sim_self[i] = nodes[i].sim_total_nanos;
+    wall_self[i] = nodes[i].wall_total_nanos;
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].parent >= 0) {
+      sim_self[nodes[i].parent] -= nodes[i].sim_total_nanos;
+      wall_self[nodes[i].parent] -= nodes[i].wall_total_nanos;
+    }
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    sim_self[i] = ClampNonNegative(sim_self[i]);
+    wall_self[i] = ClampNonNegative(wall_self[i]);
+  }
+}
+
+}  // namespace
+
+Profiler::Profiler(SimClockFn clock) : clock_(std::move(clock)) {
+  FW_CHECK_MSG(clock_ != nullptr, "profiler needs a sim clock");
+}
+
+ProfScopeId Profiler::RegisterScope(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const ProfScopeId id = static_cast<ProfScopeId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+uint32_t Profiler::FindOrCreateNode(int32_t parent, ProfScopeId scope) {
+  const auto key = std::make_pair(parent, scope);
+  auto it = node_index_.find(key);
+  if (it != node_index_.end()) {
+    return it->second;
+  }
+  const uint32_t index = static_cast<uint32_t>(nodes_.size());
+  PathNode node;
+  node.scope = scope;
+  node.parent = parent;
+  nodes_.push_back(node);
+  node_index_.emplace(key, index);
+  return index;
+}
+
+uint64_t Profiler::EnterFrame(ProfScopeId scope, bool detached) {
+  if (!enabled_) {
+    return 0;
+  }
+  FW_CHECK_MSG(scope < names_.size(), "unregistered profiler scope");
+  int32_t parent = -1;
+  if (!detached) {
+    // Innermost open *attached* frame; detached frames never become parents,
+    // so scopes from events interleaved into an await window stay rooted at
+    // their true (synchronous) context.
+    for (size_t i = open_.size(); i > 0; --i) {
+      if (!open_[i - 1].detached) {
+        parent = static_cast<int32_t>(open_[i - 1].node);
+        break;
+      }
+    }
+  }
+  Frame frame;
+  frame.token = next_token_++;
+  frame.node = FindOrCreateNode(parent, scope);
+  frame.detached = detached;
+  frame.sim_start = clock_();
+  frame.wall_start_nanos = detached ? 0 : WallNanos();
+  open_.push_back(frame);
+  return frame.token;
+}
+
+uint64_t Profiler::Enter(ProfScopeId scope) { return EnterFrame(scope, /*detached=*/false); }
+
+uint64_t Profiler::EnterDetached(ProfScopeId scope) { return EnterFrame(scope, /*detached=*/true); }
+
+void Profiler::Exit(uint64_t token) {
+  if (token == 0) {
+    return;  // Profiler was disabled when the scope opened.
+  }
+  // Scopes usually close LIFO; coroutine interleaving makes mid-stack exits
+  // legal, same as Tracer::EndSpan.
+  for (size_t i = open_.size(); i > 0; --i) {
+    if (open_[i - 1].token != token) {
+      continue;
+    }
+    const Frame frame = open_[i - 1];
+    open_.erase(open_.begin() + static_cast<ptrdiff_t>(i - 1));
+    PathNode& node = nodes_[frame.node];
+    node.calls += 1;
+    node.sim_total_nanos += (clock_() - frame.sim_start).nanos();
+    if (!frame.detached) {
+      node.wall_total_nanos += WallNanos() - frame.wall_start_nanos;
+    }
+    return;
+  }
+  // Token from before a Reset(): nothing to close.
+}
+
+std::vector<Profiler::ScopeTotals> Profiler::Totals() const {
+  std::vector<int64_t> sim_self;
+  std::vector<int64_t> wall_self;
+  ComputeSelf(nodes_, sim_self, wall_self);
+  std::map<std::string, ScopeTotals> by_name;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const PathNode& node = nodes_[i];
+    ScopeTotals& totals = by_name[names_[node.scope]];
+    totals.name = names_[node.scope];
+    totals.calls += node.calls;
+    totals.sim_total_nanos += node.sim_total_nanos;
+    totals.wall_total_nanos += node.wall_total_nanos;
+    totals.sim_self_nanos += sim_self[i];
+    totals.wall_self_nanos += wall_self[i];
+  }
+  std::vector<ScopeTotals> out;
+  out.reserve(by_name.size());
+  for (auto& [name, totals] : by_name) {
+    out.push_back(totals);
+  }
+  return out;
+}
+
+std::vector<Profiler::ScopeTotals> Profiler::TopN(size_t n) const {
+  std::vector<ScopeTotals> totals = Totals();
+  std::stable_sort(totals.begin(), totals.end(), [](const ScopeTotals& a, const ScopeTotals& b) {
+    const int64_t hot_a = std::max(a.wall_self_nanos, a.sim_self_nanos);
+    const int64_t hot_b = std::max(b.wall_self_nanos, b.sim_self_nanos);
+    if (hot_a != hot_b) {
+      return hot_a > hot_b;
+    }
+    return a.name < b.name;
+  });
+  if (totals.size() > n) {
+    totals.resize(n);
+  }
+  return totals;
+}
+
+void Profiler::Merge(const Profiler& other) {
+  // other.nodes_ is in creation order, so a node's parent always precedes it
+  // and node_map is filled before it is read.
+  std::vector<uint32_t> node_map(other.nodes_.size());
+  for (size_t i = 0; i < other.nodes_.size(); ++i) {
+    const PathNode& theirs = other.nodes_[i];
+    const ProfScopeId scope = RegisterScope(other.names_[theirs.scope]);
+    const int32_t parent =
+        theirs.parent < 0 ? -1 : static_cast<int32_t>(node_map[static_cast<size_t>(theirs.parent)]);
+    const uint32_t index = FindOrCreateNode(parent, scope);
+    node_map[i] = index;
+    nodes_[index].calls += theirs.calls;
+    nodes_[index].sim_total_nanos += theirs.sim_total_nanos;
+    nodes_[index].wall_total_nanos += theirs.wall_total_nanos;
+  }
+}
+
+void Profiler::Reset() {
+  nodes_.clear();
+  node_index_.clear();
+  open_.clear();
+}
+
+}  // namespace fwobs

@@ -29,10 +29,17 @@ Tracer::Tracer(SimClockFn clock) : clock_(std::move(clock)) {
   FW_CHECK_MSG(clock_ != nullptr, "tracer needs a sim clock");
 }
 
+void Tracer::set_profiler(Profiler* profiler) {
+  profiler_ = profiler;
+  bookkeeping_scope_ =
+      profiler == nullptr ? 0 : profiler->RegisterScope("obs.span.bookkeeping");
+}
+
 Span* Tracer::StartSpan(std::string name, std::string category) {
   if (!enabled_) {
     return nullptr;
   }
+  FW_PROFILE_SCOPE_ID(profiler_, bookkeeping_scope_);
   Span& span = spans_.emplace_back();
   span.name_ = std::move(name);
   span.category_ = std::move(category);
@@ -48,6 +55,7 @@ void Tracer::EndSpan(Span* span) {
   if (span == nullptr || span->finished_) {
     return;
   }
+  FW_PROFILE_SCOPE_ID(profiler_, bookkeeping_scope_);
   span->end_ = clock_();
   span->finished_ = true;
   auto it = std::find(stack_.rbegin(), stack_.rend(), span);

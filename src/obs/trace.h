@@ -26,6 +26,7 @@
 
 #include "src/base/units.h"
 #include "src/obs/clock.h"
+#include "src/obs/profiler.h"
 
 namespace fwobs {
 
@@ -108,8 +109,15 @@ class Tracer {
   // Drops every recorded span (invalidates outstanding Span pointers).
   void Clear();
 
+  // Attributes span bookkeeping cost (allocation, parent lookup, mid-stack
+  // removal) to `profiler`'s "obs.span.bookkeeping" scope. Observation only;
+  // pass nullptr to detach. Wired automatically by Observability.
+  void set_profiler(Profiler* profiler);
+
  private:
   SimClockFn clock_;
+  Profiler* profiler_ = nullptr;
+  ProfScopeId bookkeeping_scope_ = 0;
   bool enabled_ = false;
   SpanId next_id_ = 1;
   // Observational buffer, not a dispatch queue: growth tracks completed

@@ -66,8 +66,19 @@ void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
   queue_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
+void Simulation::set_profiler(fwobs::Profiler* profiler) {
+  profiler_ = profiler;
+  if (profiler != nullptr) {
+    dispatch_scope_ = profiler->RegisterScope("sim.event.dispatch");
+    resume_scope_ = profiler->RegisterScope("sim.coro.resume");
+  }
+}
+
 void Simulation::ScheduleResume(Duration delay, std::coroutine_handle<> h) {
-  Schedule(delay, [h] { h.resume(); });
+  Schedule(delay, [this, h] {
+    FW_PROFILE_SCOPE_ID(profiler_, resume_scope_);
+    h.resume();
+  });
 }
 
 uint64_t Simulation::Spawn(Co<void> co) {
@@ -106,7 +117,10 @@ bool Simulation::StepOne() {
   FW_CHECK(ev.when >= now_);
   now_ = ev.when;
   ++events_processed_;
-  ev.fn();
+  {
+    FW_PROFILE_SCOPE_ID(profiler_, dispatch_scope_);
+    ev.fn();
+  }
   ReclaimDeadRoots();
   return true;
 }

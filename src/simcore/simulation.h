@@ -21,6 +21,7 @@
 
 #include "src/base/rng.h"
 #include "src/base/units.h"
+#include "src/obs/profiler.h"
 #include "src/simcore/coro.h"
 
 namespace fwsim {
@@ -69,6 +70,14 @@ class Simulation {
   uint64_t events_processed() const { return events_processed_; }
   size_t live_roots() const { return roots_.size(); }
 
+  // Attributes event-loop dispatch ("sim.event.dispatch") and coroutine
+  // resumption ("sim.coro.resume") cost to `profiler`. Pure observation —
+  // the profiler never perturbs event order or the clock — so instrumented
+  // and uninstrumented runs are bit-identical (tests/profiler_test.cc).
+  // Pass nullptr to detach.
+  void set_profiler(fwobs::Profiler* profiler);
+  fwobs::Profiler* profiler() const { return profiler_; }
+
  private:
   struct Event {
     SimTime when;
@@ -105,6 +114,9 @@ class Simulation {
   std::map<uint64_t, std::coroutine_handle<>> roots_;
   std::vector<uint64_t> dead_roots_;
   fwbase::Rng rng_;
+  fwobs::Profiler* profiler_ = nullptr;
+  fwobs::ProfScopeId dispatch_scope_ = 0;
+  fwobs::ProfScopeId resume_scope_ = 0;
 };
 
 // Awaitable returned by Delay(): suspends the coroutine and resumes it through

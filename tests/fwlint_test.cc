@@ -496,6 +496,91 @@ TEST(AnalyzerTest, CheckFilterRunsOnlyRequestedChecks) {
   EXPECT_EQ(only_det[0].check, "determinism");
 }
 
+// ---------------------------------------------------------------------------
+// hot-path-logging
+// ---------------------------------------------------------------------------
+
+TEST(HotPathLoggingCheckTest, FlagsInfoLogInsideProfiledScope) {
+  const auto diags = LintOne("src/msgbus/broker.cc", R"cc(
+    void Broker::Produce() {
+      FW_PROFILE_SCOPE_ID(profiler_, produce_scope_);
+      FW_LOG(kInfo, "produced %llu", seq);
+    }
+  )cc");
+  const auto hits = OfCheck(diags, "hot-path-logging");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 4);
+  EXPECT_NE(hits[0].message.find("kInfo"), std::string::npos);
+}
+
+TEST(HotPathLoggingCheckTest, ScopeEndsWithItsBlock) {
+  // The same log after the profiled block closes is fine; so is a log in a
+  // sibling function. Nested blocks inside the scope stay hot.
+  const auto diags = LintOne("src/mem/address_space.cc", R"cc(
+    void AddressSpace::AccessRange() {
+      {
+        FW_PROFILE_SCOPE(profiler, "mem.page_walk");
+        if (miss) {
+          FW_LOG(kDebug, "fault");      // hot: nested block, scope still open
+        }
+      }
+      FW_LOG(kInfo, "range done");      // cold: scope closed with its block
+    }
+    void AddressSpace::Unrelated() { FW_LOG(kTrace, "free"); }
+  )cc");
+  const auto hits = OfCheck(diags, "hot-path-logging");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 6);
+}
+
+TEST(HotPathLoggingCheckTest, HandRolledGuardAndSeverityBoundary) {
+  // A ProfileScope declared without the macro registers the hot path too;
+  // kWarning and above stay allowed inside it.
+  const auto diags = LintOne("src/simcore/simulation.cc", R"cc(
+    void Simulation::StepOne() {
+      fwobs::ProfileScope guard(profiler_, dispatch_scope_);
+      FW_LOG(kWarning, "slow event");
+      FW_LOG(kError, "handler threw");
+      FW_LOG(kTrace, "dispatching");
+    }
+  )cc");
+  const auto hits = OfCheck(diags, "hot-path-logging");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 6);
+  EXPECT_NE(hits[0].message.find("kTrace"), std::string::npos);
+}
+
+TEST(HotPathLoggingCheckTest, ClassDeclAndNonSrcFilesAreIgnored) {
+  // `class ProfileScope {` is the declaration site, not a guard; and bench/
+  // tools/ code never registers hot paths.
+  EXPECT_TRUE(OfCheck(LintOne("src/obs/profiler.h", R"cc(
+    class ProfileScope {
+     public:
+      void Log() { FW_LOG(kInfo, "not a guard"); }
+    };
+  )cc"),
+                      "hot-path-logging")
+                  .empty());
+  EXPECT_TRUE(OfCheck(LintOne("bench/cluster_scale.cc", R"cc(
+    void Run() {
+      FW_PROFILE_SCOPE(p, "bench.run");
+      FW_LOG(kInfo, "progress");
+    }
+  )cc"),
+                      "hot-path-logging")
+                  .empty());
+}
+
+TEST(HotPathLoggingCheckTest, SuppressionSilencesItsLine) {
+  const auto diags = LintOne("src/cluster/cluster.cc", R"cc(
+    void Cluster::Dispatch() {
+      FW_PROFILE_SCOPE_ID(&obs_.profiler(), dispatch_scope_);
+      FW_LOG(kInfo, "rare admission edge");  // fwlint:allow(hot-path-logging)
+    }
+  )cc");
+  EXPECT_TRUE(OfCheck(diags, "hot-path-logging").empty());
+}
+
 TEST(AnalyzerTest, DiagnosticsAreSortedAndFormatted) {
   Analyzer a;
   a.AddFile("src/mem/b.cc", "std::mt19937 g2;");

@@ -208,6 +208,22 @@ TEST(MetricsTest, ToTextListsEveryInstrument) {
   EXPECT_NE(text.find("c.micros"), std::string::npos);
 }
 
+TEST(MetricsTest, HistogramTextPinsQuantileRendering) {
+  // 0, 10, ..., 100: every rendered quantile lands exactly on a rank, so the
+  // full line can be pinned byte for byte (linear-interpolation Percentile:
+  // p50 = 50, p95 = 95, p99 = 99).
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("lat.ms");
+  for (int v = 0; v <= 100; v += 10) {
+    h.Observe(v);
+  }
+  registry.GetHistogram("empty.ms");
+  EXPECT_EQ(registry.ToText(),
+            "histogram empty.ms" + std::string(36, ' ') + " count=0\n" +
+                "histogram lat.ms" + std::string(38, ' ') +
+                " count=11 min=0.0 mean=50.0 p50=50.0 p95=95.0 p99=99.0 max=100.0\n");
+}
+
 // ---------------------------------------------------------------------------
 // End to end against the Fireworks platform.
 // ---------------------------------------------------------------------------
@@ -291,6 +307,41 @@ TEST(ObsEndToEndTest, ChromeTraceExportIsValidJson) {
     }
   }
   EXPECT_GT(complete_events, 0u);
+}
+
+TEST(ObsEndToEndTest, ChromeTraceEscapesHostileSpanNames) {
+  // Span names and attribute values flow from user-controlled strings
+  // (function names, payload fragments) straight into the exported JSON.
+  // Quotes, backslashes, control characters, and — the case that actually
+  // shipped broken — stray high-bit bytes that are not valid UTF-8 must all
+  // come out escaped, never raw.
+  Simulation sim;
+  Tracer tracer = MakeTracer(sim);
+  tracer.Enable();
+  {
+    ScopedSpan hostile(&tracer, "quote\" back\\slash \n\t\x01", "cat\"egory");
+    hostile.SetAttribute("key\"", std::string("raw\x80\xff bytes"));
+    // Valid multibyte UTF-8 must pass through unmangled.
+    ScopedSpan utf8(&tracer, "snapshot \xcf\x80", "test");
+  }
+
+  const std::string json = ChromeTraceJson(tracer, "hostile:test");
+  // Structurally valid...
+  auto parsed = fwlang::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  // ...and valid UTF-8: the only high-bit bytes left are the π we put in.
+  for (size_t i = 0; i < json.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(json[i]);
+    if (c >= 0x80) {
+      ASSERT_LT(i + 1, json.size());
+      EXPECT_TRUE((c == 0xcf && static_cast<unsigned char>(json[i + 1]) == 0x80))
+          << "raw byte 0x" << std::hex << static_cast<int>(c) << " at offset " << i;
+      ++i;
+    }
+  }
+  EXPECT_NE(json.find("quote\\\" back\\\\slash \\n\\t\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("raw\\u0080\\u00ff bytes"), std::string::npos);
+  EXPECT_NE(json.find("snapshot \xcf\x80"), std::string::npos);
 }
 
 TEST(ObsEndToEndTest, TracingDoesNotChangeResults) {

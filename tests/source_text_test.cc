@@ -44,6 +44,17 @@ TEST(JsonTest, HandlesEscapes) {
   EXPECT_EQ(value->AsString(), "line\nbreak \"quoted\" back\\slash");
 }
 
+TEST(JsonTest, HandlesUnicodeEscapes) {
+  // \uXXXX decodes to UTF-8, including surrogate pairs; unpaired surrogates
+  // degrade to U+FFFD instead of failing the document.
+  EXPECT_EQ(ParseJson("\"A\\u00e9\\u03c0\\u20ac\"")->AsString(),
+            "A\xc3\xa9\xcf\x80\xe2\x82\xac");
+  EXPECT_EQ(ParseJson("\"\\ud83d\\ude00\"")->AsString(), "\xf0\x9f\x98\x80");
+  EXPECT_EQ(ParseJson("\"\\ud800x\"")->AsString(), "\xef\xbf\xbdx");
+  EXPECT_FALSE(ParseJson("\"\\u12g4\"").ok());
+  EXPECT_FALSE(ParseJson("\"\\u12\"").ok());
+}
+
 TEST(JsonTest, WhitespaceTolerant) {
   auto value = ParseJson("  {\n\t\"k\" :\r [ 1 ,2 ]\n}  ");
   ASSERT_TRUE(value.ok());

@@ -100,7 +100,11 @@ const std::set<std::string>& DeterminismDenyIdents() {
 }
 
 bool InDeterminismAllowlist(const std::string& path) {
-  return path.rfind("src/base/rng.", 0) == 0 || path.rfind("src/obs/clock.", 0) == 0;
+  // src/obs/profiler.* reads steady_clock for wall-time attribution; the
+  // readings are report-only and never feed back into the simulation (the
+  // contract tests/profiler_test.cc pins with digest comparisons).
+  return path.rfind("src/base/rng.", 0) == 0 || path.rfind("src/obs/clock.", 0) == 0 ||
+         path.rfind("src/obs/profiler.", 0) == 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -149,8 +153,8 @@ std::string Diagnostic::ToString() const {
 
 const std::vector<std::string>& AllChecks() {
   static const std::vector<std::string> kChecks = {
-      "determinism",  "unordered-iteration", "discarded-status",
-      "layering",     "coro-hygiene",        "unbounded-queue",
+      "determinism",  "unordered-iteration", "discarded-status", "layering",
+      "coro-hygiene", "unbounded-queue",     "hot-path-logging",
   };
   return kChecks;
 }
@@ -288,6 +292,9 @@ std::vector<Diagnostic> Analyzer::Run(const std::set<std::string>& checks) {
     if (enabled("unbounded-queue")) {
       CheckUnboundedQueue(f, raw);
     }
+    if (enabled("hot-path-logging")) {
+      CheckHotPathLogging(f, raw);
+    }
   }
 
   // Apply per-line suppressions, then sort for stable output.
@@ -358,7 +365,8 @@ void Analyzer::CheckDeterminism(const File& f, std::vector<Diagnostic>& out) con
     if (hit) {
       out.push_back({f.path, t[i].line, "determinism",
                      "wall-clock / unseeded-RNG API '" + id +
-                         "' outside the allowlist (src/base/rng.*, src/obs/clock.*); use "
+                         "' outside the allowlist (src/base/rng.*, src/obs/clock.*, "
+                         "src/obs/profiler.*); use "
                          "fwsim::Simulation::Now()/rng() or fwbase::Rng with an explicit seed"});
     }
   }
@@ -625,6 +633,56 @@ void Analyzer::CheckUnboundedQueue(const File& f, std::vector<Diagnostic>& out) 
              "death instead of shedding; enforce a capacity/shed policy at enqueue "
              "(see src/cluster/admission.h) or suppress with a "
              "fwlint:allow(unbounded-queue) note stating where the bound lives"});
+  }
+}
+
+void Analyzer::CheckHotPathLogging(const File& f, std::vector<Diagnostic>& out) const {
+  if (f.path.rfind("src/", 0) != 0) {
+    return;  // only simulator source registers hot paths with the profiler
+  }
+  const Tokens& t = f.lex.tokens;
+  int depth = 0;
+  // Brace depths at which a profiler scope guard was declared. The guard
+  // lives until its enclosing block closes, so the registered hot path is
+  // every token from the declaration until depth drops below the marker.
+  std::vector<int> hot;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].punct("{")) {
+      ++depth;
+      continue;
+    }
+    if (t[i].punct("}")) {
+      --depth;
+      while (!hot.empty() && hot.back() > depth) {
+        hot.pop_back();
+      }
+      continue;
+    }
+    if (t[i].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    if (t[i].text == "FW_PROFILE_SCOPE" || t[i].text == "FW_PROFILE_SCOPE_ID") {
+      hot.push_back(depth);
+      continue;
+    }
+    // A ProfileScope guard declared by hand ("fwobs::ProfileScope guard(p,
+    // id);"): the next token is the variable name. `class ProfileScope {`
+    // and mentions in types/expressions don't match.
+    if (t[i].text == "ProfileScope" && i + 1 < t.size() &&
+        t[i + 1].kind == TokenKind::kIdentifier && !(i >= 1 && t[i - 1].ident("class"))) {
+      hot.push_back(depth);
+      continue;
+    }
+    if (t[i].text == "FW_LOG" && !hot.empty() && i + 2 < t.size() && t[i + 1].punct("(") &&
+        (t[i + 2].ident("kTrace") || t[i + 2].ident("kDebug") || t[i + 2].ident("kInfo"))) {
+      out.push_back(
+          {f.path, t[i].line, "hot-path-logging",
+           "FW_LOG(" + t[i + 2].text +
+               ") inside a profiler-registered hot-path scope: this is a format+write "
+               "per event once the log level admits it, in exactly the code the "
+               "profiler marks hot; raise to kWarning+, move the log outside the "
+               "scope, or suppress with fwlint:allow(hot-path-logging)"});
+    }
   }
 }
 

@@ -5,7 +5,8 @@
 // as named, token-aware checks with file:line diagnostics:
 //
 //   determinism          wall-clock or unseeded-RNG APIs outside the
-//                        src/base/rng.* / src/obs/clock.* allowlist
+//                        src/base/rng.* / src/obs/clock.* /
+//                        src/obs/profiler.* allowlist
 //   unordered-iteration  range-for / .begin() iteration over variables
 //                        declared as unordered_map/unordered_set, where hash
 //                        order can leak into "deterministic" output
@@ -19,6 +20,12 @@
 //                        members) declared in src/ dispatch paths, which grow
 //                        without a cap or shed policy; overload then queues
 //                        to death instead of shedding (see DESIGN.md §11)
+//   hot-path-logging     FW_LOG(kInfo)-or-lower inside a block registered as
+//                        a hot path by a profiler scope guard
+//                        (FW_PROFILE_SCOPE / FW_PROFILE_SCOPE_ID /
+//                        ProfileScope): a format+write per event once the
+//                        log level admits it, in exactly the code the
+//                        profiler says is hot (see DESIGN.md §12)
 //
 // Any diagnostic can be suppressed for one line with
 //   // fwlint:allow(<check>)           e.g.  // fwlint:allow(determinism)
@@ -86,6 +93,7 @@ class Analyzer {
   void CheckBareCalls(const File& f, std::vector<Diagnostic>& out) const;
   void CheckLayering(const File& f, std::vector<Diagnostic>& out) const;
   void CheckUnboundedQueue(const File& f, std::vector<Diagnostic>& out) const;
+  void CheckHotPathLogging(const File& f, std::vector<Diagnostic>& out) const;
 
   std::vector<File> files_;
   std::set<std::string> status_fns_;
