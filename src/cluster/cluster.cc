@@ -32,6 +32,10 @@ Cluster::Cluster(fwsim::Simulation& sim, std::vector<std::unique_ptr<ClusterHost
   sim_.set_profiler(&obs_.profiler());
   dispatch_scope_ = obs_.profiler().RegisterScope("cluster.dispatch");
   invoke_scope_ = obs_.profiler().RegisterScope("cluster.worker.invoke");
+  if (config.distribution.enabled) {
+    distribution_ = std::make_unique<SnapshotDistribution>(
+        sim, static_cast<int>(hosts.size()), config.distribution, obs_, &injector_);
+  }
   hosts_.resize(hosts.size());
   for (size_t i = 0; i < hosts.size(); ++i) {
     hosts_[i].host = std::move(hosts[i]);
@@ -63,6 +67,13 @@ fwsim::Co<Status> Cluster::InstallAll(const fwlang::FunctionSource& fn) {
     }
   }
   installed_.push_back(fn.name);
+  if (distribution_ != nullptr) {
+    // Publish the snapshot to the registry; the ring-stable seed host stands
+    // in for the host that recorded it. Every other host starts cold and
+    // pulls through the distribution tier on its first request for the app.
+    distribution_->Publish(fn.name,
+                           static_cast<int>(HashKey(fn.name) % hosts_.size()));
+  }
   co_return Status::Ok();
 }
 
@@ -118,6 +129,13 @@ uint64_t Cluster::Submit(const std::string& fn_name, const std::string& args,
 void Cluster::Dispatch(Request req, int exclude_host) {
   FW_PROFILE_SCOPE_ID(&obs_.profiler(), dispatch_scope_);
   std::vector<HostView> views = Views();
+  if (distribution_ != nullptr) {
+    // Snapshot locality over actual chunk placement: the scheduler prefers
+    // hosts that already hold the app's snapshot before forcing a cold pull.
+    for (size_t i = 0; i < views.size(); ++i) {
+      views[i].holds_snapshot = distribution_->Holds(static_cast<int>(i), req.fn);
+    }
+  }
   if (exclude_host >= 0 && exclude_host < static_cast<int>(views.size())) {
     // Skip the host that just failed this request (or the hedge primary's
     // host) — but only when somewhere else could take it: a one-host-left
@@ -364,6 +382,14 @@ fwsim::Co<void> Cluster::Worker(int host_index) {
       co_await fwsim::Delay(
           sim_, injector_.SampleDelay(fwfault::FaultKind::kHostSlowdown,
                                       config_.slow_host_mean_delay));
+    }
+    if (distribution_ != nullptr) {
+      // Cold host: pull the snapshot through the distribution tier (cache →
+      // peer → registry), then REAP working-set warm-up, all inside the
+      // request's service time. Warm holders pass straight through.
+      const Status pulled = co_await distribution_->EnsureSnapshot(host_index, req.fn);
+      FW_CHECK_MSG(pulled.ok(), "EnsureSnapshot degrades to cold boot, never fails");
+      co_await distribution_->WarmRestore(host_index, req.fn);
     }
     Result<fwcore::InvocationResult> result = Status::Internal("not run");
     // Detached profiler frame: the invocation spans awaits, so it gets
@@ -626,6 +652,11 @@ void Cluster::RestartHost(int host) {
   }
   hs.alive = true;
   hs.partitioned_until = fwbase::SimTime::Zero();
+  if (distribution_ != nullptr) {
+    // Disk state (chunk cache, installed images) survived; page cache did
+    // not — the host re-warms working sets on first touch.
+    distribution_->OnHostRestart(host);
+  }
   // The detector reinstates the host on its next heartbeat, not here: a
   // restart the front end has no evidence for does not exist yet.
   obs_.metrics().GetCounter("cluster.host_restarts").Increment();
@@ -672,6 +703,9 @@ Cluster::Rollup Cluster::ComputeRollup() const {
   r.slo_alerts = slo_.alerts();
   r.slo_attainment = slo_.Attainment();
   r.slo_worst_attainment = slo_.WorstAttainment();
+  if (distribution_ != nullptr) {
+    r.distribution = distribution_->stats();
+  }
   return r;
 }
 

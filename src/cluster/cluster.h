@@ -54,6 +54,7 @@
 #include "src/cluster/host.h"
 #include "src/cluster/scheduler.h"
 #include "src/cluster/slo.h"
+#include "src/cluster/snapshot_distribution.h"
 #include "src/fault/fault.h"
 #include "src/obs/observability.h"
 #include "src/simcore/primitives.h"
@@ -114,7 +115,12 @@ class Cluster {
     // latencies, so the delay tracks the current tail instead of staying
     // inflated by every overload episode the run has ever seen.
     int64_t hedge_window = 1024;
-    // Cluster-level fault injection (heartbeat_loss, host_slowdown). The
+    // Snapshot distribution tier (DESIGN.md §13): registry + per-host chunk
+    // caches + peer fetch + REAP working-set restore. Off by default — every
+    // host is then assumed to hold every snapshot, the pre-tier model.
+    DistributionConfig distribution;
+    // Cluster-level fault injection (heartbeat_loss, host_slowdown,
+    // chunk_corruption, registry_unreachable). The
     // default empty plan is inert: no randomness is drawn.
     fwfault::FaultPlan fault_plan;
     uint64_t fault_seed = 777;
@@ -207,6 +213,8 @@ class Cluster {
     uint64_t slo_alerts = 0;
     double slo_attainment = 1.0;
     double slo_worst_attainment = 1.0;
+    // Snapshot distribution tier counters (zero when the tier is disabled).
+    DistributionStats distribution;
   };
 
   // Outcome of request `id` (valid once terminal).
@@ -233,6 +241,9 @@ class Cluster {
   fwobs::Observability& obs() { return obs_; }
   // SLO attainment + burn-rate alerting state (read-only; fed internally).
   const SloMonitor& slo() const { return slo_; }
+  // The snapshot distribution tier; nullptr when Config::distribution is
+  // disabled.
+  const SnapshotDistribution* distribution() const { return distribution_.get(); }
 
  private:
   struct Request {
@@ -313,6 +324,7 @@ class Cluster {
   AdmissionController admission_;
   RetryBudget retry_budget_;
   fwfault::FaultInjector injector_;
+  std::unique_ptr<SnapshotDistribution> distribution_;
   std::vector<HostState> hosts_;
   std::vector<std::string> installed_;  // Install order (autoscaler iteration).
   bool running_ = true;

@@ -214,14 +214,27 @@ class SnapshotLocalityScheduler : public Scheduler {
         static_cast<int64_t>(kLoadBoundFactor * static_cast<double>(total_inflight) /
                              static_cast<double>(alive_count)) +
         kLoadBoundSlack;
-    // Two ring passes: only preferred (healthy) owners first, then any alive
-    // owner — a suspect/pressured owner loses its locality claim while the
-    // evidence against it stands, but still serves if nothing else can.
+    // Four ring passes, strictly weakening: healthy owners already holding
+    // the app's snapshot, then any healthy owner, then alive holders, then
+    // anything alive. With every host holding every snapshot (the default —
+    // no distribution tier) passes 1/2 and 3/4 coincide and this is the
+    // original two-pass walk. With a distribution tier, a holder within the
+    // load bound wins over an equally-healthy non-holder, so a warm chunk
+    // cache keeps attracting its app instead of forcing cold registry pulls.
+    struct Pass {
+      bool healthy_only;
+      bool holders_only;
+    };
+    static constexpr Pass kPasses[] = {
+        {true, true}, {true, false}, {false, true}, {false, false}};
     int chosen = -1;
-    for (const bool healthy_only : {true, false}) {
-      ring_.Walk(app, [&hosts, bound, healthy_only, &chosen](int h) {
+    for (const Pass& pass : kPasses) {
+      ring_.Walk(app, [&hosts, bound, pass, &chosen](int h) {
         if (h >= static_cast<int>(hosts.size()) ||
-            (healthy_only ? !hosts[h].preferred() : !hosts[h].alive)) {
+            (pass.healthy_only ? !hosts[h].preferred() : !hosts[h].alive)) {
+          return true;
+        }
+        if (pass.holders_only && !hosts[h].holds_snapshot) {
           return true;
         }
         if (hosts[h].inflight <= bound) {

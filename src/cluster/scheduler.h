@@ -55,6 +55,11 @@ struct HostView {
   int64_t inflight = 0;
   // Requests sitting in the host's dispatch queue (subset of inflight).
   int64_t queue_depth = 0;
+  // Whether the host already holds the app's snapshot locally (chunk cache /
+  // installed image). Defaults true so deployments without a distribution
+  // tier schedule exactly as before; with one, the locality policy prefers
+  // holders before forcing a cold registry pull.
+  bool holds_snapshot = true;
 
   // Every policy prefers healthy hosts and falls back to merely-alive ones,
   // so a suspect/pressured host sheds new load without being fenced off.

@@ -224,6 +224,17 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
       root.End();
       result.root_span = root.get();
 
+      if (config_.record_working_set && fn.image != nullptr &&
+          !fn.image->has_working_set() && instance->vm != nullptr) {
+        // REAP record phase: the pages this first invocation faulted in from
+        // the image become the snapshot's working set. Later cold restores
+        // prefetch exactly these pages.
+        const fwmem::PageSet& touched = instance->vm->address_space().image_touched();
+        if (touched.Count() > 0) {
+          fn.image->set_working_set(std::make_shared<const fwmem::PageSet>(touched));
+        }
+      }
+
       if (options.keep_instance) {
         if (options.steady_state) {
           // A long-running instance converges to its steady-state resident
@@ -371,7 +382,12 @@ fwsim::Co<Status> FireworksPlatform::InvokeAttempt(const InstalledFunction& fn,
   vm->SetMetadata("topic", topic);
 
   if (config_.prefetch_on_restore && !fn.image->cache_warm()) {
-    co_await hv_.PrefetchWorkingSet(*fn.image, fn.image->file_bytes());
+    // With a recorded working set, prefetch only the pages a first invocation
+    // actually touched; otherwise fall back to reading the whole file.
+    const uint64_t prefetch_bytes = fn.image->has_working_set()
+                                        ? fn.image->working_set_bytes()
+                                        : fn.image->file_bytes();
+    co_await hv_.PrefetchWorkingSet(*fn.image, prefetch_bytes);
   }
 
   // Post-resume guest-kernel activity: page tables, slab, timers re-arming.
@@ -481,7 +497,12 @@ fwsim::Co<Result<uint64_t>> FireworksPlatform::PrepareClone(const std::string& f
   vm->SetMetadata("topic", topic);
 
   if (config_.prefetch_on_restore && !fn.image->cache_warm()) {
-    co_await hv_.PrefetchWorkingSet(*fn.image, fn.image->file_bytes());
+    // With a recorded working set, prefetch only the pages a first invocation
+    // actually touched; otherwise fall back to reading the whole file.
+    const uint64_t prefetch_bytes = fn.image->has_working_set()
+                                        ? fn.image->working_set_bytes()
+                                        : fn.image->file_bytes();
+    co_await hv_.PrefetchWorkingSet(*fn.image, prefetch_bytes);
   }
 
   // Post-resume guest-kernel activity, identical to the invoke path (salts

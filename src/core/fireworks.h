@@ -52,6 +52,11 @@ class FireworksPlatform : public ServerlessPlatform {
     double steady_runtime_heap_dirty_fraction = 0.65;
     // REAP-style working-set prefetch before resume (ablation, §7).
     bool prefetch_on_restore = false;
+    // Record the image pages the first successful invocation faults in and
+    // attach them to the snapshot image as its working set. Later restores
+    // with prefetch_on_restore prefetch only those pages instead of the whole
+    // snapshot file (Ustiugov et al., REAP).
+    bool record_working_set = true;
     // Pin snapshots of installed functions in the store (§6 discussion: keep
     // frequently-accessed snapshots). Off for the eviction ablation.
     bool pin_snapshots = true;

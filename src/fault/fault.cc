@@ -35,6 +35,10 @@ const char* FaultKindName(FaultKind kind) {
       return "heartbeat_loss";
     case FaultKind::kHostSlowdown:
       return "host_slowdown";
+    case FaultKind::kChunkCorruption:
+      return "chunk_corruption";
+    case FaultKind::kRegistryUnreachable:
+      return "registry_unreachable";
     case FaultKind::kCount:
       break;
   }

@@ -47,6 +47,8 @@ enum class FaultKind {
   kSandboxCrash,            // Container sandbox dies on unpause/restore.
   kHeartbeatLoss,           // A host's liveness heartbeat is dropped en route.
   kHostSlowdown,            // Gray failure: the host serves, but slowly.
+  kChunkCorruption,         // A fetched snapshot chunk fails digest check.
+  kRegistryUnreachable,     // The snapshot registry drops a fetch RPC.
   kCount,
 };
 

@@ -45,7 +45,7 @@ SnapshotImage::SnapshotImage(HostMemory& host, std::string name,
       backing_(host, valid_.size()) {}
 
 AddressSpace::AddressSpace(HostMemory& host)
-    : host_(host), resident_shared_(0), private_(0), zero_(0) {}
+    : host_(host), resident_shared_(0), private_(0), zero_(0), image_touched_(0) {}
 
 AddressSpace::AddressSpace(HostMemory& host, std::shared_ptr<SnapshotImage> image)
     : host_(host),
@@ -54,7 +54,8 @@ AddressSpace::AddressSpace(HostMemory& host, std::shared_ptr<SnapshotImage> imag
       total_pages_(image_->total_pages()),
       resident_shared_(total_pages_),
       private_(total_pages_),
-      zero_(total_pages_) {}
+      zero_(total_pages_),
+      image_touched_(total_pages_) {}
 
 AddressSpace::~AddressSpace() { Unmap(); }
 
@@ -62,6 +63,7 @@ void AddressSpace::GrowTo(uint64_t pages) {
   resident_shared_.Grow(pages);
   private_.Grow(pages);
   zero_.Grow(pages);
+  image_touched_.Grow(pages);
   total_pages_ = pages;
 }
 
@@ -119,6 +121,7 @@ void AddressSpace::AccessPage(uint64_t page, bool write, FaultCounts& out) {
     if (image_valid) {
       const bool was_major = image_->backing().IncResident(page);
       resident_shared_.Set(page);
+      image_touched_.Set(page);
       if (was_major) {
         ++out.major_faults;
       } else {
@@ -163,6 +166,7 @@ void AddressSpace::AccessPage(uint64_t page, bool write, FaultCounts& out) {
     // content, then immediately breaks the mapping private.
     host_.AllocFrames(1);
     private_.Set(page);
+    image_touched_.Set(page);
     ++out.cow_copies;
     return;
   }

@@ -63,12 +63,24 @@ class SnapshotImage {
   bool cache_warm() const { return cache_warm_; }
   void set_cache_warm(bool warm) { cache_warm_ = warm; }
 
+  // REAP working set (Ustiugov et al.): the image pages a first invocation
+  // actually faulted in, recorded by the platform after the recording run.
+  // Restores prefetch exactly these pages instead of the whole file.
+  bool has_working_set() const { return working_set_ != nullptr; }
+  const std::shared_ptr<const PageSet>& working_set() const { return working_set_; }
+  void set_working_set(std::shared_ptr<const PageSet> ws) { working_set_ = std::move(ws); }
+  uint64_t working_set_pages() const {
+    return working_set_ != nullptr ? working_set_->Count() : 0;
+  }
+  uint64_t working_set_bytes() const { return working_set_pages() * fwbase::kPageSize; }
+
  private:
   bool cache_warm_ = false;
   std::string name_;
   std::vector<SegmentLayout> segments_;
   PageSet valid_;
   BackingStore backing_;
+  std::shared_ptr<const PageSet> working_set_;
 };
 
 // Per-access fault/accounting result; the caller (VMM / runtime) converts the
@@ -148,6 +160,11 @@ class AddressSpace {
   bool image_backed() const { return image_ != nullptr; }
   const std::shared_ptr<SnapshotImage>& image() const { return image_; }
 
+  // Pages this space faulted in *from the image* (major/minor reads and
+  // read-then-privatise writes; zero-fills excluded). This is the raw signal
+  // the REAP working-set recorder persists after a first invocation.
+  const PageSet& image_touched() const { return image_touched_; }
+
  private:
   uint64_t GlobalPage(SegmentId seg, uint64_t offset) const;
   FaultCounts AccessRange(SegmentId seg, uint64_t first, uint64_t count, bool write);
@@ -161,6 +178,7 @@ class AddressSpace {
   PageSet resident_shared_;
   PageSet private_;
   PageSet zero_;
+  PageSet image_touched_;
   bool unmapped_ = false;
 };
 

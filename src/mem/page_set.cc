@@ -81,6 +81,27 @@ void PageSet::ForEachSet(const std::function<void(uint64_t)>& fn) const {
   }
 }
 
+void PageSet::ForEachRange(const std::function<void(uint64_t, uint64_t)>& fn) const {
+  bool open = false;
+  uint64_t first = 0;
+  uint64_t prev = 0;
+  ForEachSet([&](uint64_t page) {
+    if (open && page == prev + 1) {
+      prev = page;
+      return;
+    }
+    if (open) {
+      fn(first, prev - first + 1);
+    }
+    open = true;
+    first = page;
+    prev = page;
+  });
+  if (open) {
+    fn(first, prev - first + 1);
+  }
+}
+
 void PageSet::UnionWith(const PageSet& other) {
   FW_CHECK(other.num_pages_ == num_pages_);
   uint64_t count = 0;

@@ -38,6 +38,10 @@ class PageSet {
   // Calls fn(page) for every set bit in ascending order.
   void ForEachSet(const std::function<void(uint64_t)>& fn) const;
 
+  // Calls fn(first, count) for every maximal run of consecutive set bits, in
+  // ascending order — the working-set persistence format.
+  void ForEachRange(const std::function<void(uint64_t, uint64_t)>& fn) const;
+
   // this |= other (sizes must match).
   void UnionWith(const PageSet& other);
 

@@ -1,0 +1,71 @@
+// Cluster fabric: the network cost model for snapshot distribution.
+//
+// Hosts pull snapshot chunks from two places — the central registry (high
+// latency, bandwidth shared across a bounded number of streams) and cluster
+// peers (rack-local latency, per-transfer bandwidth). This type charges
+// simulated time for those transfers and counts bytes by source; it carries
+// no protocol. The fetch protocol (cache lookup, peer-before-registry,
+// retries) lives in fwcluster::SnapshotDistribution, and the registry's
+// state in fwstore::SnapshotRegistry.
+#ifndef FIREWORKS_SRC_NET_FABRIC_H_
+#define FIREWORKS_SRC_NET_FABRIC_H_
+
+#include <cstdint>
+
+#include "src/base/units.h"
+#include "src/simcore/primitives.h"
+#include "src/simcore/simulation.h"
+
+namespace fwnet {
+
+class ClusterFabric {
+ public:
+  struct Config {
+    Config() {}
+
+    // Round-trip to the registry service (metadata RPCs and per-stream
+    // transfer setup).
+    fwbase::Duration registry_rpc_latency = fwbase::Duration::Micros(120);
+    // Rack-local peer round-trip.
+    fwbase::Duration peer_rpc_latency = fwbase::Duration::Micros(60);
+    // Per-stream sequential read bandwidth out of the registry's store.
+    double registry_bandwidth_bytes_per_sec = 1.25e9;  // ~10 Gb/s.
+    // Peer-to-peer transfer bandwidth (page-cache-hot source).
+    double peer_bandwidth_bytes_per_sec = 2.5e9;
+    // Concurrent transfer streams the registry serves; more block.
+    int64_t registry_streams = 4;
+  };
+
+  ClusterFabric(fwsim::Simulation& sim, const Config& config)
+      : sim_(sim), config_(config), registry_slots_(sim, config.registry_streams) {}
+
+  // Charges one registry round-trip plus `bytes` of transfer, holding one of
+  // the bounded registry streams for the duration.
+  fwsim::Co<void> RegistryTransfer(uint64_t bytes);
+
+  // Metadata-only registry RPC (manifest fetch): latency, no stream slot.
+  fwsim::Co<void> RegistryRpc();
+
+  // Charges a rack-local peer transfer of `bytes`.
+  fwsim::Co<void> PeerTransfer(uint64_t bytes);
+
+  uint64_t registry_transfers() const { return registry_transfers_; }
+  uint64_t registry_bytes() const { return registry_bytes_; }
+  uint64_t peer_transfers() const { return peer_transfers_; }
+  uint64_t peer_bytes() const { return peer_bytes_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  fwsim::Simulation& sim_;
+  Config config_;
+  fwsim::Resource registry_slots_;
+  uint64_t registry_transfers_ = 0;
+  uint64_t registry_bytes_ = 0;
+  uint64_t peer_transfers_ = 0;
+  uint64_t peer_bytes_ = 0;
+};
+
+}  // namespace fwnet
+
+#endif  // FIREWORKS_SRC_NET_FABRIC_H_

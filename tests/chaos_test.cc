@@ -639,5 +639,131 @@ TEST(ChaosSweepTest, SuspectThresholdRecoveryIsBitIdentical) {
   }
 }
 
+// --- Registry distribution scenario -----------------------------------------
+// A two-host full-fidelity cluster with the snapshot distribution tier
+// enabled, under injected registry faults: fetched chunks fail their digest
+// check (peer corruption falls back to the registry, registry corruption
+// retries with backoff) and registry RPCs drop. Invariants: no request ever
+// fails (a host that exhausts every source cold-boots the app and stays
+// available), completions stay exactly-once, every host's chunk cache
+// respects its byte budget, nothing leaks after drain, and the same seed
+// reproduces the bit-identical outcome digest.
+uint64_t RunRegistryChaosScenario(uint64_t seed, double fault_probability,
+                                  fwcluster::DistributionStats* stats_out = nullptr) {
+  constexpr int kHosts = 2;
+  constexpr int kInvocations = 24;
+  fwsim::Simulation sim(seed);
+  std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    fwcluster::FullHost::Config fc;
+    fc.env.seed = seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(i);
+    hosts.push_back(std::make_unique<fwcluster::FullHost>(sim, i, fc));
+  }
+  fwcluster::Cluster::Config cc;
+  cc.policy = fwcluster::SchedulerPolicy::kLeastLoaded;
+  cc.distribution.enabled = true;
+  cc.distribution.base_layer_bytes = 8ull << 20;
+  cc.distribution.delta_layer_bytes = 2ull << 20;
+  cc.distribution.chunk_bytes = 1ull << 20;
+  cc.distribution.cache_budget_bytes = 16ull << 20;
+  cc.distribution.cold_boot_cost = Duration::Millis(50);  // Keep the sweep fast.
+  cc.fault_plan.Set(FaultKind::kChunkCorruption, fault_probability);
+  cc.fault_plan.Set(FaultKind::kRegistryUnreachable, fault_probability);
+  cc.fault_seed = seed * 0x9E3779B97F4A7C15ull + 3;
+  fwcluster::Cluster cluster(sim, std::move(hosts), cc);
+
+  for (const char* app : {"app-a", "app-b"}) {
+    FunctionSource fn =
+        fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+    fn.name = app;
+    FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+  }
+  std::vector<size_t> netns_baseline;
+  for (int i = 0; i < kHosts; ++i) {
+    netns_baseline.push_back(cluster.host(i).LiveNetnsCount());
+  }
+
+  sim.Spawn(DriveClusterStream(sim, cluster, kInvocations));
+  cluster.Drain(kInvocations);
+  sim.Run();
+
+  const fwcluster::Cluster::Rollup rollup = cluster.ComputeRollup();
+  EXPECT_EQ(rollup.completed, static_cast<uint64_t>(kInvocations));
+  EXPECT_EQ(rollup.failed, 0u)
+      << "registry faults must degrade (retry, fall back, cold-boot), never fail";
+  for (uint64_t id = 1; id <= cluster.submitted(); ++id) {
+    EXPECT_EQ(cluster.outcome(id).completions, 1u) << "request " << id;
+  }
+  // Cache-entry accounting: the byte budget is an invariant, faults included.
+  const fwcluster::SnapshotDistribution* dist = cluster.distribution();
+  EXPECT_NE(dist, nullptr);
+  for (int i = 0; dist != nullptr && i < kHosts; ++i) {
+    EXPECT_LE(dist->cache(i).used_bytes(), cc.distribution.cache_budget_bytes)
+        << "host " << i;
+  }
+
+  for (int i = 0; i < kHosts; ++i) {
+    cluster.host(i).DropWarmPool();
+  }
+  sim.Run();
+  for (int i = 0; i < kHosts; ++i) {
+    SCOPED_TRACE("host " + std::to_string(i));
+    EXPECT_EQ(cluster.host(i).TotalPooledClones(), 0u);
+    EXPECT_EQ(cluster.host(i).LiveVmCount(), 0u);
+    EXPECT_EQ(cluster.host(i).LiveNetnsCount(), netns_baseline[i]);
+  }
+  if (stats_out != nullptr) {
+    *stats_out = rollup.distribution;
+  }
+  return cluster.OutcomeDigest();
+}
+
+TEST(ChaosSweepTest, RegistrySurvivesFaultSeedSweep) {
+  const int seeds = std::max(SweepSeeds() / 10, 10);
+  fwcluster::DistributionStats aggregate;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fwcluster::DistributionStats stats;
+    (void)RunRegistryChaosScenario(seed, /*fault_probability=*/0.15, &stats);
+    aggregate.retries += stats.retries;
+    aggregate.corrupt_chunks += stats.corrupt_chunks;
+    aggregate.registry_unreachable += stats.registry_unreachable;
+    aggregate.chunks_from_peer += stats.chunks_from_peer;
+    aggregate.chunks_from_registry += stats.chunks_from_registry;
+    if (::testing::Test::HasFailure()) {
+      std::ofstream(ArtifactDir() + "/chaos_failing_seed.txt") << seed << "\n";
+      FAIL() << "registry chaos invariant violated at seed " << seed;
+    }
+  }
+  // The plan must actually have exercised the recovery paths across the
+  // sweep, or this scenario tests nothing.
+  EXPECT_GT(aggregate.corrupt_chunks, 0u);
+  EXPECT_GT(aggregate.registry_unreachable, 0u);
+  EXPECT_GT(aggregate.retries, 0u);
+  // Corrupt peer transfers must have fallen back to the registry.
+  EXPECT_GT(aggregate.chunks_from_registry, 0u);
+  EXPECT_GT(aggregate.chunks_from_peer, 0u);
+}
+
+TEST(ChaosSweepTest, RegistryTotalLossColdBootsAndStaysAvailable) {
+  // Every registry RPC drops: manifest fetches exhaust their retries and the
+  // cold host boots each app from source instead. Nothing fails.
+  for (uint64_t seed : {1u, 42u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fwcluster::DistributionStats stats;
+    (void)RunRegistryChaosScenario(seed, /*fault_probability=*/1.0, &stats);
+    EXPECT_GT(stats.cold_boots, 0u);
+    EXPECT_EQ(stats.chunks_from_registry, 0u);
+  }
+}
+
+TEST(ChaosSweepTest, RegistryChaosIsBitIdentical) {
+  for (uint64_t seed : {1u, 42u, 77u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EXPECT_EQ(RunRegistryChaosScenario(seed, 0.15),
+              RunRegistryChaosScenario(seed, 0.15));
+  }
+}
+
 }  // namespace
 }  // namespace fwcore

@@ -8,6 +8,7 @@
 
 #include "src/fault/fault.h"
 #include "src/simcore/simulation.h"
+#include "tests/test_util.h"
 
 namespace fwfault {
 namespace {
@@ -64,9 +65,14 @@ TEST(FaultPlanTest, ParseRejectsGarbage) {
   EXPECT_FALSE(FaultPlan::Parse("disk_read_error=abc").ok());
 }
 
-TEST(FaultInjectorTest, EmptyPlanNeverTripsButCountsOpportunities) {
-  fwsim::Simulation sim(1);
-  FaultInjector injector(sim, FaultPlan(), 99);
+// Per-test-seeded fixture: none of these tests' assertions depend on the
+// seed value (they use probability 0/1 plans or compare two identical
+// draws), so decorrelating the streams costs nothing.
+class FaultInjectorTest : public fwtest::SimTest {};
+
+TEST_F(FaultInjectorTest, EmptyPlanNeverTripsButCountsOpportunities) {
+  fwsim::Simulation& sim = sim_;
+  FaultInjector injector(sim, FaultPlan(), fwtest::PerTestSeed());
   for (int i = 0; i < 1000; ++i) {
     EXPECT_FALSE(injector.Trip(FaultKind::kDiskReadError));
   }
@@ -75,18 +81,18 @@ TEST(FaultInjectorTest, EmptyPlanNeverTripsButCountsOpportunities) {
   EXPECT_EQ(injector.total_trips(), 0u);
 }
 
-TEST(FaultInjectorTest, ProbabilityOneAlwaysTrips) {
-  fwsim::Simulation sim(1);
+TEST_F(FaultInjectorTest, ProbabilityOneAlwaysTrips) {
+  fwsim::Simulation& sim = sim_;
   FaultPlan plan;
   plan.Set(FaultKind::kNetLinkLoss, 1.0);
-  FaultInjector injector(sim, plan, 99);
+  FaultInjector injector(sim, plan, fwtest::PerTestSeed());
   for (int i = 0; i < 100; ++i) {
     EXPECT_TRUE(injector.Trip(FaultKind::kNetLinkLoss));
   }
   EXPECT_EQ(injector.trips(FaultKind::kNetLinkLoss), 100u);
 }
 
-TEST(FaultInjectorTest, SameSeedSameDecisions) {
+TEST_F(FaultInjectorTest, SameSeedSameDecisions) {
   FaultPlan plan;
   plan.Set(FaultKind::kBrokerDropMessage, 0.3);
   auto draw = [&plan](uint64_t seed) {
@@ -102,7 +108,7 @@ TEST(FaultInjectorTest, SameSeedSameDecisions) {
   EXPECT_NE(draw(7), draw(8));  // Astronomically unlikely to collide.
 }
 
-TEST(FaultInjectorTest, KindsUseIndependentStreams) {
+TEST_F(FaultInjectorTest, KindsUseIndependentStreams) {
   // The decision sequence for kind A must not change when kind B is also
   // enabled and interleaved: each kind draws from its own stream.
   FaultPlan solo;
@@ -125,13 +131,13 @@ TEST(FaultInjectorTest, KindsUseIndependentStreams) {
   EXPECT_EQ(draw(solo, false), draw(both, true));
 }
 
-TEST(FaultInjectorTest, WindowGatesTrips) {
-  fwsim::Simulation sim(1);
+TEST_F(FaultInjectorTest, WindowGatesTrips) {
+  fwsim::Simulation& sim = sim_;
   FaultPlan plan;
   plan.Set(FaultKind::kSandboxCrash, 1.0);
   plan.SetWindow(FaultKind::kSandboxCrash, SimTime::Zero() + Duration::Millis(10),
                  SimTime::Zero() + Duration::Millis(20));
-  FaultInjector injector(sim, plan, 5);
+  FaultInjector injector(sim, plan, fwtest::PerTestSeed());
 
   EXPECT_FALSE(injector.Trip(FaultKind::kSandboxCrash));  // t=0: before window.
   sim.RunFor(Duration::Millis(15));
@@ -141,11 +147,11 @@ TEST(FaultInjectorTest, WindowGatesTrips) {
   EXPECT_EQ(injector.trips(FaultKind::kSandboxCrash), 1u);
 }
 
-TEST(FaultInjectorTest, MaxTripsBoundsTheBudget) {
-  fwsim::Simulation sim(1);
+TEST_F(FaultInjectorTest, MaxTripsBoundsTheBudget) {
+  fwsim::Simulation& sim = sim_;
   FaultPlan plan;
   plan.Set(FaultKind::kVmCrashOnResume, 1.0, /*max_trips=*/3);
-  FaultInjector injector(sim, plan, 5);
+  FaultInjector injector(sim, plan, fwtest::PerTestSeed());
   int fired = 0;
   for (int i = 0; i < 50; ++i) {
     if (injector.Trip(FaultKind::kVmCrashOnResume)) {
@@ -157,7 +163,7 @@ TEST(FaultInjectorTest, MaxTripsBoundsTheBudget) {
   EXPECT_EQ(injector.opportunities(FaultKind::kVmCrashOnResume), 50u);
 }
 
-TEST(FaultInjectorTest, SampleDelayIsDeterministicAndPositive) {
+TEST_F(FaultInjectorTest, SampleDelayIsDeterministicAndPositive) {
   FaultPlan plan;
   plan.Set(FaultKind::kBrokerDelayMessage, 1.0);
   auto sample = [&plan] {

@@ -285,4 +285,77 @@ TEST(GoldenTrace, ClusterShedAndHedge) {
   ExpectMatchesGolden("cluster_shed_hedge_trace.golden", rendered);
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 4: the cold-host first-invocation path through the snapshot
+// distribution tier. Two model hosts, one app published on its seed host,
+// round-robin placement so the other host goes cold: the golden pins the
+// full fetch pipeline — manifest fetch, chunk pull (peer-served), install,
+// REAP working-set prefetch — and the invocation that follows it.
+// ---------------------------------------------------------------------------
+
+fwsim::Co<void> DriveColdPair(fwsim::Simulation& sim, fwcluster::Cluster& cluster) {
+  // Two spaced submits: round-robin lands one on each host, so exactly one
+  // request pays the cold-host pull.
+  for (int i = 0; i < 2; ++i) {
+    co_await fwsim::Delay(sim, Duration::Millis(25));
+    (void)cluster.Submit("app-a", "{}");
+  }
+}
+
+TEST(GoldenTrace, ClusterColdHostRegistryPull) {
+  fwsim::Simulation sim(42);  // Fixed seed: the golden depends on it.
+  fwcluster::HostCalibration cal;
+  cal.cold_startup = Duration::Millis(17);
+  cal.cold_exec = Duration::Millis(3);
+  cal.cold_others = Duration::Millis(1);
+  cal.warm_startup = Duration::Micros(1600);
+  cal.warm_exec = Duration::Millis(3);
+  cal.warm_others = Duration::Micros(400);
+  cal.prepare_cost = Duration::Millis(16);
+  cal.jitter = 0.0;  // Phase timings in this golden are exact.
+
+  std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
+  for (int i = 0; i < 2; ++i) {
+    fwcluster::ModelHost::Config mc;
+    mc.calibration = cal;
+    hosts.push_back(std::make_unique<fwcluster::ModelHost>(sim, i, mc));
+  }
+  fwcluster::Cluster::Config cc;
+  cc.policy = fwcluster::SchedulerPolicy::kRoundRobin;
+  cc.distribution.enabled = true;
+  cc.distribution.base_layer_bytes = 4ull << 20;
+  cc.distribution.delta_layer_bytes = 1ull << 20;
+  cc.distribution.chunk_bytes = 1ull << 20;
+  fwcluster::Cluster cluster(sim, std::move(hosts), cc);
+  cluster.obs().tracer().Enable();
+
+  fwlang::FunctionSource fn =
+      fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+  fn.name = "app-a";
+  ASSERT_TRUE(RunSync(sim, cluster.InstallAll(fn)).ok());
+  sim.Spawn(DriveColdPair(sim, cluster));
+  cluster.Drain(2);
+
+  const fwcluster::Cluster::Rollup rollup = cluster.ComputeRollup();
+  // The golden exists to pin the cold-fetch pipeline; if placement changes
+  // stop the scenario exercising it, fail loudly instead of regenerating a
+  // golden that no longer covers it.
+  ASSERT_EQ(rollup.distribution.cold_fetches, 1u)
+      << "scenario no longer pulls on a cold host";
+  ASSERT_GE(rollup.distribution.warm_restores, 1u)
+      << "scenario no longer performs a working-set prefetch";
+  ASSERT_EQ(rollup.failed, 0u);
+
+  std::string rendered = RenderTrace(cluster.obs().tracer());
+  rendered += fwbase::StrFormat(
+      "rollup completed=%llu cold_fetches=%llu chunks_from_peer=%llu "
+      "chunks_from_registry=%llu warm_restores=%llu\n",
+      static_cast<unsigned long long>(rollup.completed),
+      static_cast<unsigned long long>(rollup.distribution.cold_fetches),
+      static_cast<unsigned long long>(rollup.distribution.chunks_from_peer),
+      static_cast<unsigned long long>(rollup.distribution.chunks_from_registry),
+      static_cast<unsigned long long>(rollup.distribution.warm_restores));
+  ExpectMatchesGolden("cluster_cold_host_registry_trace.golden", rendered);
+}
+
 }  // namespace

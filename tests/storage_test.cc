@@ -30,8 +30,11 @@ using namespace fwbase::literals;
 // BlockDevice.
 // ---------------------------------------------------------------------------
 
-TEST(BlockDeviceTest, ReadCostIsLatencyPlusTransfer) {
-  Simulation sim;
+class BlockDeviceTest : public fwtest::SimTest {};
+class FilesystemTest : public fwtest::SimTest {};
+
+TEST_F(BlockDeviceTest, ReadCostIsLatencyPlusTransfer) {
+  Simulation& sim = sim_;
   BlockDevice::Config cfg;
   cfg.read_latency = 100_us;
   cfg.read_bw_bytes_per_sec = 1.0e9;
@@ -40,8 +43,8 @@ TEST(BlockDeviceTest, ReadCostIsLatencyPlusTransfer) {
   EXPECT_NEAR(dev.ReadCost(1'000'000).millis(), 1.1, 0.01);
 }
 
-TEST(BlockDeviceTest, OpsAdvanceSimulatedTime) {
-  Simulation sim;
+TEST_F(BlockDeviceTest, OpsAdvanceSimulatedTime) {
+  Simulation& sim = sim_;
   BlockDevice::Config cfg;
   cfg.write_latency = 50_us;
   cfg.write_bw_bytes_per_sec = 1.0e9;
@@ -52,8 +55,8 @@ TEST(BlockDeviceTest, OpsAdvanceSimulatedTime) {
   EXPECT_EQ(dev.write_ops(), 1u);
 }
 
-TEST(BlockDeviceTest, ParallelismBoundsConcurrency) {
-  Simulation sim;
+TEST_F(BlockDeviceTest, ParallelismBoundsConcurrency) {
+  Simulation& sim = sim_;
   BlockDevice::Config cfg;
   cfg.read_latency = 1_ms;
   cfg.read_bw_bytes_per_sec = 1.0e12;  // Transfer negligible.
@@ -71,7 +74,7 @@ TEST(BlockDeviceTest, ParallelismBoundsConcurrency) {
 // Filesystem personalities.
 // ---------------------------------------------------------------------------
 
-TEST(FilesystemTest, PersonalityOrderingMatchesPaper) {
+TEST_F(FilesystemTest, PersonalityOrderingMatchesPaper) {
   // Per-op I/O cost must order host < overlay < virtio < 9p < gofer, the
   // ordering behind Fig 6(c)/7(c).
   const auto host = Filesystem::ConfigFor(FsKind::kHostDirect);
@@ -86,8 +89,8 @@ TEST(FilesystemTest, PersonalityOrderingMatchesPaper) {
   EXPECT_GT(host.bandwidth_scale, gofer.bandwidth_scale);
 }
 
-TEST(FilesystemTest, GoferSlowerThanOverlayEndToEnd) {
-  Simulation sim;
+TEST_F(FilesystemTest, GoferSlowerThanOverlayEndToEnd) {
+  Simulation& sim = sim_;
   BlockDevice dev(sim, BlockDevice::Config{});
   Filesystem overlay(sim, dev, FsKind::kOverlayFs);
   Filesystem gofer(sim, dev, FsKind::kGofer);
@@ -101,7 +104,7 @@ TEST(FilesystemTest, GoferSlowerThanOverlayEndToEnd) {
   EXPECT_GT(gofer_time, overlay_time * 2);
 }
 
-TEST(FilesystemTest, KindNames) {
+TEST_F(FilesystemTest, KindNames) {
   EXPECT_STREQ(FsKindName(FsKind::kGofer), "gofer");
   EXPECT_STREQ(FsKindName(FsKind::kVirtio), "virtio");
 }
@@ -110,7 +113,7 @@ TEST(FilesystemTest, KindNames) {
 // SnapshotStore.
 // ---------------------------------------------------------------------------
 
-class SnapshotStoreTest : public ::testing::Test {
+class SnapshotStoreTest : public fwtest::SimTest {
  protected:
   std::shared_ptr<fwmem::SnapshotImage> MakeImage(const std::string& name, uint64_t pages) {
     fwmem::AddressSpace space(host_);
@@ -119,7 +122,6 @@ class SnapshotStoreTest : public ::testing::Test {
     return space.TakeSnapshot(name);
   }
 
-  Simulation sim_;
   fwmem::HostMemory host_{8_GiB};
   BlockDevice dev_{sim_, BlockDevice::Config{}};
 };
@@ -220,9 +222,8 @@ TEST_F(SnapshotStoreTest, RemoveFreesSpace) {
 // DocumentDb.
 // ---------------------------------------------------------------------------
 
-class DocumentDbTest : public ::testing::Test {
+class DocumentDbTest : public fwtest::SimTest {
  protected:
-  Simulation sim_;
   BlockDevice dev_{sim_, BlockDevice::Config{}};
   Filesystem fs_{sim_, dev_, FsKind::kHostDirect};
   DocumentDb db_{sim_, fs_};
