@@ -27,7 +27,7 @@
 //   --profile=PREFIX  profile the fireworks runs; writes PREFIX.collapsed
 //                     (wall) + PREFIX.sim.collapsed (flamegraph input) and
 //                     PREFIX.topn.txt, and prints the top-N table
-#include <chrono>  // host wall time for the report // fwlint:allow(determinism)
+#include <chrono>  // host wall time for the report
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>

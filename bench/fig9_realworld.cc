@@ -10,7 +10,7 @@
 //
 // Flags:
 //   --report=FILE   write one fwbench/1 report (scripts/bench_trend.py input)
-#include <chrono>  // host wall time for the report // fwlint:allow(determinism)
+#include <chrono>  // host wall time for the report
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

@@ -39,7 +39,7 @@
 // (warmup included): the cold-start ramp costs every leg a few points and
 // typically one burn-rate alert per app, and overload then drives the real
 // separation — in-capacity legs hold high attainment, saturated legs crater.
-#include <chrono>  // host wall time for the report // fwlint:allow(determinism)
+#include <chrono>  // host wall time for the report
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>

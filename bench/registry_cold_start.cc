@@ -30,7 +30,7 @@
 //   --no-selfcheck   skip the determinism re-run
 //   --json=FILE      write machine-readable results
 //   --report=FILE    write one fwbench/1 report (scripts/bench_trend.py input)
-#include <chrono>  // host wall time for the report // fwlint:allow(determinism)
+#include <chrono>  // host wall time for the report
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>

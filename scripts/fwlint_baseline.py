@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Regenerate and self-test the fwlint findings baseline.
+
+The committed baseline (``tools/fwlint/baseline.json``) is the set of
+accepted fwlint findings; ``fwlint --baseline=...`` fails only on findings
+not covered by it. This script wraps the two maintenance operations:
+
+``regen``
+    Rebuild the baseline from the current tree and rewrite the committed
+    file. Run it after fixing baselined findings (to drop the paid-down
+    entries) or after accepting a new finding you cannot fix yet — the
+    resulting diff is what code review sees, so debt changes are explicit.
+
+``--selftest``
+    Prove the gate actually trips. Builds a scratch tree containing one
+    clean file, baselines it, then injects a synthetic finding and asserts
+    baseline mode exits non-zero and names the new finding; then re-runs
+    with the finding baselined and asserts green; then checks a malformed
+    baseline file is a hard usage error (exit 2), not an open gate. Wired
+    into ctest as ``fwlint-selftest``.
+
+Usage:
+  fwlint_baseline.py regen [--fwlint=PATH] [--repo-root=DIR]
+  fwlint_baseline.py --selftest --fwlint=PATH [--repo-root=DIR]
+
+Exit status: 0 ok, 1 failed selftest, 2 usage error.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+DEFAULT_FWLINT = os.path.join("build", "tools", "fwlint", "fwlint")
+BASELINE_REL = os.path.join("tools", "fwlint", "baseline.json")
+
+
+def fail_usage(msg):
+    print(f"fwlint_baseline: {msg}", file=sys.stderr)
+    print(__doc__, file=sys.stderr)
+    sys.exit(2)
+
+
+def run(cmd, **kw):
+    return subprocess.run(cmd, capture_output=True, text=True, **kw)
+
+
+def regen(fwlint, repo_root):
+    baseline = os.path.join(repo_root, BASELINE_REL)
+    proc = run([fwlint, f"--root={repo_root}", f"--write-baseline={baseline}"])
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        print(f"fwlint_baseline: regen failed (exit {proc.returncode})",
+              file=sys.stderr)
+        return 1
+    print(f"fwlint_baseline: regenerated {baseline}")
+    return 0
+
+
+# A coroutine whose view parameter crosses a co_await: one deterministic
+# suspend-lifetime finding, used to arm and then trip the gate.
+CLEAN_SRC = """\
+#include <string>
+int Tally(const std::string& s) { return static_cast<int>(s.size()); }
+"""
+
+DIRTY_SRC = """\
+#include <string_view>
+struct Co { };
+struct Awaitable { };
+Awaitable Tick();
+Co Echo(std::string_view name) {
+  co_await Tick();
+  (void)name.size();
+}
+"""
+
+
+def expect(cond, what, proc=None):
+    if cond:
+        print(f"selftest: ok - {what}")
+        return True
+    print(f"selftest: FAIL - {what}", file=sys.stderr)
+    if proc is not None:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+    return False
+
+
+def selftest(fwlint):
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="fwlint-selftest-") as tmp:
+        src = os.path.join(tmp, "src")
+        os.makedirs(src)
+        target = os.path.join(src, "probe.cc")
+        baseline = os.path.join(tmp, "baseline.json")
+
+        def lint(*extra):
+            return run([fwlint, f"--root={tmp}", *extra])
+
+        # 1. Clean tree baselines to zero findings and gates green.
+        with open(target, "w") as f:
+            f.write(CLEAN_SRC)
+        proc = lint(f"--write-baseline={baseline}")
+        ok &= expect(proc.returncode == 0, "clean tree writes a baseline", proc)
+        proc = lint(f"--baseline={baseline}")
+        ok &= expect(proc.returncode == 0, "clean tree passes its baseline", proc)
+
+        # 2. Injecting a synthetic finding trips the gate and names it.
+        with open(target, "w") as f:
+            f.write(DIRTY_SRC)
+        proc = lint(f"--baseline={baseline}")
+        ok &= expect(proc.returncode == 1,
+                     "new finding fails baseline mode (exit 1)", proc)
+        ok &= expect("suspend-lifetime" in proc.stdout,
+                     "the new finding is printed with its check name", proc)
+        ok &= expect("NEW finding" in proc.stdout,
+                     "the summary line flags it as NEW", proc)
+
+        # 3. Accepting the finding into the baseline re-arms the gate green.
+        proc = lint(f"--write-baseline={baseline}")
+        ok &= expect(proc.returncode == 0, "baseline regen accepts the finding", proc)
+        debt = os.path.join(tmp, "debt.txt")
+        proc = lint(f"--baseline={baseline}", f"--debt-report={debt}")
+        ok &= expect(proc.returncode == 0,
+                     "baselined finding no longer gates", proc)
+        ok &= expect(os.path.exists(debt) and
+                     "suspend-lifetime: 1" in open(debt).read(),
+                     "debt report counts the baselined finding", proc)
+
+        # 4. Fixing the finding reports the entry as paid down, still green.
+        with open(target, "w") as f:
+            f.write(CLEAN_SRC)
+        proc = lint(f"--baseline={baseline}")
+        ok &= expect(proc.returncode == 0, "fixed finding stays green", proc)
+        ok &= expect("fixed" in proc.stdout,
+                     "paid-down baseline entry is reported", proc)
+
+        # 5. A malformed baseline is a hard error, not an open gate.
+        with open(baseline, "w") as f:
+            f.write("{ not json")
+        proc = lint(f"--baseline={baseline}")
+        ok &= expect(proc.returncode == 2,
+                     "malformed baseline is a usage error (exit 2)", proc)
+    if ok:
+        print("selftest: all checks passed")
+        return 0
+    return 1
+
+
+def main(argv):
+    fwlint = DEFAULT_FWLINT
+    repo_root = "."
+    mode = None
+    for arg in argv[1:]:
+        if arg.startswith("--fwlint="):
+            fwlint = arg[len("--fwlint="):]
+        elif arg.startswith("--repo-root="):
+            repo_root = arg[len("--repo-root="):]
+        elif arg == "--selftest":
+            mode = "selftest"
+        elif arg == "regen":
+            mode = "regen"
+        elif arg in ("--help", "-h"):
+            print(__doc__)
+            return 0
+        else:
+            fail_usage(f"unknown argument '{arg}'")
+    if mode is None:
+        fail_usage("expected 'regen' or '--selftest'")
+    if not os.path.exists(fwlint):
+        fail_usage(f"fwlint binary not found at {fwlint} (build it first, or "
+                   f"pass --fwlint=)")
+    if mode == "regen":
+        return regen(fwlint, repo_root)
+    return selftest(fwlint)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

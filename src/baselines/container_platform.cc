@@ -147,6 +147,14 @@ fwsim::Co<Status> ContainerPlatform::Prewarm(const std::string& fn_name) {
   if (!paused.ok()) {
     co_return paused;
   }
+  // Re-acquire after the suspensions above: holding `it` across a co_await
+  // is only safe while no code path erases installed_ entries; re-finding
+  // keeps that invariant local. Runtime impact: one extra map lookup per
+  // prewarm; behaviour is unchanged while the entry still exists.
+  it = installed_.find(fn_name);
+  if (it == installed_.end()) {
+    co_return Status::NotFound("function " + fn_name + " removed during prewarm");
+  }
   StashWarm(it->second, *std::move(sandbox), fn_name);
   co_return Status::Ok();
 }

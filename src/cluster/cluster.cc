@@ -342,7 +342,9 @@ fwsim::Co<void> Cluster::Worker(int host_index) {
     if (Terminal(req.id)) {
       // The other copy of a hedged request already recorded the outcome;
       // this copy is surplus the moment it surfaces.
-      --hs.inflight;
+      // hosts_ is sized once in Start() and never resized, so element
+      // references stay stable across suspensions.
+      --hs.inflight;  // fwlint:allow(iterator-invalidation)
       ++hedge_discards_;
       obs_.metrics().GetCounter("cluster.hedge_discards").Increment();
       continue;
@@ -494,7 +496,9 @@ fwsim::Co<void> Cluster::Autoscaler(int host_index) {
     if (!running_) {
       break;
     }
-    if (!hs.alive) {
+    // hosts_ is sized once in Start() and never resized, so element
+    // references stay stable across suspensions.
+    if (!hs.alive) {  // fwlint:allow(iterator-invalidation)
       hs.arrivals.clear();
       continue;
     }
@@ -548,7 +552,9 @@ fwsim::Co<void> Cluster::PrepareOne(int host_index, std::string app, uint64_t ep
   HostState& hs = hosts_[host_index];
   const fwbase::SimTime t0 = sim_.Now();
   Status s = co_await hs.host->PrepareClone(app);
-  --hs.preparing[app];
+  // hosts_ is sized once in Start() and never resized, so element
+  // references stay stable across suspensions.
+  --hs.preparing[app];  // fwlint:allow(iterator-invalidation)
   if (!s.ok()) {
     co_return;
   }

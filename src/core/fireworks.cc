@@ -207,8 +207,10 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
     result.attempts = attempt;
     auto instance = std::make_unique<Instance>();
     AttemptTimes times;
-    Status attempted = co_await InvokeAttempt(fn, fn_name, args, options, *instance, times,
-                                              result);
+    // installed_ is a node-based map and no code path erases entries, so the
+    // fn reference stays valid across suspensions.
+    Status attempted = co_await InvokeAttempt(fn, fn_name, args, options, *instance,  // fwlint:allow(iterator-invalidation)
+                                              times, result);
     if (attempted.ok()) {
       // On attempt 1, times.attempt_start == t_frontend_done, making startup
       // exactly (net_done - t0) + (restored - params_queued) — the original
@@ -482,9 +484,12 @@ fwsim::Co<Result<uint64_t>> FireworksPlatform::PrepareClone(const std::string& f
   }
   instance->topic = topic;
 
+  // installed_ is a node-based map and no code path erases entries, so the
+  // fn reference stays valid across suspensions.
   auto restored = co_await hv_.RestoreMicroVm(
-      fn.snapshot_name, fwbase::StrFormat("fw-%s-%llu", fn_name.c_str(),
-                                          static_cast<unsigned long long>(fc_id)));
+      fn.snapshot_name,  // fwlint:allow(iterator-invalidation)
+      fwbase::StrFormat("fw-%s-%llu", fn_name.c_str(),
+                        static_cast<unsigned long long>(fc_id)));
   if (!restored.ok()) {
     Teardown(*instance);
     co_return restored.status();
@@ -793,8 +798,10 @@ fwsim::Co<Status> FireworksPlatform::RegenerateSnapshot(const std::string& fn_na
     faults += space.Touch(static_cast<fwmem::SegmentId>(seg), 0,
                           space.segments()[seg].pages);
   }
+  // installed_ is a node-based map and no code path erases entries, so the
+  // fn reference stays valid across suspensions.
   faults += space.DirtyRandomFraction(space.SegmentByName(fwvmm::kSegGuestKernel), 0.05,
-                                      9000 + static_cast<uint64_t>(fn.version));
+                                      9000 + static_cast<uint64_t>(fn.version));  // fwlint:allow(iterator-invalidation)
   if (space.HasSegment(fwlang::kSegRuntimeHeap)) {
     faults += space.DirtyRandomFraction(space.SegmentByName(fwlang::kSegRuntimeHeap), 0.08,
                                         9100 + static_cast<uint64_t>(fn.version));

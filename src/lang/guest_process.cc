@@ -214,7 +214,9 @@ fwsim::Co<ExecStats> GuestProcess::ExecMethod(const MethodDef& method,
     ++stats.deopts;
     ++state.deopts;
     co_await fwsim::Delay(sim_, costs_.deopt_cost);
-    state.tier = ExecTier::kInterpreter;
+    // methods_ is a node-based map: references survive insertion of other
+    // methods, and nothing ever erases an entry.
+    state.tier = ExecTier::kInterpreter;  // fwlint:allow(iterator-invalidation)
     if (state.deopts >= kPolymorphicThreshold) {
       state.polymorphic = true;
     }

@@ -35,8 +35,13 @@ fwsim::Co<Result<Document>> DocumentDb::Get(const std::string& db, const std::st
   if (doc_it == db_it->second.end()) {
     co_return Status::NotFound("no document " + key + " in " + db);
   }
-  co_await fs_.ReadFile(doc_it->second.SizeBytes());
-  co_return doc_it->second;
+  // Copy before suspending: a concurrent Delete of this document while
+  // ReadFile runs erases the node doc_it points at. Runtime impact: one
+  // Document copy per Get; the simulated read size and the returned value
+  // (as of read start) are unchanged.
+  Document doc = doc_it->second;
+  co_await fs_.ReadFile(doc.SizeBytes());
+  co_return doc;
 }
 
 fwsim::Co<std::vector<Document>> DocumentDb::Scan(const std::string& db) {

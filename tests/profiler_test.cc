@@ -152,7 +152,10 @@ TEST(ProfilerTest, DetachedFramesRootTheirOwnPath) {
   for (const auto& node : m.profiler.nodes()) {
     EXPECT_EQ(node.parent, -1) << m.profiler.scope_name(node.scope);
   }
-  const auto* ti = FindScope(m.profiler.Totals(), "invoke");
+  // Bind the snapshot first: FindScope returns a pointer into it, which
+  // would dangle past the full expression if Totals() stayed a temporary.
+  const auto totals = m.profiler.Totals();
+  const auto* ti = FindScope(totals, "invoke");
   ASSERT_NE(ti, nullptr);
   EXPECT_EQ(ti->sim_total_nanos, Duration::Millis(10).nanos());
   // Detached frames accumulate sim time only: exclusive wall time across an
@@ -197,7 +200,10 @@ TEST(ProfilerTest, MergeFoldsPathsByScopeName) {
   merged.Merge(a.profiler);
   merged.Merge(b.profiler);
 
-  const auto* inner = FindScope(merged.Totals(), "inner");
+  // Bind the snapshot first: FindScope returns a pointer into it, which
+  // would dangle past the full expression if Totals() stayed a temporary.
+  const auto merged_totals = merged.Totals();
+  const auto* inner = FindScope(merged_totals, "inner");
   ASSERT_NE(inner, nullptr);
   EXPECT_EQ(inner->calls, 2u);
   EXPECT_EQ(inner->sim_total_nanos, Duration::Millis(6).nanos());

@@ -1,0 +1,802 @@
+// Flow-aware checks: suspend-lifetime, use-after-move, iterator-invalidation.
+//
+// All three run per recognised function (parser.h) and reason over the
+// statement-level flow summary: token order for sequencing, the block tree
+// for dominance ("on every path") vs reachability ("on some path"), loop
+// blocks for back-edge effects, and lambda blocks as execution boundaries.
+// None of them attempts full dataflow — the models and their deliberate
+// false-negative envelopes are documented in DESIGN.md §14.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/fwlint/fwlint.h"
+
+namespace fwlint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool IsPunct(const Token& t, const char* p) { return t.kind == TokenKind::kPunct && t.text == p; }
+
+// A "bare" identifier read: not a member (`a.x`), qualifier (`ns::x`), or
+// member-through-pointer (`a->x`) — those name a different object.
+bool IsBareIdent(const Tokens& t, size_t q, const std::string& name) {
+  if (t[q].kind != TokenKind::kIdentifier || t[q].text != name) return false;
+  if (q > 0 && (IsPunct(t[q - 1], ".") || IsPunct(t[q - 1], "->") || IsPunct(t[q - 1], "::"))) {
+    return false;
+  }
+  return true;
+}
+
+// Index of the token that ends the statement containing `pos`: the next ';'
+// at paren depth zero, or the next '{'/'}' (compound statement boundary).
+size_t StatementEnd(const Tokens& t, size_t pos) {
+  int depth = 0;
+  for (size_t i = pos; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct) continue;
+    const std::string& s = t[i].text;
+    if (s == "(" || s == "[") ++depth;
+    if (s == ")" || s == "]") --depth;
+    if (depth <= 0 && (s == ";" || s == "{" || s == "}")) return i;
+  }
+  return t.size() == 0 ? 0 : t.size() - 1;
+}
+
+// Walks a postfix chain backwards from `dot` (a '.'/'->' token) and returns
+// the chain's textual form up to but excluding `dot` — e.g. for
+// `db_it->second.erase(k)` called with the '.' before erase, returns
+// "db_it->second" (and the index of the chain's first token via *begin).
+// Returns "" when the walk fails (start of file, unbalanced brackets).
+std::string ChainBefore(const Tokens& t, size_t dot, size_t* begin = nullptr) {
+  size_t i = dot;  // exclusive upper bound of the chain
+  size_t lo = dot;
+  while (lo > 0) {
+    const Token& prev = t[lo - 1];
+    if (prev.kind == TokenKind::kIdentifier) {
+      if (prev.text == "return" || prev.text == "co_return" || prev.text == "co_await") break;
+      --lo;
+      // Continue only if another chain link precedes this identifier.
+      if (lo > 0 && (IsPunct(t[lo - 1], ".") || IsPunct(t[lo - 1], "->") ||
+                     IsPunct(t[lo - 1], "::"))) {
+        --lo;
+        continue;
+      }
+      break;
+    }
+    if (IsPunct(prev, "]")) {  // subscript: skip the balanced bracket group
+      int depth = 0;
+      size_t k = lo - 1;
+      while (true) {
+        if (IsPunct(t[k], "]")) ++depth;
+        if (IsPunct(t[k], "[")) {
+          if (--depth == 0) break;
+        }
+        if (k == 0) return "";
+        --k;
+      }
+      lo = k;
+      continue;
+    }
+    if (IsPunct(prev, ")")) {  // call result: skip the balanced paren group
+      int depth = 0;
+      size_t k = lo - 1;
+      while (true) {
+        if (IsPunct(t[k], ")")) ++depth;
+        if (IsPunct(t[k], "(")) {
+          if (--depth == 0) break;
+        }
+        if (k == 0) return "";
+        --k;
+      }
+      lo = k;
+      continue;
+    }
+    break;
+  }
+  if (lo >= i) return "";
+  if (t[lo].kind != TokenKind::kIdentifier) return "";
+  std::string s;
+  for (size_t k = lo; k < i; ++k) {
+    s += t[k].text;
+  }
+  if (begin != nullptr) *begin = lo;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// suspend-lifetime
+// ---------------------------------------------------------------------------
+
+// Initialiser expressions that manufacture a temporary a view could dangle
+// into: substrings, stream/str() materialisation, formatted strings, and
+// explicit std::string(...) construction.
+const std::set<std::string>& TempProducers() {
+  static const std::set<std::string> kProducers = {
+      "substr", "str", "ToString", "to_string", "Format", "StrCat", "Join", "string",
+  };
+  return kProducers;
+}
+
+// True if an await at `s` can execute before the read at `q`: either s
+// precedes q on some forward path and its statement completes first (a read
+// inside `co_await F(x)`'s own statement happens while building the
+// awaitable, before suspension), or both sit inside the same loop (the back
+// edge runs the await "before" a textually earlier — or same-statement —
+// read on the next iteration).
+bool AwaitThreatens(const Tokens& t, const ParseResult& p, size_t s, size_t q) {
+  if (s < q && q > StatementEnd(t, s) && p.Reaches(s, q)) return true;
+  const int loop = p.EnclosingLoop(s);
+  return loop >= 0 && p.IsAncestorOrSelf(loop, p.BlockOf(q));
+}
+
+// True if the statement containing `pos` opens with return/co_return/throw —
+// the value leaves the function, so "the moved-from variable" is never read
+// again on this path.
+bool InExitStatement(const Tokens& t, size_t pos) {
+  size_t start = pos;
+  while (start > 0 && !(IsPunct(t[start - 1], ";") || IsPunct(t[start - 1], "{") ||
+                        IsPunct(t[start - 1], "}"))) {
+    --start;
+  }
+  return start < t.size() && (t[start].ident("return") || t[start].ident("co_return") ||
+                              t[start].ident("throw"));
+}
+
+}  // namespace
+
+void Analyzer::CheckSuspendLifetime(const File& f, std::vector<Diagnostic>& out) const {
+  const Tokens& t = f.lex.tokens;
+  const ParseResult& p = f.parse;
+
+  for (const FunctionInfo& fn : p.functions) {
+    if (!fn.has_body || fn.awaits.empty()) {
+      continue;
+    }
+
+    // (a) Parameters that reference caller-owned storage, read after a
+    // suspension point. Views (string_view/span) are flagged in every
+    // coroutine: a lazily-started Co can outlive the viewed buffer whenever
+    // the call site stores the task instead of awaiting the full expression.
+    // Plain references/pointers are flagged only for coroutines the tree
+    // detaches via Spawn — a structurally awaited callee's caller keeps its
+    // arguments alive, but a detached frame owns nothing it didn't copy —
+    // and only under src/: test and bench drivers Spawn ref-taking helpers
+    // then join via sim.Run() before the referents unwind, a discipline the
+    // cross-file name match cannot see (DESIGN.md §14).
+    const bool detachable = f.path.rfind("src/", 0) == 0;
+    for (const Param& prm : fn.params) {
+      if (prm.name.empty()) {
+        continue;
+      }
+      const bool view = prm.is_view;
+      const bool detached_ref =
+          detachable && (prm.is_ref || prm.is_ptr) && detached_fns_.count(fn.name) != 0;
+      if (!view && !detached_ref) {
+        continue;
+      }
+      for (size_t q = fn.body_open + 1; q < fn.body_close && q < t.size(); ++q) {
+        if (!IsBareIdent(t, q, prm.name)) {
+          continue;
+        }
+        bool dangerous = false;
+        for (size_t s : fn.awaits) {
+          if (AwaitThreatens(t, p, s, q)) {
+            dangerous = true;
+            break;
+          }
+        }
+        if (!dangerous) {
+          continue;
+        }
+        if (view) {
+          out.push_back({f.path, t[q].line, "suspend-lifetime",
+                         "view parameter '" + prm.name + "' of coroutine '" + fn.name +
+                             "' is read after a co_await: the viewed buffer can die while "
+                             "the frame is suspended; take std::string/std::vector by value "
+                             "or copy before the first suspension"});
+        } else {
+          out.push_back({f.path, t[q].line, "suspend-lifetime",
+                         "reference parameter '" + prm.name + "' of detached coroutine '" +
+                             fn.name +
+                             "' is read after a co_await: the frame is Spawned, so the "
+                             "caller's argument may be destroyed while it is suspended; "
+                             "take it by value"});
+        }
+        break;  // one diagnostic per parameter
+      }
+    }
+
+    // (b) View locals bound to freshly materialised temporaries and read
+    // across a suspension point. (Reference locals are deliberately *not*
+    // flagged: a temporary bound to a const&/&& local is lifetime-extended
+    // into the coroutine frame and survives suspension; a string_view is
+    // not, and dangles the moment the full-expression ends.)
+    for (size_t i = fn.body_open + 1; i + 2 < fn.body_close && i + 2 < t.size(); ++i) {
+      if (t[i].kind != TokenKind::kIdentifier ||
+          (t[i].text != "string_view" && t[i].text != "span")) {
+        continue;
+      }
+      size_t j = i + 1;
+      if (j < t.size() && IsPunct(t[j], "<")) {  // span<T>
+        int depth = 0;
+        for (; j < t.size(); ++j) {
+          if (IsPunct(t[j], "<")) ++depth;
+          if (IsPunct(t[j], ">") && --depth == 0) break;
+          if (IsPunct(t[j], ">>")) {
+            depth -= 2;
+            if (depth <= 0) break;
+          }
+          if (IsPunct(t[j], ";")) break;
+        }
+        ++j;
+      }
+      if (j >= t.size() || t[j].kind != TokenKind::kIdentifier || IsKeywordText(t[j].text)) {
+        continue;
+      }
+      const std::string name = t[j].text;
+      const size_t name_pos = j;
+      ++j;
+      if (j >= t.size() || !(IsPunct(t[j], "=") || IsPunct(t[j], "{") || IsPunct(t[j], "("))) {
+        continue;
+      }
+      const size_t decl_end = StatementEnd(t, name_pos);
+      bool temp_bound = false;
+      bool saw_string_literal = false, saw_plus = false;
+      for (size_t k = j; k < decl_end; ++k) {
+        if (t[k].kind == TokenKind::kIdentifier && TempProducers().count(t[k].text) != 0 &&
+            k + 1 < t.size() && IsPunct(t[k + 1], "(")) {
+          temp_bound = true;
+          break;
+        }
+        if (t[k].kind == TokenKind::kString) saw_string_literal = true;
+        if (IsPunct(t[k], "+")) saw_plus = true;
+      }
+      if (!temp_bound && !(saw_string_literal && saw_plus)) {
+        continue;
+      }
+      for (size_t q = decl_end + 1; q < fn.body_close && q < t.size(); ++q) {
+        if (!IsBareIdent(t, q, name)) {
+          continue;
+        }
+        bool dangerous = false;
+        for (size_t s : fn.awaits) {
+          if (s > decl_end && AwaitThreatens(t, p, s, q)) {
+            dangerous = true;
+            break;
+          }
+        }
+        if (!dangerous) {
+          continue;
+        }
+        out.push_back({f.path, t[q].line, "suspend-lifetime",
+                       "view local '" + name +
+                           "' is bound to a temporary and read after a co_await: the "
+                           "temporary dies at the end of its full-expression, so the view "
+                           "dangles across the suspension; materialise a std::string/"
+                           "std::vector instead"});
+        break;
+      }
+    }
+  }
+
+  // (c) Coroutine lambdas with by-reference captures. The lambda's frame is
+  // its own coroutine frame: by the time a suspended continuation resumes,
+  // the enclosing scope the captures point into may be gone. This is the
+  // canonical C++ coroutine-lambda bug and is flagged unconditionally —
+  // capture by value or pass state through parameters.
+  for (const LambdaInfo& lam : p.lambdas) {
+    if (!lam.is_coroutine || !(lam.captures_default_ref || !lam.ref_captures.empty())) {
+      continue;
+    }
+    std::string what = lam.captures_default_ref ? "[&]" : ("[&" + lam.ref_captures[0] + "]");
+    out.push_back({f.path, lam.line, "suspend-lifetime",
+                   "coroutine lambda captures by reference (" + what +
+                       "): the lambda's coroutine frame can outlive the enclosing scope, "
+                       "leaving the captures dangling after a suspension; capture by value "
+                       "or pass state as parameters"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// use-after-move
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-variable event trace inside one function body.
+struct MoveEvents {
+  std::vector<size_t> kills;  // statement-end positions of reassignments/decls
+  std::vector<size_t> uses;   // bare-read positions
+};
+
+bool IsResetMethod(const std::string& s) {
+  return s == "clear" || s == "reset" || s == "assign" || s == "emplace" || s == "swap";
+}
+
+// Collects kills and uses of `name` within [begin, end).
+MoveEvents CollectMoveEvents(const Tokens& t, const std::string& name, size_t begin,
+                             size_t end) {
+  MoveEvents ev;
+  for (size_t q = begin; q < end && q < t.size(); ++q) {
+    if (!IsBareIdent(t, q, name)) {
+      continue;
+    }
+    const Token* next = q + 1 < t.size() ? &t[q + 1] : nullptr;
+    // Reassignment: `x = ...` (plain '=' only; '==' etc. lex as one token).
+    if (next != nullptr && IsPunct(*next, "=")) {
+      ev.kills.push_back(StatementEnd(t, q));
+      continue;
+    }
+    // Re-initialisation through a mutating method: x.clear() / x.reset(...).
+    if (next != nullptr && (IsPunct(*next, ".") || IsPunct(*next, "->")) && q + 3 < t.size() &&
+        t[q + 2].kind == TokenKind::kIdentifier && IsResetMethod(t[q + 2].text) &&
+        IsPunct(t[q + 3], "(")) {
+      ev.kills.push_back(StatementEnd(t, q));
+      continue;
+    }
+    if (q > 0) {
+      const Token& prev = t[q - 1];
+      // Address-of as an out-parameter (`f(&x)`): treated as a refill.
+      if (IsPunct(prev, "&") && q >= 2 && t[q - 2].kind == TokenKind::kPunct) {
+        ev.kills.push_back(StatementEnd(t, q));
+        continue;
+      }
+      // Declaration (`T x = ...`, `auto& x : ...`): a fresh binding. The
+      // `a * x` / `T* x` ambiguity is resolved toward "kill" on purpose —
+      // a missed finding beats a false one here.
+      if ((prev.kind == TokenKind::kIdentifier &&
+           (prev.text == "auto" || !IsKeywordText(prev.text))) ||
+          IsPunct(prev, ">") || IsPunct(prev, "*") || IsPunct(prev, "&") ||
+          IsPunct(prev, "&&")) {
+        ev.kills.push_back(StatementEnd(t, q));
+        continue;
+      }
+    }
+    ev.uses.push_back(q);
+  }
+  std::sort(ev.kills.begin(), ev.kills.end());
+  return ev;
+}
+
+}  // namespace
+
+void Analyzer::CheckUseAfterMove(const File& f, std::vector<Diagnostic>& out) const {
+  const Tokens& t = f.lex.tokens;
+  const ParseResult& p = f.parse;
+
+  for (const FunctionInfo& fn : p.functions) {
+    if (!fn.has_body) {
+      continue;
+    }
+    // Find every `std::move(x)` of a plain variable in this body.
+    std::map<std::string, MoveEvents> events;
+    for (size_t i = fn.body_open + 1; i + 5 < fn.body_close && i + 5 < t.size(); ++i) {
+      if (!(t[i].ident("std") && IsPunct(t[i + 1], "::") && t[i + 2].ident("move") &&
+            IsPunct(t[i + 3], "(") && t[i + 4].kind == TokenKind::kIdentifier &&
+            IsPunct(t[i + 5], ")"))) {
+        continue;
+      }
+      const std::string& name = t[i + 4].text;
+      if (name == "this" || IsKeywordText(name)) {
+        continue;
+      }
+      const size_t px = i + 4;
+      if (InExitStatement(t, px)) {
+        continue;  // the move rides out on a return/throw; nothing follows
+      }
+      auto it = events.find(name);
+      if (it == events.end()) {
+        it = events.emplace(name, CollectMoveEvents(t, name, fn.body_open + 1, fn.body_close))
+                 .first;
+      }
+      const MoveEvents& ev = it->second;
+
+      // Straight-line rule: a read reachable from the move with no
+      // dominating reassignment in between reads a moved-from value.
+      for (size_t q : ev.uses) {
+        if (q <= px) {
+          continue;
+        }
+        if (p.EnclosingLambda(px) != p.EnclosingLambda(q)) {
+          continue;  // a different execution context, not a forward path
+        }
+        if (!p.Reaches(px, q)) {
+          continue;
+        }
+        bool killed = false;
+        for (size_t k : ev.kills) {
+          if (k > px && k <= q && p.Dominates(k, q)) {
+            killed = true;
+            break;
+          }
+        }
+        if (killed) {
+          continue;
+        }
+        out.push_back({f.path, t[q].line, "use-after-move",
+                       "'" + name + "' is read here after std::move('" + name + "') on line " +
+                           std::to_string(t[px].line) +
+                           " with no reassignment on the path between them; the moved-from "
+                           "value is unspecified"});
+        break;  // one diagnostic per move site
+      }
+
+      // Back-edge rule: a move inside a loop with no reassignment anywhere in
+      // the loop body hands a moved-from value to the next iteration.
+      const int loop = p.EnclosingLoop(px);
+      if (loop >= 0) {
+        const Block& L = p.blocks[static_cast<size_t>(loop)];
+        bool reset_in_loop = false;
+        for (size_t k : ev.kills) {
+          if (k > L.open && k < L.close) {
+            reset_in_loop = true;
+            break;
+          }
+        }
+        // A loop-header declaration (`for (auto& x : ...)`, `for (T x = ...`)
+        // rebinds per iteration; the header sits between the loop's '(' and
+        // its '{', outside the body block.
+        if (!reset_in_loop && L.open > 0 && IsPunct(t[L.open - 1], ")")) {
+          int depth = 0;
+          for (size_t k = L.open; k-- > 0;) {
+            if (IsPunct(t[k], ")")) ++depth;
+            if (IsPunct(t[k], "(")) {
+              if (--depth == 0) break;
+            }
+            if (depth > 0 && t[k].kind == TokenKind::kIdentifier && t[k].text == name) {
+              reset_in_loop = true;
+              break;
+            }
+          }
+        }
+        if (!reset_in_loop) {
+          out.push_back({f.path, t[px].line, "use-after-move",
+                         "std::move('" + name +
+                             "') inside a loop with no reassignment in the loop body: the "
+                             "next iteration reads (and re-moves) a moved-from value"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// iterator-invalidation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const std::set<std::string>& IteratorProducers() {
+  static const std::set<std::string> kProducers = {
+      "begin", "cbegin", "rbegin", "crbegin", "end",         "cend",
+      "find",  "lower_bound", "upper_bound",  "equal_range",
+  };
+  return kProducers;
+}
+
+const std::set<std::string>& ElementProducers() {
+  static const std::set<std::string> kProducers = {"back", "front", "at", "top"};
+  return kProducers;
+}
+
+const std::set<std::string>& ContainerMutators() {
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "push_front", "emplace_front", "insert",
+      "emplace",   "emplace_hint", "erase",      "clear",         "resize",
+      "reserve",   "pop_back",     "pop_front",  "assign",        "rehash",
+  };
+  return kMutators;
+}
+
+struct Binding {
+  std::string name;
+  std::string container;  // textual chain, e.g. "hosts_" or "db_it->second"
+  bool is_iterator = false;  // vs element reference
+  bool member_like = false;  // container owned by an object that outlives the stmt
+  size_t decl_end = 0;       // statement-end token index of the declaration
+  int decl_line = 0;
+};
+
+struct Mutation {
+  std::string container;
+  std::string method;
+  size_t pos = 0;  // statement-end position (the effect is visible after it)
+  int line = 0;
+};
+
+bool MemberLike(const std::string& container) {
+  if (container.empty()) return false;
+  if (container.back() == '_') return true;
+  return container.find("->") != std::string::npos || container.find('.') != std::string::npos;
+}
+
+// Parses the init chain after '=' at `eq`; fills container/is_iterator on
+// success. `trackers` resolves `it->second` style chains through an already
+// tracked iterator.
+bool ParseInitChain(const Tokens& t, size_t eq, size_t stmt_end,
+                    const std::vector<Binding>& trackers, bool ref_binding, Binding& b) {
+  size_t i = eq + 1;
+  if (i < stmt_end && t[i].ident("co_await")) return false;  // awaited value: fresh copy
+  if (i >= stmt_end || t[i].kind != TokenKind::kIdentifier) return false;
+  const size_t base = i;
+
+  // `auto it2 = it;` — copy an existing binding.
+  if (i + 1 == stmt_end) {
+    for (const Binding& other : trackers) {
+      if (other.name == t[base].text) {
+        b.container = other.container;
+        b.is_iterator = other.is_iterator;
+        b.member_like = other.member_like;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Walk the chain, remembering the last '.'/'->' component and whether a
+  // top-level subscript ends the chain.
+  std::string chain = t[base].text;
+  std::string last_component;
+  std::string container_before_last;
+  size_t j = base + 1;
+  bool subscripted = false;
+  std::string container_before_subscript;
+  while (j < stmt_end) {
+    if ((IsPunct(t[j], ".") || IsPunct(t[j], "->") || IsPunct(t[j], "::")) &&
+        j + 1 < stmt_end && t[j + 1].kind == TokenKind::kIdentifier) {
+      container_before_last = chain;
+      last_component = t[j + 1].text;
+      chain += t[j].text + t[j + 1].text;
+      j += 2;
+      continue;
+    }
+    if (IsPunct(t[j], "[")) {
+      container_before_subscript = chain;
+      subscripted = true;
+      int depth = 0;
+      for (; j < stmt_end; ++j) {
+        if (IsPunct(t[j], "[")) ++depth;
+        if (IsPunct(t[j], "]") && --depth == 0) break;
+      }
+      if (j >= stmt_end) return false;
+      chain += "[]";
+      ++j;
+      continue;
+    }
+    if (IsPunct(t[j], "(")) {
+      int depth = 0;
+      size_t close = j;
+      for (; close < stmt_end; ++close) {
+        if (IsPunct(t[close], "(")) ++depth;
+        if (IsPunct(t[close], ")") && --depth == 0) break;
+      }
+      if (close >= stmt_end) return false;
+      chain += "()";
+      j = close + 1;
+      continue;
+    }
+    break;
+  }
+  if (j != stmt_end) return false;  // trailing arithmetic etc.: not a plain chain
+
+  if (!last_component.empty() && IteratorProducers().count(last_component) != 0) {
+    b.container = container_before_last;
+    b.is_iterator = true;
+    b.member_like = MemberLike(b.container);
+    return true;
+  }
+  if (!ref_binding) {
+    return false;  // values copied out of containers are safe
+  }
+  if (!last_component.empty() && ElementProducers().count(last_component) != 0) {
+    b.container = container_before_last;
+    b.is_iterator = false;
+    b.member_like = MemberLike(b.container);
+    return true;
+  }
+  if (subscripted) {
+    b.container = container_before_subscript;
+    b.is_iterator = false;
+    b.member_like = MemberLike(b.container);
+    return true;
+  }
+  if (last_component == "first" || last_component == "second") {
+    // A ref through a tracked iterator inherits that iterator's container.
+    for (const Binding& other : trackers) {
+      if (other.name == t[base].text) {
+        b.container = other.container;
+        b.is_iterator = false;
+        b.member_like = other.member_like;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void Analyzer::CheckIteratorInvalidation(const File& f, std::vector<Diagnostic>& out) const {
+  const Tokens& t = f.lex.tokens;
+  const ParseResult& p = f.parse;
+
+  for (const FunctionInfo& fn : p.functions) {
+    if (!fn.has_body) {
+      continue;
+    }
+
+    // Pass 1: bindings (iterators and element references) declared in this
+    // body, in declaration order so later chains can resolve through them.
+    std::vector<Binding> bindings;
+    for (size_t i = fn.body_open + 1; i + 2 < fn.body_close && i + 2 < t.size(); ++i) {
+      size_t name_pos = kNpos;
+      bool ref_binding = false;
+      // `auto it = ...;` / `const auto& ref = ...;` / `T& ref = ...;`
+      if (t[i].kind == TokenKind::kIdentifier && t[i + 1].kind == TokenKind::kIdentifier &&
+          IsPunct(t[i + 2], "=") && (t[i].text == "auto" || t[i].text == "iterator" ||
+                                     t[i].text == "const_iterator")) {
+        name_pos = i + 1;
+      } else if ((IsPunct(t[i], "&")) && t[i + 1].kind == TokenKind::kIdentifier &&
+                 IsPunct(t[i + 2], "=") && i > 0 &&
+                 (t[i - 1].kind == TokenKind::kIdentifier || IsPunct(t[i - 1], ">"))) {
+        name_pos = i + 1;
+        ref_binding = true;
+      }
+      if (name_pos == kNpos || IsKeywordText(t[name_pos].text)) {
+        continue;
+      }
+      const size_t eq = name_pos + 1;
+      const size_t stmt_end = StatementEnd(t, eq);
+      if (stmt_end >= t.size() || !IsPunct(t[stmt_end], ";")) {
+        continue;
+      }
+      Binding b;
+      b.name = t[name_pos].text;
+      b.decl_end = stmt_end;
+      b.decl_line = t[name_pos].line;
+      size_t init = eq + 1;
+      // `auto& ref = *it;` — deref of a tracked iterator.
+      if (init < stmt_end && IsPunct(t[init], "*") && init + 1 < stmt_end &&
+          t[init + 1].kind == TokenKind::kIdentifier && init + 2 == stmt_end) {
+        bool resolved = false;
+        for (const Binding& other : bindings) {
+          if (other.name == t[init + 1].text && other.is_iterator) {
+            b.container = other.container;
+            b.is_iterator = false;
+            b.member_like = other.member_like;
+            resolved = true;
+            break;
+          }
+        }
+        if (!resolved) {
+          continue;
+        }
+      } else if (!ParseInitChain(t, eq, stmt_end, bindings, ref_binding, b)) {
+        continue;
+      }
+      bindings.push_back(std::move(b));
+    }
+    if (bindings.empty()) {
+      continue;
+    }
+
+    // Pass 2: mutation events on any container chain in this body. The
+    // effect position is the statement end: `it = c.erase(it)` both uses and
+    // refreshes `it` inside the same statement, which must not flag.
+    std::vector<Mutation> mutations;
+    for (size_t i = fn.body_open + 1; i + 2 < fn.body_close && i + 2 < t.size(); ++i) {
+      if (!(IsPunct(t[i], ".") || IsPunct(t[i], "->"))) {
+        continue;
+      }
+      if (!(t[i + 1].kind == TokenKind::kIdentifier &&
+            ContainerMutators().count(t[i + 1].text) != 0 && IsPunct(t[i + 2], "("))) {
+        // `c[k] = v` inserts into a map (the ISSUE's operator[]-insert):
+        // treated as a mutation of `c` too.
+        continue;
+      }
+      const std::string container = ChainBefore(t, i);
+      if (container.empty()) {
+        continue;
+      }
+      mutations.push_back({container, t[i + 1].text, StatementEnd(t, i), t[i + 1].line});
+    }
+    for (size_t i = fn.body_open + 1; i + 2 < fn.body_close && i + 2 < t.size(); ++i) {
+      // Subscript-assign: `chain[...] = v;` — operator[] insertion for maps.
+      if (!IsPunct(t[i], "[")) {
+        continue;
+      }
+      int depth = 0;
+      size_t close = i;
+      for (; close < fn.body_close && close < t.size(); ++close) {
+        if (IsPunct(t[close], "[")) ++depth;
+        if (IsPunct(t[close], "]") && --depth == 0) break;
+      }
+      if (close + 1 >= t.size() || !IsPunct(t[close + 1], "=")) {
+        continue;
+      }
+      const std::string container = ChainBefore(t, i);
+      if (container.empty()) {
+        continue;
+      }
+      mutations.push_back({container, "operator[]", StatementEnd(t, i), t[i].line});
+    }
+
+    // Pass 3: judge every use of every binding.
+    for (const Binding& b : bindings) {
+      // Kills: reassignments of the binding name refresh it.
+      std::vector<size_t> kills;
+      for (size_t q = b.decl_end + 1; q < fn.body_close && q < t.size(); ++q) {
+        if (IsBareIdent(t, q, b.name) && q + 1 < t.size() && IsPunct(t[q + 1], "=")) {
+          kills.push_back(StatementEnd(t, q));
+        }
+      }
+      bool reported_mutation = false, reported_await = false;
+      for (size_t q = b.decl_end + 1; q < fn.body_close && q < t.size(); ++q) {
+        if (!IsBareIdent(t, q, b.name)) {
+          continue;
+        }
+        if (q + 1 < t.size() && IsPunct(t[q + 1], "=")) {
+          continue;  // the reassignment itself is a write, not a read
+        }
+        const auto unprotected = [&](size_t threat) {
+          for (size_t k : kills) {
+            if (k >= threat && k <= q && p.Dominates(k, q)) {
+              return false;
+            }
+          }
+          return true;
+        };
+        if (!reported_mutation) {
+          for (const Mutation& m : mutations) {
+            if (m.container != b.container) {
+              continue;
+            }
+            if (m.pos < b.decl_end || m.pos >= q || !p.Reaches(m.pos, q) ||
+                !unprotected(m.pos)) {
+              continue;
+            }
+            out.push_back(
+                {f.path, t[q].line, "iterator-invalidation",
+                 std::string(b.is_iterator ? "iterator '" : "reference '") + b.name +
+                     "' into '" + b.container + "' (line " + std::to_string(b.decl_line) +
+                     ") is used after '" + b.container + "." + m.method + "(...)' on line " +
+                     std::to_string(m.line) +
+                     " which may invalidate it; re-acquire it after the mutation"});
+            reported_mutation = true;
+            break;
+          }
+        }
+        if (!reported_await && b.member_like) {
+          for (size_t s : fn.awaits) {
+            // A use inside the co_await's own statement happens before the
+            // suspension; only uses after the statement completes are held
+            // across it.
+            if (s <= b.decl_end || s >= q || q <= StatementEnd(t, s) ||
+                !p.Reaches(s, q) || !unprotected(s)) {
+              continue;
+            }
+            out.push_back(
+                {f.path, t[q].line, "iterator-invalidation",
+                 std::string(b.is_iterator ? "iterator '" : "reference '") + b.name +
+                     "' into '" + b.container + "' (line " + std::to_string(b.decl_line) +
+                     ") is held across the co_await on line " + std::to_string(t[s].line) +
+                     ": other coroutines can run and mutate '" + b.container +
+                     "' while this one is suspended; re-look-up after resuming"});
+            reported_await = true;
+            break;
+          }
+        }
+        if (reported_mutation && reported_await) {
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fwlint

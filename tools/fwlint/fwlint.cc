@@ -6,15 +6,8 @@
 #include <utility>
 
 namespace fwlint {
-namespace {
 
-// ---------------------------------------------------------------------------
-// Shared token-walking helpers
-// ---------------------------------------------------------------------------
-
-using Tokens = std::vector<Token>;
-
-bool IsKeyword(const std::string& s) {
+bool IsKeywordText(const std::string& s) {
   static const std::set<std::string> kKeywords = {
       "alignas",   "alignof",  "auto",      "break",     "case",       "catch",
       "class",     "const",    "constexpr", "consteval", "constinit",  "continue",
@@ -29,6 +22,16 @@ bool IsKeyword(const std::string& s) {
   };
   return kKeywords.count(s) != 0;
 }
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared token-walking helpers
+// ---------------------------------------------------------------------------
+
+using Tokens = std::vector<Token>;
+
+bool IsKeyword(const std::string& s) { return IsKeywordText(s); }
 
 // Skips a balanced parenthesised group. `i` must point at the opening "(".
 // Returns the index just past the matching ")" (or tokens.size() on EOF).
@@ -153,8 +156,10 @@ std::string Diagnostic::ToString() const {
 
 const std::vector<std::string>& AllChecks() {
   static const std::vector<std::string> kChecks = {
-      "determinism",  "unordered-iteration", "discarded-status", "layering",
-      "coro-hygiene", "unbounded-queue",     "hot-path-logging",
+      "determinism",      "unordered-iteration",  "discarded-status",
+      "layering",         "coro-hygiene",         "unbounded-queue",
+      "hot-path-logging", "suspend-lifetime",     "use-after-move",
+      "iterator-invalidation", "stale-suppression",
   };
   return kChecks;
 }
@@ -163,33 +168,46 @@ void Analyzer::AddFile(std::string path, std::string content) {
   File f;
   f.path = std::move(path);
   f.lex = Lex(content);
+  f.parse = Parse(f.lex.tokens);
   f.content = std::move(content);
   files_.push_back(std::move(f));
   registry_built_ = false;
 }
 
-// Phase one: collect names of functions *declared* to return Status,
-// Result<T>, StatusOr<T>, or Co<T>. The pattern is
-//   (Status | Result<...> | StatusOr<...> | Co<...>) <identifier> (
-// which matches declarations and definitions but not constructor calls
-// (`Status(...)`), template heads, or uses in expressions. Variable
-// declarations of the form `Result<X> r(...)` also match; the resulting
-// registry entry is harmless because `r(...)` as a bare statement would be a
-// dropped result anyway.
+// Phase one: cross-file registries, rebuilt on the structural parser (PR 3's
+// token-pattern version missed qualified out-of-line definitions like
+// `Status Store::Remove(...)` and `Co<void> Cluster::Worker(...) { ... }` —
+// the "registry drift" the flow-aware rewrite closes). Functions *declared*
+// to return Status / Result<T> / StatusOr<T> feed discarded-status; Co<...>
+// feeds coro-hygiene and suspend-lifetime. Variable declarations of the form
+// `Result<X> r(...)` still register; the entry is harmless because `r(...)`
+// as a bare statement would be a dropped result anyway.
 void Analyzer::BuildRegistry() {
   status_fns_.clear();
   coro_fns_.clear();
   unordered_vars_.clear();
+  detached_fns_.clear();
+
+  for (const File& f : files_) {
+    for (const FunctionInfo& fn : f.parse.functions) {
+      if (fn.returns_co) {
+        coro_fns_.insert(fn.name);
+      } else if (fn.returns_status) {
+        status_fns_.insert(fn.name);
+      }
+    }
+  }
 
   // Unordered-container names are collected across *all* files: a member
   // declared `std::unordered_map<...> roots_;` in a header is most often
-  // iterated from the matching .cc, which never re-states the type.
+  // iterated from the matching .cc, which never re-states the type. Aliases
+  // (`using AppMap = std::unordered_map<...>`) are likewise resolved across
+  // files — a header's alias is most often instantiated in a different TU.
   static const std::set<std::string> kUnorderedTemplates = {
       "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  std::set<std::string> unordered_types = kUnorderedTemplates;
   for (const File& f : files_) {
     const Tokens& t = f.lex.tokens;
-    // Same-file aliases first: `using Alias = std::unordered_map<...>;`.
-    std::set<std::string> unordered_types = kUnorderedTemplates;
     for (size_t i = 0; i + 3 < t.size(); ++i) {
       if (t[i].ident("using") && t[i + 1].kind == TokenKind::kIdentifier &&
           t[i + 2].punct("=")) {
@@ -201,6 +219,9 @@ void Analyzer::BuildRegistry() {
         }
       }
     }
+  }
+  for (const File& f : files_) {
+    const Tokens& t = f.lex.tokens;
     for (size_t i = 0; i < t.size(); ++i) {
       if (t[i].kind != TokenKind::kIdentifier || unordered_types.count(t[i].text) == 0) {
         continue;
@@ -223,38 +244,29 @@ void Analyzer::BuildRegistry() {
     }
   }
 
+  // Detached coroutines: names called directly inside a Spawn(...) argument
+  // list. `sim.Spawn(Worker(i))` detaches Worker from the caller's frame, so
+  // Worker's reference parameters outlive nothing — suspend-lifetime treats
+  // those names more strictly than structurally awaited coroutines.
   for (const File& f : files_) {
     const Tokens& t = f.lex.tokens;
-    for (size_t i = 0; i + 1 < t.size(); ++i) {
-      if (t[i].kind != TokenKind::kIdentifier) {
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (!(t[i].ident("Spawn") && t[i + 1].punct("("))) {
         continue;
       }
-      const std::string& type = t[i].text;
-      const bool is_status = (type == "Status");
-      const bool is_templated =
-          (type == "Result" || type == "StatusOr" || type == "Co");
-      if (!is_status && !is_templated) {
-        continue;
-      }
-      size_t j = i + 1;
-      if (is_templated) {
-        if (!(j < t.size() && t[j].punct("<"))) {
-          continue;
+      const size_t close = SkipParens(t, i + 1);
+      // Only the directly spawned expression counts: calls inside a lambda
+      // body passed to Spawn are awaited by that lambda's own frame, not
+      // detached (track brace depth and skip them).
+      int brace_depth = 0;
+      for (size_t j = i + 2; j + 1 < close; ++j) {
+        if (t[j].punct("{")) ++brace_depth;
+        if (t[j].punct("}")) --brace_depth;
+        if (brace_depth == 0 && t[j].kind == TokenKind::kIdentifier &&
+            !IsKeyword(t[j].text) && t[j + 1].punct("(") && t[j].text != "move" &&
+            t[j].text != "Spawn" && coro_fns_.count(t[j].text) != 0) {
+          detached_fns_.insert(t[j].text);
         }
-        std::optional<size_t> after = TrySkipAngles(t, j);
-        if (!after.has_value()) {
-          continue;
-        }
-        j = *after;
-      }
-      if (!(j + 1 < t.size() && t[j].kind == TokenKind::kIdentifier &&
-            !IsKeyword(t[j].text) && t[j + 1].punct("("))) {
-        continue;
-      }
-      if (type == "Co") {
-        coro_fns_.insert(t[j].text);
-      } else {
-        status_fns_.insert(t[j].text);
       }
     }
   }
@@ -269,49 +281,82 @@ std::vector<Diagnostic> Analyzer::Run(const std::set<std::string>& checks) {
     return checks.empty() || checks.count(name) != 0;
   };
 
+  // Every check runs unconditionally: staleness of a suppression has to be
+  // judged against the complete finding set, or `--check=layering` would
+  // declare every determinism allow stale. `checks` filters the output only.
   std::vector<Diagnostic> raw;
   for (const File& f : files_) {
-    if (enabled("determinism")) {
-      CheckDeterminism(f, raw);
-    }
-    if (enabled("unordered-iteration")) {
-      CheckUnorderedIteration(f, raw);
-    }
-    if (enabled("discarded-status") || enabled("coro-hygiene")) {
-      std::vector<Diagnostic> calls;
-      CheckBareCalls(f, calls);
-      for (Diagnostic& d : calls) {
-        if (enabled(d.check)) {
-          raw.push_back(std::move(d));
-        }
-      }
-    }
-    if (enabled("layering")) {
-      CheckLayering(f, raw);
-    }
-    if (enabled("unbounded-queue")) {
-      CheckUnboundedQueue(f, raw);
-    }
-    if (enabled("hot-path-logging")) {
-      CheckHotPathLogging(f, raw);
-    }
+    CheckDeterminism(f, raw);
+    CheckUnorderedIteration(f, raw);
+    CheckBareCalls(f, raw);
+    CheckLayering(f, raw);
+    CheckUnboundedQueue(f, raw);
+    CheckHotPathLogging(f, raw);
+    CheckSuspendLifetime(f, raw);
+    CheckUseAfterMove(f, raw);
+    CheckIteratorInvalidation(f, raw);
   }
 
-  // Apply per-line suppressions, then sort for stable output.
-  std::vector<Diagnostic> out;
-  for (Diagnostic& d : raw) {
-    const File* file = nullptr;
-    for (const File& f : files_) {
-      if (f.path == d.file) {
-        file = &f;
-        break;
+  // Resolve every fwlint:allow occurrence against the raw findings: an allow
+  // whose named check produced nothing on its line is stale — the code it
+  // excused has been fixed (or the suppression never matched), and keeping it
+  // would silently swallow the next real finding on that line.
+  suppression_sites_.clear();
+  for (const File& f : files_) {
+    for (const auto& [line, names] : f.lex.suppressions) {
+      for (const std::string& name : names) {
+        SuppressionSite site{f.path, line, name, /*stale=*/true};
+        for (const Diagnostic& d : raw) {
+          if (d.file != f.path || d.line != line) {
+            continue;
+          }
+          if (name == "all" || d.check == name) {
+            site.stale = false;
+            break;
+          }
+        }
+        suppression_sites_.push_back(std::move(site));
       }
     }
-    if (file != nullptr) {
-      auto it = file->lex.suppressions.find(d.line);
-      if (it != file->lex.suppressions.end() &&
-          (it->second.count(d.check) != 0 || it->second.count("all") != 0)) {
-        continue;
+  }
+  std::sort(suppression_sites_.begin(), suppression_sites_.end(),
+            [](const SuppressionSite& a, const SuppressionSite& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  for (const SuppressionSite& site : suppression_sites_) {
+    if (!site.stale) {
+      continue;
+    }
+    raw.push_back({site.file, site.line, "stale-suppression",
+                   "fwlint:allow(" + site.check +
+                       ") matches no finding on this line; delete it so suppression "
+                       "debt shrinks instead of rotting (or fix the check name)"});
+  }
+
+  // Apply per-line suppressions and the check filter, then sort for stable
+  // output. stale-suppression itself is deliberately not suppressible — an
+  // allow for it would be fresh debt about stale debt.
+  std::vector<Diagnostic> out;
+  for (Diagnostic& d : raw) {
+    if (!enabled(d.check)) {
+      continue;
+    }
+    if (d.check != "stale-suppression") {
+      const File* file = nullptr;
+      for (const File& f : files_) {
+        if (f.path == d.file) {
+          file = &f;
+          break;
+        }
+      }
+      if (file != nullptr) {
+        auto it = file->lex.suppressions.find(d.line);
+        if (it != file->lex.suppressions.end() &&
+            (it->second.count(d.check) != 0 || it->second.count("all") != 0)) {
+          continue;
+        }
       }
     }
     out.push_back(std::move(d));

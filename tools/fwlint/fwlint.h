@@ -21,22 +21,45 @@
 //                        without a cap or shed policy; overload then queues
 //                        to death instead of shedding (see DESIGN.md §11)
 //   hot-path-logging     FW_LOG(kInfo)-or-lower inside a block registered as
-//                        a hot path by a profiler scope guard
-//                        (FW_PROFILE_SCOPE / FW_PROFILE_SCOPE_ID /
-//                        ProfileScope): a format+write per event once the
-//                        log level admits it, in exactly the code the
-//                        profiler says is hot (see DESIGN.md §12)
+//                        a hot path by a profiler scope guard (see §12)
+//
+// plus the flow-aware checks built on the structural parser (parser.h),
+// which recovers function/coroutine boundaries, parameters, lambdas, and a
+// statement-level block tree (see DESIGN.md §14):
+//
+//   suspend-lifetime     state that dies while a coroutine is suspended:
+//                        view (string_view/span) parameters — and reference/
+//                        pointer parameters of detached-Spawned coroutines —
+//                        read after a co_await; view locals bound to
+//                        temporaries and read across a co_await; coroutine
+//                        lambdas with by-reference captures
+//   use-after-move       reads of a variable after std::move(x) on a forward
+//                        path with no reassignment, including the moved-in-a-
+//                        loop-without-reassignment variant
+//   iterator-invalidation an iterator or element reference into a container
+//                        used after a mutating call on that container
+//                        (push_back/erase/insert/...), or held across a
+//                        co_await when the container is member-like (other
+//                        coroutines can mutate it while this one is
+//                        suspended)
+//   stale-suppression    a per-line fwlint:allow(<check>) that no longer
+//                        matches any finding of that check on its line, so
+//                        suppression debt shrinks instead of rotting
 //
 // Any diagnostic can be suppressed for one line with
 //   // fwlint:allow(<check>)           e.g.  // fwlint:allow(determinism)
 // on that line (inside any comment; "all" suppresses every check).
 //
-// The analyzer is two-phase: AddFile() every translation unit first, then
-// Run(). Phase one builds a cross-file registry of Status- and Co-returning
-// function names from their declarations; phase two walks each file's token
-// stream. There is deliberately no libclang dependency — the lexer in
-// lexer.h is enough for these checks and keeps the tool buildable anywhere
-// the simulator builds.
+// The analyzer is multi-pass: AddFile() every translation unit first (each
+// file is lexed and structurally parsed once), then Run(). Phase one builds
+// cross-file registries — Status-/Co-returning function names (from parsed
+// declarations, so multi-line and qualified out-of-line forms register),
+// unordered-container variable names (with cross-file alias resolution), and
+// the set of coroutine names that are detached via Simulation::Spawn. Phase
+// two runs every check over every file's tokens + parse. There is
+// deliberately no libclang dependency — the lexer + parser subset is enough
+// for these checks and keeps the tool buildable anywhere the simulator
+// builds.
 #ifndef FIREWORKS_TOOLS_FWLINT_FWLINT_H_
 #define FIREWORKS_TOOLS_FWLINT_FWLINT_H_
 
@@ -45,6 +68,7 @@
 #include <vector>
 
 #include "tools/fwlint/lexer.h"
+#include "tools/fwlint/parser.h"
 
 namespace fwlint {
 
@@ -58,8 +82,20 @@ struct Diagnostic {
   std::string ToString() const;
 };
 
+// One fwlint:allow(<check>) occurrence, with staleness resolved against the
+// most recent Run(). The suppression-debt report serialises these.
+struct SuppressionSite {
+  std::string file;
+  int line = 0;
+  std::string check;  // the suppressed check name (or "all")
+  bool stale = false; // matched no finding of that check on its line
+};
+
 // All check names, in reporting order.
 const std::vector<std::string>& AllChecks();
+
+// True for C++ keywords (which the lexer emits as kIdentifier tokens).
+bool IsKeywordText(const std::string& s);
 
 class Analyzer {
  public:
@@ -68,23 +104,33 @@ class Analyzer {
   // the layering check key off it.
   void AddFile(std::string path, std::string content);
 
-  // Runs the given checks (empty set = all) over every added file. Returned
-  // diagnostics are sorted by (file, line, check) and already have per-line
-  // fwlint:allow() suppressions applied.
+  // Runs the analysis and returns diagnostics for the given checks (empty
+  // set = all). Every check always executes internally — staleness of a
+  // suppression is judged against the full finding set, not the requested
+  // subset — and `checks` only filters what is returned. Diagnostics are
+  // sorted by (file, line, check) and already have per-line fwlint:allow()
+  // suppressions applied.
   std::vector<Diagnostic> Run(const std::set<std::string>& checks = {});
 
+  // Every fwlint:allow occurrence seen by the most recent Run(), with
+  // staleness resolved. Sorted by (file, line, check).
+  const std::vector<SuppressionSite>& suppression_sites() const { return suppression_sites_; }
+
   // Exposed for tests: the registry of function names declared to return
-  // Status/Result/StatusOr (resp. Co<...>) across all added files, and of
-  // variable/member names declared with an unordered container type.
+  // Status/Result/StatusOr (resp. Co<...>) across all added files, of
+  // variable/member names declared with an unordered container type, and of
+  // coroutine names passed to Spawn (detached from their caller's lifetime).
   const std::set<std::string>& status_functions() const { return status_fns_; }
   const std::set<std::string>& coro_functions() const { return coro_fns_; }
   const std::set<std::string>& unordered_variables() const { return unordered_vars_; }
+  const std::set<std::string>& detached_coroutines() const { return detached_fns_; }
 
  private:
   struct File {
     std::string path;
     std::string content;
     LexResult lex;
+    ParseResult parse;
   };
 
   void BuildRegistry();
@@ -94,11 +140,17 @@ class Analyzer {
   void CheckLayering(const File& f, std::vector<Diagnostic>& out) const;
   void CheckUnboundedQueue(const File& f, std::vector<Diagnostic>& out) const;
   void CheckHotPathLogging(const File& f, std::vector<Diagnostic>& out) const;
+  // Flow-aware checks (tools/fwlint/flow.cc).
+  void CheckSuspendLifetime(const File& f, std::vector<Diagnostic>& out) const;
+  void CheckUseAfterMove(const File& f, std::vector<Diagnostic>& out) const;
+  void CheckIteratorInvalidation(const File& f, std::vector<Diagnostic>& out) const;
 
   std::vector<File> files_;
   std::set<std::string> status_fns_;
   std::set<std::string> coro_fns_;
   std::set<std::string> unordered_vars_;
+  std::set<std::string> detached_fns_;
+  std::vector<SuppressionSite> suppression_sites_;
   bool registry_built_ = false;
 };
 
