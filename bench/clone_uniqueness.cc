@@ -1,0 +1,289 @@
+// Clone-uniqueness bench: what the vmgenid resume protocol costs, and what
+// it buys (DESIGN.md §15).
+//
+// Drives the two warm-restore paths of a full-fidelity FireworksPlatform —
+// the snapshot Invoke path and the warm-pool PrepareClone/InvokeOnClone
+// path — twice: once with Config::restore_uniqueness off (the raw snapshot
+// semantics: every clone resumes with the byte-identical RNG stream, request
+// id counter and clock base captured at install) and once with it on (every
+// restore pays the generation notification, guest RNG reseed and monotonic
+// clock rebase before serving traffic).
+//
+// The bench asserts its own acceptance criteria:
+//   - with the fix OFF, request-id collisions are observed (the bug is real
+//     and measurable, not hypothetical);
+//   - with the fix ON, every invocation mints a distinct request id;
+//   - the uniqueness protocol adds at most 5% to the mean warm-restore
+//     latency (the ISSUE 9 bound);
+//   - same-seed runs are bit-identical.
+//
+// Flags:
+//   --invocations=N  restore+invoke pairs per path per mode  (default 300)
+//   --seed=S         simulation seed                         (default 42)
+//   --smoke          reduced scale for CI
+//   --no-selfcheck   skip the determinism re-run
+//   --json=FILE      write machine-readable results
+//   --report=FILE    write one fwbench/1 report (scripts/bench_trend.py input)
+#include <chrono>  // host wall time for the report
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/base/stats.h"
+#include "src/base/strings.h"
+#include "src/core/fireworks.h"
+#include "src/core/platform.h"
+#include "src/simcore/run_sync.h"
+#include "src/workloads/faasdom.h"
+
+namespace {
+
+using fwbase::Duration;
+using fwbase::SampleStats;
+using fwcore::FireworksPlatform;
+using fwcore::HostEnv;
+using fwcore::InvokeOptions;
+using fwsim::RunSync;
+
+struct Options {
+  Options() {}
+  int invocations = 300;
+  uint64_t seed = 42;
+  bool selfcheck = true;
+  std::string json_path;
+  std::string report_path;
+};
+
+struct ModeResult {
+  ModeResult() {}
+  SampleStats warm_restore_ms;   // PrepareClone wall time (netns + restore [+ reseed]).
+  SampleStats invoke_startup_ms; // Invoke-path startup (restore [+ reseed]).
+  uint64_t invocations = 0;
+  uint64_t distinct_ids = 0;
+  uint64_t duplicate_ids = 0;
+  uint64_t reseeds = 0;
+  uint64_t digest = 0;
+};
+
+ModeResult RunMode(bool uniqueness, const Options& opt) {
+  HostEnv::Config host_config;
+  host_config.seed = opt.seed;
+  HostEnv env(host_config);
+  FireworksPlatform::Config config;
+  config.restore_uniqueness = uniqueness;
+  FireworksPlatform platform(env, config);
+
+  fwlang::FunctionSource fn =
+      fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+  fn.name = "uniq-bench";
+  {
+    const auto installed = RunSync(env.sim(), platform.Install(fn));
+    FW_CHECK_MSG(installed.ok(), installed.status().ToString().c_str());
+  }
+
+  ModeResult r;
+  std::set<uint64_t> seen;
+  uint64_t digest = 0xcbf29ce484222325ull;
+  const auto mix = [&digest](uint64_t v) {
+    digest ^= v;
+    digest *= 0x100000001b3ull;
+  };
+  const auto record = [&](uint64_t request_id) {
+    ++r.invocations;
+    if (seen.insert(request_id).second) {
+      ++r.distinct_ids;
+    } else {
+      ++r.duplicate_ids;
+    }
+    mix(request_id);
+  };
+
+  // Path 1: the snapshot Invoke path. `startup` covers netns + restore and,
+  // when enabled, the vmgenid resume protocol.
+  for (int i = 0; i < opt.invocations; ++i) {
+    const auto result = RunSync(env.sim(), platform.Invoke("uniq-bench", "{}", InvokeOptions()));
+    FW_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    r.invoke_startup_ms.Add(result->startup.millis());
+    record(result->exec_stats.request_id);
+    mix(static_cast<uint64_t>(result->startup.nanos()));
+  }
+
+  // Path 2: the warm pool. PrepareClone is the off-critical-path restore the
+  // cluster layer pays per parked clone; the reseed lands there.
+  for (int i = 0; i < opt.invocations; ++i) {
+    const fwbase::SimTime t0 = env.sim().Now();
+    const auto prepared = RunSync(env.sim(), platform.PrepareClone("uniq-bench"));
+    FW_CHECK_MSG(prepared.ok(), prepared.status().ToString().c_str());
+    r.warm_restore_ms.Add((env.sim().Now() - t0).millis());
+    const auto result =
+        RunSync(env.sim(), platform.InvokeOnClone("uniq-bench", "{}", InvokeOptions()));
+    FW_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    record(result->exec_stats.request_id);
+  }
+
+  r.reseeds = env.metrics().GetCounter("fw.uniqueness.reseed.count").value();
+  r.digest = digest;
+  return r;
+}
+
+void WriteJson(const std::string& path, const Options& opt, const ModeResult& off,
+               const ModeResult& on, double overhead_pct, bool selfcheck_ran,
+               bool selfcheck_identical) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  const auto mode_json = [f](const char* label, const ModeResult& m) {
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"invocations\": %" PRIu64
+                 ", \"warm_restore_mean_ms\": %.4f, \"invoke_startup_mean_ms\": %.4f, "
+                 "\"distinct_ids\": %" PRIu64 ", \"duplicate_ids\": %" PRIu64
+                 ", \"reseeds\": %" PRIu64 ", \"digest\": \"%016" PRIx64 "\"}",
+                 label, m.invocations, m.warm_restore_ms.mean(), m.invoke_startup_ms.mean(),
+                 m.distinct_ids, m.duplicate_ids, m.reseeds, m.digest);
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"config\": {\"invocations\": %d, \"seed\": %" PRIu64 "},\n",
+               opt.invocations, opt.seed);
+  std::fprintf(f, "  \"runs\": [\n");
+  mode_json("uniqueness-off", off);
+  std::fprintf(f, ",\n");
+  mode_json("uniqueness-on", on);
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f, "  \"uniqueness_overhead_pct\": %.4f,\n", overhead_pct);
+  std::fprintf(f, "  \"selfcheck\": {\"ran\": %s, \"bit_identical\": %s}\n",
+               selfcheck_ran ? "true" : "false", selfcheck_identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+Options ParseFlags(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--invocations=", 14) == 0) {
+      opt.invocations = std::atoi(arg + 14);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opt.seed = static_cast<uint64_t>(std::strtoull(arg + 7, nullptr, 10));
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      opt.invocations = 60;
+    } else if (std::strcmp(arg, "--no-selfcheck") == 0) {
+      opt.selfcheck = false;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opt.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--report=", 9) == 0) {
+      opt.report_path = arg + 9;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      std::exit(2);
+    }
+  }
+  if (opt.invocations < 2) {
+    std::fprintf(stderr, "need --invocations >= 2 to observe a collision\n");
+    std::exit(2);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseFlags(argc, argv);
+
+  std::printf("clone_uniqueness: %d invocations per path per mode, seed %" PRIu64 "\n\n",
+              opt.invocations, opt.seed);
+
+  const auto wall_start =  // host time; report-only
+      std::chrono::steady_clock::now();  // fwlint:allow(determinism)
+  const ModeResult off = RunMode(/*uniqueness=*/false, opt);
+  const ModeResult on = RunMode(/*uniqueness=*/true, opt);
+  const double wall_seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - wall_start).count();  // fwlint:allow(determinism)
+
+  const double overhead_pct =
+      off.warm_restore_ms.mean() > 0.0
+          ? (on.warm_restore_ms.mean() - off.warm_restore_ms.mean()) /
+                off.warm_restore_ms.mean() * 100.0
+          : 0.0;
+
+  fwbench::Table table("vmgenid uniqueness restoration: resume-latency delta",
+                       {"mode", "warm restore mean ms", "invoke startup mean ms",
+                        "distinct ids", "duplicate ids", "reseeds"});
+  for (const auto& [label, m] :
+       {std::pair<const char*, const ModeResult&>{"uniqueness-off", off},
+        std::pair<const char*, const ModeResult&>{"uniqueness-on", on}}) {
+    table.AddRow({label, fwbase::StrFormat("%.4f", m.warm_restore_ms.mean()),
+                  fwbase::StrFormat("%.4f", m.invoke_startup_ms.mean()),
+                  fwbase::StrFormat("%" PRIu64, m.distinct_ids),
+                  fwbase::StrFormat("%" PRIu64, m.duplicate_ids),
+                  fwbase::StrFormat("%" PRIu64, m.reseeds)});
+  }
+  table.Print();
+  std::printf("\nuniqueness overhead: %.2f%% on mean warm-restore latency\n", overhead_pct);
+
+  bool ok = true;
+  // The bug must be demonstrably red with the fix off: clones replay the
+  // snapshot's identity, so "random" request ids collide.
+  if (off.duplicate_ids == 0) {
+    std::fprintf(stderr, "FAIL: no request-id collision with uniqueness off — the "
+                 "detector observed nothing\n");
+    ok = false;
+  }
+  // And green with it on: every invocation minted a fresh id.
+  if (on.duplicate_ids != 0 || on.distinct_ids != on.invocations) {
+    std::fprintf(stderr, "FAIL: %" PRIu64 " duplicate request ids with uniqueness on\n",
+                 on.duplicate_ids);
+    ok = false;
+  }
+  // ISSUE 9 acceptance bound: <= 5% on mean warm-restore latency.
+  if (overhead_pct > 5.0) {
+    std::fprintf(stderr, "FAIL: uniqueness overhead %.2f%% exceeds the 5%% budget\n",
+                 overhead_pct);
+    ok = false;
+  }
+  if (on.reseeds == 0) {
+    std::fprintf(stderr, "FAIL: uniqueness on but no reseed protocol ran\n");
+    ok = false;
+  }
+
+  bool identical = false;
+  if (opt.selfcheck) {
+    const ModeResult again = RunMode(/*uniqueness=*/true, opt);
+    identical = again.digest == on.digest;
+    std::printf("determinism: two seed-%" PRIu64 " uniqueness-on runs are %s (digest "
+                "%016" PRIx64 ")\n",
+                opt.seed, identical ? "bit-identical" : "DIFFERENT", on.digest);
+    if (!identical) {
+      std::fprintf(stderr, "determinism self-check FAILED\n");
+      ok = false;
+    }
+  }
+
+  if (!opt.json_path.empty()) {
+    WriteJson(opt.json_path, opt, off, on, overhead_pct, opt.selfcheck, identical);
+  }
+
+  if (!opt.report_path.empty()) {
+    fwbench::BenchReport report("clone_uniqueness");
+    report.AddConfig("invocations", opt.invocations);
+    report.AddConfig("seed", opt.seed);
+    report.AddGuardedMetric("warm_restore_mean_ms", on.warm_restore_ms.mean(), "lower");
+    report.AddGuardedMetric("invoke_startup_mean_ms", on.invoke_startup_ms.mean(), "lower");
+    report.AddGuardedMetric("uniqueness_overhead_pct", overhead_pct, "lower");
+    report.AddGuardedMetric("distinct_ids", static_cast<double>(on.distinct_ids), "higher");
+    report.AddMetric("baseline_warm_restore_mean_ms", off.warm_restore_ms.mean());
+    report.AddMetric("baseline_duplicate_ids", static_cast<double>(off.duplicate_ids));
+    report.AddMetric("reseeds", static_cast<double>(on.reseeds));
+    report.AddMetric("wall_seconds", wall_seconds);  // host-dependent: never guarded
+    report.SetDigest(on.digest);
+    report.WriteTo(opt.report_path);
+  }
+  return ok ? 0 : 1;
+}

@@ -236,6 +236,7 @@ void Cluster::RecordCompletion(const Request& req, const fwcore::InvocationResul
   out.startup = result.startup;
   out.exec = result.exec;
   out.warm_hit = warm_hit;
+  out.request_id = result.exec_stats.request_id;
   ++out.completions;
   ++completed_;
   latency_ms_.Add(out.latency.millis());
@@ -728,6 +729,7 @@ uint64_t Cluster::OutcomeDigest() const {
     mix(static_cast<uint64_t>(out.attempts));
     mix(static_cast<uint64_t>(out.latency.nanos()));
     mix(out.completions);
+    mix(out.request_id);
     mix(static_cast<uint64_t>(out.status.code()) + 1);
   }
   return digest;

@@ -178,6 +178,9 @@ class Cluster {
     Duration startup;
     Duration exec;
     bool warm_hit = false;
+    // Guest-minted request id (DESIGN.md §15). 0 when the host model does not
+    // run a real guest (ModelHost fabricates results without exec stats).
+    uint64_t request_id = 0;
     uint64_t completions = 0;  // Recorded completions; exactly-once ⇒ 1.
   };
 

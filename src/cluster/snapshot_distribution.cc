@@ -25,7 +25,8 @@ SnapshotDistribution::SnapshotDistribution(fwsim::Simulation& sim, int num_hosts
       injector_(injector),
       fabric_(sim, config.fabric),
       holds_(static_cast<size_t>(num_hosts)),
-      warm_(static_cast<size_t>(num_hosts)) {
+      warm_(static_cast<size_t>(num_hosts)),
+      generations_(static_cast<size_t>(num_hosts), 0) {
   FW_CHECK(num_hosts > 0);
   FW_CHECK(config.chunk_bytes > 0);
   FW_CHECK(config.max_fetch_attempts >= 1);
@@ -304,29 +305,49 @@ fwsim::Co<Status> SnapshotDistribution::EnsureSnapshot(int host, const std::stri
 }
 
 fwsim::Co<void> SnapshotDistribution::WarmRestore(int host, const std::string& app) {
-  if (!config_.enabled || Warm(host, app)) {
+  if (!config_.enabled) {
     co_return;
   }
-  const SnapshotManifest* m = registry_.Peek(app);
-  const uint64_t ws_bytes = m != nullptr ? m->working_set_bytes : 0;
-  const uint64_t ws_pages = m != nullptr ? m->working_set_pages() : 0;
-  if (config_.working_set_restore && ws_bytes > 0) {
-    // REAP restore: one bulk sequential read of exactly the recorded set.
-    fwobs::ScopedSpan span(&obs_.tracer(), "registry.workingset_prefetch", "registry");
-    span.SetAttribute("bytes", ws_bytes);
-    co_await fwsim::Delay(
-        sim_, Duration::SecondsF(static_cast<double>(ws_bytes) /
-                                 config_.prefetch_bandwidth_bytes_per_sec));
-    ++stats_.warm_restores;
-  } else if (ws_pages > 0) {
-    // No prefetch: the first invocation demand-faults every touched page,
-    // one random read at a time.
-    fwobs::ScopedSpan span(&obs_.tracer(), "registry.demand_faults", "registry");
-    span.SetAttribute("pages", ws_pages);
-    co_await fwsim::Delay(sim_, config_.demand_fault_read * static_cast<double>(ws_pages));
-    ++stats_.demand_restores;
+  if (!Warm(host, app)) {
+    const SnapshotManifest* m = registry_.Peek(app);
+    const uint64_t ws_bytes = m != nullptr ? m->working_set_bytes : 0;
+    const uint64_t ws_pages = m != nullptr ? m->working_set_pages() : 0;
+    if (config_.working_set_restore && ws_bytes > 0) {
+      // REAP restore: one bulk sequential read of exactly the recorded set.
+      fwobs::ScopedSpan span(&obs_.tracer(), "registry.workingset_prefetch", "registry");
+      span.SetAttribute("bytes", ws_bytes);
+      co_await fwsim::Delay(
+          sim_, Duration::SecondsF(static_cast<double>(ws_bytes) /
+                                   config_.prefetch_bandwidth_bytes_per_sec));
+      ++stats_.warm_restores;
+    } else if (ws_pages > 0) {
+      // No prefetch: the first invocation demand-faults every touched page,
+      // one random read at a time.
+      fwobs::ScopedSpan span(&obs_.tracer(), "registry.demand_faults", "registry");
+      span.SetAttribute("pages", ws_pages);
+      co_await fwsim::Delay(sim_, config_.demand_fault_read * static_cast<double>(ws_pages));
+      ++stats_.demand_restores;
+    }
+    if (config_.restore_uniqueness) {
+      // The freshly restored clone's identity is a byte copy of the
+      // snapshot's (DESIGN.md §15): bump the host's vmgenid generation and
+      // pay the guest RNG reseed + monotonic-clock rebase before the clone
+      // serves traffic. Charged once per actual restore — a warm (host, app)
+      // keeps its already-reseeded resident instance and pays nothing.
+      const uint64_t generation = ++generations_[static_cast<size_t>(host)];
+      {
+        fwobs::ScopedSpan span(&obs_.tracer(), "registry.guest_reseed", "registry");
+        span.SetAttribute("generation", generation);
+        co_await fwsim::Delay(sim_, config_.guest_reseed_cost);
+      }
+      {
+        fwobs::ScopedSpan span(&obs_.tracer(), "registry.clock_rebase", "registry");
+        co_await fwsim::Delay(sim_, config_.clock_rebase_cost);
+      }
+      ++stats_.guest_reseeds;
+    }
+    warm_[static_cast<size_t>(host)].insert(app);
   }
-  warm_[static_cast<size_t>(host)].insert(app);
 }
 
 }  // namespace fwcluster

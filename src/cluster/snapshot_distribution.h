@@ -93,6 +93,16 @@ struct DistributionConfig {
   // Full cold boot (no snapshot at all) when every fetch source is lost.
   fwbase::Duration cold_boot_cost = fwbase::Duration::Millis(1500);
 
+  // vmgenid-style uniqueness restoration on every modeled restore
+  // (DESIGN.md §15): each WarmRestore call bumps the host's generation
+  // counter and charges the guest-side reseed + clock-rebase latency before
+  // the clone serves traffic, surfaced as registry.guest_reseed /
+  // registry.clock_rebase spans. The costs mirror the full-fidelity
+  // RuntimeCosts vmgenid numbers (Node.js).
+  bool restore_uniqueness = true;
+  fwbase::Duration guest_reseed_cost = fwbase::Duration::Micros(220);
+  fwbase::Duration clock_rebase_cost = fwbase::Duration::Micros(50);
+
   fwnet::ClusterFabric::Config fabric;
 };
 
@@ -114,6 +124,7 @@ struct DistributionStats {
   uint64_t cache_evictions = 0;
   uint64_t warm_restores = 0;   // Working-set prefetches performed.
   uint64_t demand_restores = 0; // First invocations that demand-faulted.
+  uint64_t guest_reseeds = 0;   // vmgenid reseed protocols completed (§15).
 };
 
 class SnapshotDistribution {
@@ -157,6 +168,9 @@ class SnapshotDistribution {
   fwsim::Co<void> WarmRestore(int host, const std::string& app);
 
   const DistributionStats& stats() const { return stats_; }
+  // vmgenid generation high-water mark for `host` (monotonic, never reset —
+  // not even across OnHostRestart, mirroring a real vmgenid counter).
+  uint64_t Generation(int host) const { return generations_[static_cast<size_t>(host)]; }
   const fwstore::SnapshotRegistry& registry() const { return registry_; }
   const fwnet::ClusterFabric& fabric() const { return fabric_; }
   const fwstore::ChunkCache& cache(int host) const { return *caches_[host]; }
@@ -182,6 +196,8 @@ class SnapshotDistribution {
   // Which hosts hold which app (installed snapshot images).
   std::vector<std::set<std::string>> holds_;
   std::vector<std::set<std::string>> warm_;
+  // Per-host vmgenid counter: one bump per modeled restore (§15).
+  std::vector<uint64_t> generations_;
   // digest -> hosts whose cache holds the chunk (peer-fetch index; entries
   // leave when the owning cache evicts).
   std::map<uint64_t, std::set<int>> chunk_holders_;

@@ -122,6 +122,8 @@ fwsim::Co<Result<InstallResult>> FireworksPlatform::Install(const fwlang::Functi
                                                   fwstore::FsKind::kVirtio);
   GuestProcess process(env_.sim(), record.annotated->language, vm->address_space(),
                        MakeGuestEnv(fs.get(), netns_id, kGuestIp), ChargerFor(vm));
+  // One virtio-rng read at runtime start seeds the guest RNG (DESIGN.md §15).
+  process.set_boot_entropy(hv_.DrawGuestEntropy());
   co_await process.InstallPackages(*record.annotated);
   co_await process.BootRuntime();
   co_await process.LoadApplication(*record.annotated);
@@ -308,8 +310,10 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
       // Exponential backoff with jitter from the sim RNG (drawn only here, on
       // the failure path, so fault-free runs never consume it).
       const Duration base = config_.retry_backoff * static_cast<int64_t>(1 << (attempt - 1));
-      const Duration backoff =
-          Duration::SecondsF(base.seconds() * (1.0 + env_.sim().rng().UniformDouble()));
+      // Host-side scheduling jitter, never guest-visible state.
+      const double jitter =
+          1.0 + env_.sim().rng().UniformDouble();  // fwlint:allow(snapshot-captured-identity)
+      const Duration backoff = Duration::SecondsF(base.seconds() * jitter);
       fwobs::ScopedSpan retry_span(tracer_, "invoke.retry", "invoke");
       retry_span.SetAttribute("attempt", static_cast<uint64_t>(attempt));
       co_await fwsim::Delay(env_.sim(), backoff);
@@ -327,6 +331,28 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::Invoke(const std::string&
     last_error = cold;
   }
   co_return last_error;
+}
+
+fwsim::Co<void> FireworksPlatform::RestoreUniqueness(fwlang::GuestProcess& process,
+                                                     fwvmm::MicroVm& vm) {
+  // vmgenid resume protocol (DESIGN.md §15). The whole exchange sits on the
+  // restore critical path: a clone that answered traffic before it would be
+  // serving with byte-identical RNG/clock/id state from the snapshot.
+  auto& profiler = env_.obs().profiler();
+  const uint64_t prof_token =
+      profiler.enabled() ? profiler.EnterDetached(profiler.RegisterScope("fw.guest_reseed")) : 0;
+  {
+    fwobs::ScopedSpan reseed_span(tracer_, "invoke.guest_reseed", "invoke");
+    reseed_span.SetAttribute("generation", vm.generation());
+    co_await hv_.NotifyGenerationChange(vm);
+    co_await process.ReseedFromHostEntropy(vm.generation(), hv_.DrawGuestEntropy());
+  }
+  {
+    fwobs::ScopedSpan rebase_span(tracer_, "invoke.clock_rebase", "invoke");
+    co_await process.RebaseMonotonicClock(vm.generation());
+  }
+  profiler.Exit(prof_token);
+  env_.metrics().GetCounter("fw.uniqueness.reseed.count").Increment();
 }
 
 fwsim::Co<Status> FireworksPlatform::InvokeAttempt(const InstalledFunction& fn,
@@ -406,11 +432,11 @@ fwsim::Co<Status> FireworksPlatform::InvokeAttempt(const InstalledFunction& fn,
                                         2000 + fc_id);
     co_await hv_.ServiceFaults(*vm, faults);
   }
-  restore_span.End();
-  times.restored = env_.sim().Now();
-  fwobs::ScopedSpan consume_span(tracer_, "invoke.params.consume", "invoke");
 
-  // The resumed guest identifies itself via MMDS and fetches its parameters.
+  // Attach the resumed guest's runtime (free: the process state is a value
+  // copy), then restore its uniqueness while still inside the restore window
+  // — the clone must not touch user traffic with snapshot-duplicated
+  // identity (DESIGN.md §15).
   instance.fs = std::make_unique<fwstore::Filesystem>(env_.sim(), env_.disk(),
                                                       fwstore::FsKind::kVirtio);
   instance.process = GuestProcess::FromState(fn.process_state, env_.sim(),
@@ -419,7 +445,14 @@ fwsim::Co<Status> FireworksPlatform::InvokeAttempt(const InstalledFunction& fn,
                                                           kGuestIp),
                                              ChargerFor(vm));
   instance.process->set_mem_salt(fc_id);
+  if (config_.restore_uniqueness) {
+    co_await RestoreUniqueness(*instance.process, *vm);
+  }
+  restore_span.End();
+  times.restored = env_.sim().Now();
+  fwobs::ScopedSpan consume_span(tracer_, "invoke.params.consume", "invoke");
 
+  // The resumed guest identifies itself via MMDS and fetches its parameters.
   auto fc_id_value = co_await hv_.GuestReadMmds(*vm, "fcID");
   FW_CHECK(fc_id_value.ok());
   // Bounded wait: a dropped args record must surface as kDeadlineExceeded,
@@ -534,6 +567,13 @@ fwsim::Co<Result<uint64_t>> FireworksPlatform::PrepareClone(const std::string& f
                                                            kGuestIp),
                                               ChargerFor(vm));
   instance->process->set_mem_salt(fc_id);
+  if (config_.restore_uniqueness) {
+    // Reseed before parking: a parked clone is one Produce away from user
+    // traffic, so its identity must already be unique when it enters the
+    // pool. A crash between restore and this completing leaves the clone's
+    // observed generation stale — InvokeOnClone refuses to admit it.
+    co_await RestoreUniqueness(*instance->process, *vm);
+  }
   auto fc_id_value = co_await hv_.GuestReadMmds(*vm, "fcID");
   FW_CHECK(fc_id_value.ok());
 
@@ -554,6 +594,17 @@ fwsim::Co<Result<InvocationResult>> FireworksPlatform::InvokeOnClone(
     pool_.erase(pit);
   }
   const InstalledFunction& fn = *instance->fn;
+  if (config_.restore_uniqueness &&
+      instance->process->observed_generation() != instance->vm->generation()) {
+    // The clone's resume protocol never completed (e.g. a crash between
+    // restore and reseed-acknowledge): it still carries snapshot-duplicated
+    // identity and must not serve user traffic. Discard it; the caller falls
+    // back to the full invoke path, which restores a fresh, reseeded clone.
+    env_.metrics().GetCounter("fw.uniqueness.stale_clone_discarded.count").Increment();
+    Teardown(*instance);
+    co_return Status::FailedPrecondition("parked clone for " + fn_name +
+                                         " has a stale VM generation");
+  }
   InvocationResult result;
   result.cold = false;
   const SimTime t0 = env_.sim().Now();
@@ -706,6 +757,9 @@ fwsim::Co<Status> FireworksPlatform::ColdBootInvoke(const InstalledFunction& fn,
                                                   fwstore::FsKind::kVirtio);
   GuestProcess process(env_.sim(), fn.annotated->language, vm->address_space(),
                        MakeGuestEnv(fs.get(), netns_id, kGuestIp), ChargerFor(vm));
+  // A cold boot is a fresh guest: it reads fresh boot entropy rather than
+  // inheriting a snapshot's identity (DESIGN.md §15).
+  process.set_boot_entropy(hv_.DrawGuestEntropy());
   co_await process.InstallPackages(*fn.annotated);
   co_await process.BootRuntime();
   co_await process.LoadApplication(*fn.annotated);

@@ -75,6 +75,14 @@ class FireworksPlatform : public ServerlessPlatform {
     // Degrade to a full cold boot (create + boot + load, no snapshot) once
     // the snapshot path is exhausted.
     bool cold_boot_fallback = true;
+    // --- Uniqueness restoration (DESIGN.md §15) -----------------------------
+    // vmgenid-style resume protocol on every snapshot restore: the hypervisor
+    // notifies the resumed guest of its new generation and the guest reseeds
+    // its RNG from fresh host entropy + rebases its monotonic clock before
+    // serving traffic. Off = the raw collision (clones share RNG streams,
+    // request ids and timestamps) — kept togglable so the detector tests can
+    // demonstrate the bug and the bench can price the fix.
+    bool restore_uniqueness = true;
     fwvmm::MicroVmConfig vm_config;
     fwvmm::Hypervisor::Config hv_config;
   };
@@ -179,6 +187,12 @@ class FireworksPlatform : public ServerlessPlatform {
                                fwnet::IpAddr guest_ip);
   fwlang::GuestProcess::FaultCharger ChargerFor(fwvmm::MicroVm* vm);
   void Teardown(Instance& instance);
+
+  // vmgenid resume protocol for a freshly restored clone (DESIGN.md §15):
+  // generation-change notification, guest RNG reseed from host entropy, and
+  // monotonic-clock rebase — charged on the restore critical path, emitted
+  // as guest_reseed/clock_rebase child spans of the caller's restore span.
+  fwsim::Co<void> RestoreUniqueness(fwlang::GuestProcess& process, fwvmm::MicroVm& vm);
 
   // One attempt of the snapshot invoke path (netns → produce → restore →
   // consume → exec → response). Fills `instance` incrementally so the caller

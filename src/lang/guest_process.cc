@@ -13,6 +13,24 @@ using fwbase::Duration;
 using fwbase::kKiB;
 using fwbase::PagesFor;
 
+namespace {
+
+// SplitMix64 / xoshiro256** steps over the identity record's raw state words,
+// mirroring fwbase::Rng exactly. Re-implemented here rather than reusing Rng
+// because the guest RNG's *state* must live in the GuestIdentityRecord that
+// snapshots capture — the stream position is guest memory, not host state.
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
 ExecStats& ExecStats::operator+=(const ExecStats& o) {
   total += o.total;
   compute_time += o.compute_time;
@@ -37,6 +55,89 @@ GuestProcess::GuestProcess(fwsim::Simulation& sim, Language language,
       compute_scale_(compute_scale) {
   FW_CHECK(fault_charger_ != nullptr);
   FW_CHECK(compute_scale_ >= 1.0);
+  resume_anchor_ = sim_.Now();
+}
+
+// --- Guest identity (DESIGN.md §15) -----------------------------------------
+
+void GuestProcess::SeedIdentity(uint64_t entropy) {
+  uint64_t seq = entropy;
+  for (uint64_t& s : identity_.rng_state) {
+    s = SplitMix64(seq);
+  }
+  identity_.monotonic_base_ns = 0;
+  identity_.next_request_id = 1;
+  identity_.valid = true;
+  resume_anchor_ = sim_.Now();
+  SyncIdentity();
+}
+
+uint64_t GuestProcess::StepIdentityRng() {
+  uint64_t* s = identity_.rng_state;
+  const uint64_t result = Rotl(s[1] * 5, 7) * 9;
+  const uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = Rotl(s[3], 45);
+  return result;
+}
+
+void GuestProcess::SyncIdentity() {
+  fwmem::GuestIdentityRecord record = identity_;
+  // Materialise the clock so a snapshot taken after this point captures the
+  // guest monotonic reading "as of now"; a clone resumes counting from it.
+  record.monotonic_base_ns = GuestMonotonicNanos();
+  space_.set_guest_identity(record);
+}
+
+uint64_t GuestProcess::GuestRandomU64() {
+  const uint64_t value = StepIdentityRng();
+  SyncIdentity();
+  return value;
+}
+
+uint64_t GuestProcess::NextRequestId() {
+  const uint64_t serial = identity_.next_request_id++;
+  // Serial mixed with an RNG draw — the UUIDv4-ish shape real runtimes use.
+  // Both halves are snapshot state, so sibling clones mint identical ids.
+  const uint64_t id = StepIdentityRng() ^ (serial * 0x9E3779B97F4A7C15ULL);
+  SyncIdentity();
+  return id;
+}
+
+int64_t GuestProcess::GuestMonotonicNanos() const {
+  return identity_.monotonic_base_ns + (sim_.Now() - resume_anchor_).nanos();
+}
+
+fwsim::Co<void> GuestProcess::ReseedFromHostEntropy(uint64_t generation, uint64_t host_entropy) {
+  if (identity_.valid && generation <= identity_.observed_generation) {
+    co_return;  // Duplicate delivery (retried restore): already reseeded.
+  }
+  co_await fwsim::Delay(sim_, costs_.vmgenid_reseed_cost);
+  uint64_t seq = host_entropy ^ (generation * 0x9E3779B97F4A7C15ULL);
+  for (uint64_t& s : identity_.rng_state) {
+    s ^= SplitMix64(seq);
+  }
+  identity_.valid = true;
+  SyncIdentity();
+}
+
+fwsim::Co<void> GuestProcess::RebaseMonotonicClock(uint64_t generation) {
+  if (identity_.valid && generation <= identity_.observed_generation) {
+    co_return;
+  }
+  co_await fwsim::Delay(sim_, costs_.clock_rebase_cost);
+  // Rebase onto the host timeline: clones reseeded at different host times
+  // stop sharing timestamps. Acknowledging the generation is the *last* step,
+  // so a crash mid-protocol leaves observed_generation() stale and admission
+  // guards keep the half-reseeded clone away from user traffic.
+  identity_.monotonic_base_ns = sim_.Now().nanos();
+  resume_anchor_ = sim_.Now();
+  identity_.observed_generation = generation;
+  SyncIdentity();
 }
 
 fwmem::SegmentId GuestProcess::EnsureSegment(const char* seg_name, uint64_t bytes) {
@@ -75,6 +176,9 @@ fwsim::Co<void> GuestProcess::BootRuntime() {
   faults += space_.DirtyBytes(heap, costs_.runtime_boot_heap_bytes);
   co_await ChargeFaults(faults, stats);
   runtime_booted_ = true;
+  // The runtime seeds its PRNG once at boot (getrandom at startup): from here
+  // on the stream is guest memory, captured by any snapshot.
+  SeedIdentity(boot_entropy_);
 }
 
 fwsim::Co<void> GuestProcess::AttachRuntime() {
@@ -89,6 +193,7 @@ fwsim::Co<void> GuestProcess::AttachRuntime() {
   faults += space_.DirtyBytes(heap, 2 * fwbase::kMiB);
   co_await ChargeFaults(faults, stats);
   runtime_booted_ = true;
+  SeedIdentity(boot_entropy_);
 }
 
 fwsim::Co<void> GuestProcess::LoadApplication(const FunctionSource& fn) {
@@ -154,6 +259,14 @@ fwsim::Co<ExecStats> GuestProcess::CallMethod(const std::string& method_name,
   const fwbase::SimTime t0 = sim_.Now();
   ++invocation_serial_;
 
+  // Guest-identity probes: the id, first RNG draw and monotonic timestamp
+  // this invocation observes, drawn before any other work — two clones
+  // resumed from one snapshot read them from byte-identical state, so equal
+  // values here are the uniqueness violation the detector tests assert on.
+  const uint64_t request_id = NextRequestId();
+  const uint64_t first_random = GuestRandomU64();
+  const int64_t entry_monotonic_ns = GuestMonotonicNanos();
+
   // Numba's per-module duplication: the first execution in a resumed clone
   // relocates/duplicates part of the JIT code cache, dirtying those pages.
   if (pending_clone_jit_relocation_) {
@@ -194,6 +307,11 @@ fwsim::Co<ExecStats> GuestProcess::CallMethod(const std::string& method_name,
       stats);
 
   stats.total = sim_.Now() - t0;
+  // Assigned (not +=-accumulated): the outermost call's observables survive
+  // the sub-call merges above.
+  stats.request_id = request_id;
+  stats.first_random = first_random;
+  stats.guest_monotonic_ns = entry_monotonic_ns;
   co_return stats;
 }
 
@@ -386,6 +504,17 @@ std::unique_ptr<GuestProcess> GuestProcess::FromState(const State& state,
   clone->bytecode_bytes_used_ = state.bytecode_bytes_used;
   clone->jit_alloc_cursor_pages_ = state.jit_alloc_cursor_pages;
   clone->pending_clone_jit_relocation_ = state.jit_code_bytes_used > 0;
+  if (clone_space.guest_identity().valid) {
+    // The modeled collision (DESIGN.md §15): the clone wakes with the exact
+    // identity record the snapshot captured — same RNG position, same clock
+    // base, same request-id counter as every sibling clone — until a
+    // generation change reseeds it.
+    clone->identity_ = clone_space.guest_identity();
+  } else {
+    // Restored into a space that never held an identity (synthetic test
+    // spaces): behave like a boot.
+    clone->SeedIdentity(clone->boot_entropy_);
+  }
   return clone;
 }
 

@@ -60,6 +60,16 @@ struct ExecStats {
   uint64_t deopts = 0;
   uint64_t methods_executed = 0;
 
+  // Guest-identity probes of the outermost call (DESIGN.md §15): the request
+  // id the guest minted for it, its first RNG draw, and the guest-monotonic
+  // timestamp at entry. Deliberately excluded from operator+= — they are
+  // observables of one invocation, not accumulators — so platform results
+  // carry them through verbatim. Two clones resumed from one snapshot emit
+  // identical values here unless a generation change reseeded them first.
+  uint64_t request_id = 0;
+  uint64_t first_random = 0;
+  int64_t guest_monotonic_ns = 0;
+
   ExecStats& operator+=(const ExecStats& o);
 };
 static_assert(!std::is_aggregate_v<ExecStats>);
@@ -122,6 +132,43 @@ class GuestProcess {
   std::unique_ptr<GuestProcess> CloneFor(fwmem::AddressSpace& clone_space,
                                          FaultCharger fault_charger) const;
 
+  // --- Guest identity (DESIGN.md §15) --------------------------------------
+  //
+  // The runtime's RNG, monotonic clock and request-id counter are ordinary
+  // guest state: seeded at boot, mutated by execution, captured into
+  // snapshots with everything else — and therefore duplicated byte-for-byte
+  // across clones until a generation change reseeds them.
+
+  // Boot-time entropy for the guest RNG (one virtio-rng read at runtime
+  // start). Set by the platform before BootRuntime/AttachRuntime; the
+  // default keeps sandboxes without a modeled entropy source deterministic.
+  void set_boot_entropy(uint64_t entropy) { boot_entropy_ = entropy; }
+
+  // Next value of the guest RNG stream: xoshiro256** over the identity
+  // record, so the stream position itself is snapshot state.
+  uint64_t GuestRandomU64();
+
+  // Mints a "unique" request id: the serial counter mixed with an RNG draw.
+  // Both halves live in the identity record, so clones collide on it.
+  uint64_t NextRequestId();
+
+  // Guest CLOCK_MONOTONIC in nanoseconds: the snapshot-captured base plus
+  // sim time since this process (re)started.
+  int64_t GuestMonotonicNanos() const;
+
+  // First half of the vmgenid resume protocol: mix fresh host entropy into
+  // the RNG state (charges vmgenid_reseed_cost). Idempotent per generation.
+  fwsim::Co<void> ReseedFromHostEntropy(uint64_t generation, uint64_t host_entropy);
+
+  // Second half: rebase the monotonic clock onto the host timeline and
+  // acknowledge the generation (charges clock_rebase_cost). Only after this
+  // completes is the clone safe to admit to user traffic; a crash in between
+  // leaves observed_generation() stale, which admission guards check.
+  fwsim::Co<void> RebaseMonotonicClock(uint64_t generation);
+
+  uint64_t observed_generation() const { return identity_.observed_generation; }
+  const fwmem::GuestIdentityRecord& identity() const { return identity_; }
+
   // --- Introspection -------------------------------------------------------
 
   // Differentiates per-sandbox memory-access patterns (GC dirt subsets) so
@@ -158,6 +205,15 @@ class GuestProcess {
   // costs a fraction of the initial compile.
   static constexpr double kReoptCostFraction = 0.15;
 
+  // Seeds the identity record from `entropy` (SplitMix64 expansion, like
+  // fwbase::Rng) and anchors the monotonic clock at zero.
+  void SeedIdentity(uint64_t entropy);
+  // Advances the identity RNG by one xoshiro256** step.
+  uint64_t StepIdentityRng();
+  // Pushes the identity record into the address space (with the monotonic
+  // base materialised at "now") so a snapshot taken at any point captures it.
+  void SyncIdentity();
+
   fwmem::SegmentId EnsureSegment(const char* seg_name, uint64_t bytes);
   fwsim::Co<void> ChargeFaults(const fwmem::FaultCounts& faults, ExecStats& stats);
   // Pays the compile stall for `method` and allocates its machine-code pages.
@@ -188,6 +244,12 @@ class GuestProcess {
   uint64_t jit_alloc_cursor_pages_ = 0;
   uint64_t heap_cursor_pages_ = 0;
   uint64_t mem_salt_ = 0;
+  // Guest identity (DESIGN.md §15). `resume_anchor_` is the sim time this
+  // process instance (re)started; the guest monotonic clock is
+  // identity_.monotonic_base_ns + (now - resume_anchor_).
+  fwmem::GuestIdentityRecord identity_;
+  fwbase::SimTime resume_anchor_;
+  uint64_t boot_entropy_ = 0xF19E0B0075EEDULL;
 };
 
 class GuestProcess::State {

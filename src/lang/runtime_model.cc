@@ -29,6 +29,10 @@ RuntimeCosts RuntimeCosts::For(Language language) {
       c.runtime_heap_exec_dirty_fraction = 0.07;
       c.runtime_text_exec_touch_fraction = 0.62;
       c.runtime_heap_exec_touch_fraction = 0.55;
+      // crypto.randomFillSync reseed of the pool + CLOCK_MONOTONIC rebase
+      // after a vmgenid bump (V8 keeps its entropy pool in the heap).
+      c.vmgenid_reseed_cost = fwbase::Duration::Micros(220);
+      c.clock_rebase_cost = fwbase::Duration::Micros(50);
       c.app_load_fixed_cost = fwbase::Duration::Millis(130);  // require() resolution.
       c.app_load_cost_per_kib = fwbase::Duration::MillisF(0.55);
       c.package_install_cost_per_mib = fwbase::Duration::Millis(340);  // npm.
@@ -52,6 +56,10 @@ RuntimeCosts RuntimeCosts::For(Language language) {
       c.runtime_heap_exec_dirty_fraction = 0.24;
       c.runtime_text_exec_touch_fraction = 0.55;
       c.runtime_heap_exec_touch_fraction = 0.65;
+      // os.urandom pool refresh + time.monotonic rebase after a vmgenid bump
+      // (CPython's secrets/ssl pools are smaller than V8's).
+      c.vmgenid_reseed_cost = fwbase::Duration::Micros(180);
+      c.clock_rebase_cost = fwbase::Duration::Micros(40);
       c.app_load_fixed_cost = fwbase::Duration::Millis(45);  // Imports.
       c.app_load_cost_per_kib = fwbase::Duration::MillisF(0.35);
       c.package_install_cost_per_mib = fwbase::Duration::Millis(260);  // pip.

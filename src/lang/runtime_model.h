@@ -55,6 +55,13 @@ struct RuntimeCosts {
   double runtime_text_exec_touch_fraction = 0.0;
   double runtime_heap_exec_touch_fraction = 0.0;
 
+  // vmgenid resume protocol (DESIGN.md §15): in-guest cost of mixing fresh
+  // host entropy into the runtime's PRNG after a generation change, and of
+  // rebasing the monotonic clock onto the host timeline. Paid on the restore
+  // critical path, before the clone serves traffic.
+  Duration vmgenid_reseed_cost;
+  Duration clock_rebase_cost;
+
   // Application load (parse, module resolution, imports).
   Duration app_load_fixed_cost;
   Duration app_load_cost_per_kib;

@@ -55,7 +55,8 @@ AddressSpace::AddressSpace(HostMemory& host, std::shared_ptr<SnapshotImage> imag
       resident_shared_(total_pages_),
       private_(total_pages_),
       zero_(total_pages_),
-      image_touched_(total_pages_) {}
+      image_touched_(total_pages_),
+      guest_identity_(image_->guest_identity()) {}
 
 AddressSpace::~AddressSpace() { Unmap(); }
 
@@ -240,7 +241,11 @@ std::shared_ptr<SnapshotImage> AddressSpace::TakeSnapshot(const std::string& nam
   PageSet valid(total_pages_);
   valid.UnionWith(resident_shared_);
   valid.UnionWith(private_);
-  return std::make_shared<SnapshotImage>(host_, name, segments_, std::move(valid));
+  auto image = std::make_shared<SnapshotImage>(host_, name, segments_, std::move(valid));
+  // The guest's identity record is memory content: it freezes into the image
+  // with everything else, and every clone restored from the image inherits it.
+  image->set_guest_identity(guest_identity_);
+  return image;
 }
 
 void AddressSpace::Unmap() {

@@ -40,6 +40,21 @@ struct SegmentLayout {
   uint64_t pages;
 };
 
+// Guest-visible identity state that a snapshot captures byte-for-byte along
+// with memory: the runtime's PRNG state, its monotonic-clock base, and the
+// counter behind "unique" request ids. Every clone restored from the same
+// image wakes with an identical copy — the collision the vmgenid-style resume
+// protocol exists to fix (DESIGN.md §15). `observed_generation` is the last
+// VM generation the guest acknowledged; a restore that bumps the VM past it
+// obligates a reseed before the clone serves traffic.
+struct GuestIdentityRecord {
+  uint64_t rng_state[4] = {0, 0, 0, 0};   // xoshiro256** state words
+  int64_t monotonic_base_ns = 0;          // guest CLOCK_MONOTONIC at capture
+  uint64_t next_request_id = 1;           // serial behind NextRequestId()
+  uint64_t observed_generation = 0;       // last acknowledged VM generation
+  bool valid = false;                     // false until a runtime seeds it
+};
+
 class SnapshotImage {
  public:
   SnapshotImage(HostMemory& host, std::string name, std::vector<SegmentLayout> segments,
@@ -74,6 +89,12 @@ class SnapshotImage {
   }
   uint64_t working_set_bytes() const { return working_set_pages() * fwbase::kPageSize; }
 
+  // Guest identity frozen into this image at TakeSnapshot() time. Part of the
+  // image like any other bytes: every space restored from it starts with this
+  // exact record (see GuestIdentityRecord).
+  const GuestIdentityRecord& guest_identity() const { return guest_identity_; }
+  void set_guest_identity(const GuestIdentityRecord& identity) { guest_identity_ = identity; }
+
  private:
   bool cache_warm_ = false;
   std::string name_;
@@ -81,6 +102,7 @@ class SnapshotImage {
   PageSet valid_;
   BackingStore backing_;
   std::shared_ptr<const PageSet> working_set_;
+  GuestIdentityRecord guest_identity_;
 };
 
 // Per-access fault/accounting result; the caller (VMM / runtime) converts the
@@ -165,6 +187,12 @@ class AddressSpace {
   // the REAP working-set recorder persists after a first invocation.
   const PageSet& image_touched() const { return image_touched_; }
 
+  // Guest identity living in this space. The runtime model keeps it current
+  // (it is guest memory, modeled explicitly instead of hidden in a segment);
+  // TakeSnapshot() captures it and the image-backed constructor restores it.
+  const GuestIdentityRecord& guest_identity() const { return guest_identity_; }
+  void set_guest_identity(const GuestIdentityRecord& identity) { guest_identity_ = identity; }
+
  private:
   uint64_t GlobalPage(SegmentId seg, uint64_t offset) const;
   FaultCounts AccessRange(SegmentId seg, uint64_t first, uint64_t count, bool write);
@@ -179,6 +207,7 @@ class AddressSpace {
   PageSet private_;
   PageSet zero_;
   PageSet image_touched_;
+  GuestIdentityRecord guest_identity_;
   bool unmapped_ = false;
 };
 

@@ -52,7 +52,13 @@ Hypervisor::Hypervisor(fwsim::Simulation& sim, fwmem::HostMemory& host_memory,
 
 Hypervisor::Hypervisor(fwsim::Simulation& sim, fwmem::HostMemory& host_memory,
                        fwstore::SnapshotStore& snapshot_store, const Config& config)
-    : sim_(sim), host_memory_(host_memory), snapshot_store_(snapshot_store), config_(config) {}
+    : sim_(sim),
+      host_memory_(host_memory),
+      snapshot_store_(snapshot_store),
+      config_(config),
+      // The virtio-rng entropy pool: forked once at construction so hosts on
+      // a shared simulation get distinct-but-deterministic entropy streams.
+      guest_entropy_rng_(sim.rng().Fork()) {}
 
 void Hypervisor::set_observability(fwobs::Observability* obs) {
   tracer_ = &obs->tracer();
@@ -79,6 +85,7 @@ fwsim::Co<MicroVm*> Hypervisor::CreateMicroVm(const std::string& name,
   const uint64_t id = next_vm_id_++;
   auto vm = std::make_unique<MicroVm>(id, name, config, std::move(space),
                                       /*restored_from_snapshot=*/false);
+  vm->generation_ = next_generation_++;
   MicroVm* raw = vm.get();
   vms_.emplace(id, std::move(vm));
   ++vms_created_;
@@ -178,6 +185,9 @@ fwsim::Co<Result<MicroVm*>> Hypervisor::RestoreMicroVm(const std::string& snapsh
   const uint64_t id = next_vm_id_++;
   auto vm = std::make_unique<MicroVm>(id, vm_name, MicroVmConfig(), std::move(space),
                                       /*restored_from_snapshot=*/true);
+  // Every restore gets a fresh generation: the restored guest's identity is a
+  // byte copy of the snapshot's, and the generation gap is how it finds out.
+  vm->generation_ = next_generation_++;
   vm->set_state(VmState::kRunning);
   MicroVm* raw = vm.get();
   vms_.emplace(id, std::move(vm));
@@ -236,6 +246,11 @@ fwsim::Co<void> Hypervisor::PrefetchWorkingSet(fwmem::SnapshotImage& image,
 fwsim::Co<Result<std::string>> Hypervisor::GuestReadMmds(MicroVm& vm, const std::string& key) {
   co_await fwsim::Delay(sim_, config_.mmds_read_cost);
   co_return vm.GetMetadata(key);
+}
+
+fwsim::Co<void> Hypervisor::NotifyGenerationChange(MicroVm& vm) {
+  (void)vm;
+  co_await fwsim::Delay(sim_, config_.vmgenid_notify_cost);
 }
 
 }  // namespace fwvmm

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "src/base/rng.h"
 #include "src/base/status.h"
 #include "src/base/units.h"
 #include "src/mem/address_space.h"
@@ -84,6 +85,11 @@ class Hypervisor {
 
     // Guest-side MMDS HTTP read.
     Duration mmds_read_cost = Duration::Micros(180);
+
+    // Delivering the vmgenid generation-change notification to a resumed
+    // guest (ACPI interrupt + guest driver acknowledging the new counter).
+    // The guest-side reseed work itself is charged by the runtime model.
+    Duration vmgenid_notify_cost = Duration::Micros(40);
   };
 
   Hypervisor(fwsim::Simulation& sim, fwmem::HostMemory& host_memory,
@@ -140,6 +146,21 @@ class Hypervisor {
   // Guest-side MMDS read (charges the in-guest HTTP cost).
   fwsim::Co<fwbase::Result<std::string>> GuestReadMmds(MicroVm& vm, const std::string& key);
 
+  // --- Uniqueness restoration (DESIGN.md §15) ------------------------------
+
+  // Delivers the vmgenid generation-change notification to `vm` (charges
+  // vmgenid_notify_cost). The platform follows up by having the guest
+  // process reseed/rebase against vm.generation().
+  fwsim::Co<void> NotifyGenerationChange(MicroVm& vm);
+
+  // Fresh host entropy for a guest reseed (the virtio-rng device): an
+  // independent deterministic stream forked from the simulation RNG at
+  // construction, so drawing it never perturbs other consumers.
+  uint64_t DrawGuestEntropy() { return guest_entropy_rng_.NextU64(); }
+
+  // The generation most recently assigned (0 before any VM exists).
+  uint64_t current_generation() const { return next_generation_ - 1; }
+
   const Config& config() const { return config_; }
   fwsim::Simulation& sim() { return sim_; }
   fwmem::HostMemory& host_memory() { return host_memory_; }
@@ -157,6 +178,10 @@ class Hypervisor {
   Config config_;
   std::map<uint64_t, std::unique_ptr<MicroVm>> vms_;
   uint64_t next_vm_id_ = 1;
+  // vmgenid counter: every create *and* restore consumes one, so no two VMs
+  // this hypervisor ever produced share a generation.
+  uint64_t next_generation_ = 1;
+  fwbase::Rng guest_entropy_rng_;
   uint64_t vms_created_ = 0;
   uint64_t vms_restored_ = 0;
   uint64_t snapshots_taken_ = 0;

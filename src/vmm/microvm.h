@@ -57,6 +57,12 @@ class MicroVm {
   VmState state() const { return state_; }
   bool restored_from_snapshot() const { return restored_from_snapshot_; }
 
+  // vmgenid-style VM generation (DESIGN.md §15): assigned by the hypervisor,
+  // strictly increasing across every create *and* restore it performs. A
+  // guest whose observed generation lags this one is running on duplicated
+  // snapshot identity and must reseed before serving traffic.
+  uint64_t generation() const { return generation_; }
+
   fwmem::AddressSpace& address_space() { return *space_; }
   const fwmem::AddressSpace& address_space() const { return *space_; }
 
@@ -82,6 +88,7 @@ class MicroVm {
   MicroVmConfig config_;
   std::unique_ptr<fwmem::AddressSpace> space_;
   bool restored_from_snapshot_;
+  uint64_t generation_ = 0;
   VmState state_ = VmState::kConfigured;
   std::map<std::string, std::string> mmds_;
   uint64_t netns_id_ = 0;

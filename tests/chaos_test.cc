@@ -440,6 +440,89 @@ TEST(ChaosSweepTest, ClusterCrashRecoveryIsBitIdentical) {
 }
 
 
+// --- Clone-uniqueness crash scenario ----------------------------------------
+// A crash landing between a clone's snapshot restore and its reseed-complete
+// acknowledgement must never leak a stale-generation clone into user traffic
+// (DESIGN.md §15). The crash at 23 ms catches warm-pool prepares and invoke
+// restores mid-protocol: the vmgenid resume takes ~310 µs per restore and the
+// stream keeps both hosts restoring continuously, so some protocol run is
+// always in flight when the victim dies. Invariants on top of the usual crash
+// ones: every recorded completion carries a guest-minted request id, no two
+// completions share one (a duplicate would mean a clone served traffic with
+// the snapshot's collided identity), and the whole outcome — ids included,
+// they are part of OutcomeDigest() — is bit-identical for the same seed.
+uint64_t RunCloneUniquenessCrashScenario(uint64_t seed) {
+  constexpr int kHosts = 2;
+  constexpr int kInvocations = 24;
+  fwsim::Simulation sim(seed);
+  std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    fwcluster::FullHost::Config fc;
+    fc.env.seed = seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(i);
+    hosts.push_back(std::make_unique<fwcluster::FullHost>(sim, i, fc));
+  }
+  fwcluster::Cluster::Config cc;
+  cc.policy = fwcluster::SchedulerPolicy::kLeastLoaded;
+  fwcluster::Cluster cluster(sim, std::move(hosts), cc);
+
+  for (const char* app : {"app-a", "app-b"}) {
+    FunctionSource fn =
+        fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+    fn.name = app;
+    FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+  }
+
+  sim.Spawn(DriveClusterStream(sim, cluster, kInvocations));
+  sim.Spawn(CrashThenRestart(sim, cluster, /*victim=*/0));
+  cluster.Drain(kInvocations);
+  sim.Run();
+
+  const fwcluster::Cluster::Rollup rollup = cluster.ComputeRollup();
+  EXPECT_EQ(rollup.completed + rollup.failed, static_cast<uint64_t>(kInvocations));
+  EXPECT_EQ(rollup.failed, 0u);
+  std::set<uint64_t> seen_ids;
+  for (uint64_t id = 1; id <= cluster.submitted(); ++id) {
+    const fwcluster::Cluster::Outcome& out = cluster.outcome(id);
+    EXPECT_EQ(out.completions, 1u) << "request " << id;
+    if (out.status.ok()) {
+      EXPECT_NE(out.request_id, 0u)
+          << "request " << id << " completed without a guest-minted id";
+      EXPECT_TRUE(seen_ids.insert(out.request_id).second)
+          << "request " << id << " reused request id " << out.request_id
+          << ": a clone served traffic with the snapshot's collided identity";
+    }
+  }
+
+  for (int i = 0; i < kHosts; ++i) {
+    cluster.host(i).DropWarmPool();
+  }
+  sim.Run();
+  for (int i = 0; i < kHosts; ++i) {
+    EXPECT_EQ(cluster.host(i).LiveVmCount(), 0u) << "host " << i;
+  }
+  return cluster.OutcomeDigest();
+}
+
+TEST(ChaosSweepTest, NoDuplicateRequestIdsAcrossCrashRecovery) {
+  const int seeds = std::max(SweepSeeds() / 10, 10);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    (void)RunCloneUniquenessCrashScenario(seed);
+    if (::testing::Test::HasFailure()) {
+      std::ofstream(ArtifactDir() + "/chaos_failing_seed.txt") << seed << "\n";
+      FAIL() << "clone-uniqueness chaos invariant violated at seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosSweepTest, CloneUniquenessCrashRecoveryIsBitIdentical) {
+  for (uint64_t seed : {1u, 42u, 77u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EXPECT_EQ(RunCloneUniquenessCrashScenario(seed), RunCloneUniquenessCrashScenario(seed));
+  }
+}
+
+
 // --- Partition-then-crash scenario ------------------------------------------
 // The nastier interleaving: a host is partitioned (responses held, heartbeats
 // lost), then crashes *before the partition heals*. Queued work must bounce,

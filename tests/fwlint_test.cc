@@ -990,6 +990,72 @@ TEST(IteratorInvalidationCheckTest, DecoyAndSuppression) {
 }
 
 // ---------------------------------------------------------------------------
+// snapshot-captured-identity
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotCapturedIdentityCheckTest, FlagsHostEntropyReadsInGuestLayers) {
+  const auto diags = LintOne("src/lang/runtime_x.cc", R"cc(
+    uint64_t MintId(fwsim::Simulation& sim) {
+      uint64_t raw = sim.rng().NextU64();
+      uint64_t os = getrandom();
+      return raw ^ os;
+    }
+  )cc");
+  const auto hits = OfCheck(diags, "snapshot-captured-identity");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 3);  // sim.rng()
+  EXPECT_EQ(hits[1].line, 4);  // getrandom
+  EXPECT_NE(hits[0].message.find("GuestRandomU64"), std::string::npos);
+}
+
+TEST(SnapshotCapturedIdentityCheckTest, GuestFacilityAndLowerLayersAreClean) {
+  // The generation-aware facility itself is the sanctioned route.
+  const auto facility = LintOne("src/core/plat.cc", R"cc(
+    fwsim::Co<void> Resume(fwlang::GuestProcess& p, fwvmm::Hypervisor& hv, uint64_t gen) {
+      co_await p.ReseedFromHostEntropy(gen, hv.DrawGuestEntropy());
+      uint64_t id = p.NextRequestId();
+      (void)id;
+    }
+  )cc");
+  EXPECT_TRUE(OfCheck(facility, "snapshot-captured-identity").empty());
+  // Layers below the guest boundary host the real sources; out of scope.
+  const std::string source = "uint64_t Draw(Rng& r) { return r.rng().NextU64(); }";
+  EXPECT_TRUE(
+      OfCheck(LintOne("src/vmm/hypervisor.cc", source), "snapshot-captured-identity").empty());
+  EXPECT_TRUE(
+      OfCheck(LintOne("src/base/rng.cc", source), "snapshot-captured-identity").empty());
+}
+
+TEST(SnapshotCapturedIdentityCheckTest, DrawGuestEntropyBypassFlaggedOnlyInLang) {
+  const std::string source =
+      "uint64_t Seed(fwvmm::Hypervisor& hv) { return hv.DrawGuestEntropy(); }";
+  EXPECT_EQ(OfCheck(LintOne("src/lang/guest_x.cc", source), "snapshot-captured-identity").size(),
+            1u);
+  EXPECT_TRUE(
+      OfCheck(LintOne("src/core/fireworks_x.cc", source), "snapshot-captured-identity").empty());
+}
+
+TEST(SnapshotCapturedIdentityCheckTest, DecoyAndSuppression) {
+  // Members/locals merely named rng (no call) and comment/string mentions
+  // must not trip the token scan.
+  const auto decoy = LintOne("src/lang/decoy.cc", R"cc(
+    // getrandom() at boot is exactly what we model, not what we call.
+    const char* kDoc = "never read random_device from the guest";
+    struct S { int rng; };
+    int f(S& s) { return s.rng; }
+  )cc");
+  EXPECT_TRUE(OfCheck(decoy, "snapshot-captured-identity").empty());
+
+  const auto suppressed = LintOne("src/core/host_only.cc", R"cc(
+    double Jitter(fwsim::Simulation& sim) {
+      return sim.rng().UniformDouble();  // fwlint:allow(snapshot-captured-identity)
+    }
+  )cc");
+  EXPECT_TRUE(OfCheck(suppressed, "snapshot-captured-identity").empty());
+  EXPECT_TRUE(OfCheck(suppressed, "stale-suppression").empty());
+}
+
+// ---------------------------------------------------------------------------
 // stale-suppression
 // ---------------------------------------------------------------------------
 

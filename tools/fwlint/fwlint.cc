@@ -159,7 +159,7 @@ const std::vector<std::string>& AllChecks() {
       "determinism",      "unordered-iteration",  "discarded-status",
       "layering",         "coro-hygiene",         "unbounded-queue",
       "hot-path-logging", "suspend-lifetime",     "use-after-move",
-      "iterator-invalidation", "stale-suppression",
+      "iterator-invalidation", "snapshot-captured-identity", "stale-suppression",
   };
   return kChecks;
 }
@@ -295,6 +295,7 @@ std::vector<Diagnostic> Analyzer::Run(const std::set<std::string>& checks) {
     CheckSuspendLifetime(f, raw);
     CheckUseAfterMove(f, raw);
     CheckIteratorInvalidation(f, raw);
+    CheckSnapshotCapturedIdentity(f, raw);
   }
 
   // Resolve every fwlint:allow occurrence against the raw findings: an allow
@@ -727,6 +728,70 @@ void Analyzer::CheckHotPathLogging(const File& f, std::vector<Diagnostic>& out) 
                "per event once the log level admits it, in exactly the code the "
                "profiler marks hot; raise to kWarning+, move the log outside the "
                "scope, or suppress with fwlint:allow(hot-path-logging)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// snapshot-captured-identity
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Entropy / identity sources whose value, read from guest-side code, becomes
+// snapshot state and is replayed byte-for-byte by every clone.
+const std::set<std::string>& IdentityDenyIdents() {
+  static const std::set<std::string> kDeny = {
+      "random_device", "getrandom", "getentropy", "rdrand",
+      "uuid_generate", "uuid_generate_random", "gen_random_uuid",
+  };
+  return kDeny;
+}
+
+// Guest-visible layers: the guest runtime model (src/lang) and the platform
+// paths that restore + drive it (src/core). Lower layers (base/vmm) host the
+// sanctioned sources themselves; higher layers never touch guest identity.
+bool InIdentityScope(const std::string& path) {
+  return path.rfind("src/lang/", 0) == 0 || path.rfind("src/core/", 0) == 0;
+}
+
+}  // namespace
+
+void Analyzer::CheckSnapshotCapturedIdentity(const File& f,
+                                             std::vector<Diagnostic>& out) const {
+  if (!InIdentityScope(f.path)) {
+    return;
+  }
+  const Tokens& t = f.lex.tokens;
+  const std::set<std::string>& deny = IdentityDenyIdents();
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    const std::string& id = t[i].text;
+    bool hit = deny.count(id) != 0;
+    // Host RNG accessor calls — sim.rng().NextU64() and friends. Only when
+    // called, so members/locals merely named rng stay usable.
+    if (!hit && id == "rng" && i + 1 < t.size() && t[i + 1].punct("(")) {
+      hit = true;
+    }
+    // The hypervisor entropy tap is the platform's half of the vmgenid
+    // protocol (src/core draws it and hands it to ReseedFromHostEntropy);
+    // guest runtime code reaching for it directly skips the generation
+    // handshake that makes reseeding observable and idempotent.
+    if (!hit && id == "DrawGuestEntropy" && f.path.rfind("src/lang/", 0) == 0) {
+      hit = true;
+    }
+    if (hit) {
+      out.push_back(
+          {f.path, t[i].line, "snapshot-captured-identity",
+           "host entropy/identity source '" + id +
+               "' read from guest-side code: the value is captured into the "
+               "snapshot and replayed identically by every clone; route RNG "
+               "draws, request ids and timestamps through the generation-aware "
+               "GuestProcess facility (GuestRandomU64/NextRequestId/"
+               "GuestMonotonicNanos, DESIGN.md §15) or suppress a host-only "
+               "modeling read with fwlint:allow(snapshot-captured-identity)"});
     }
   }
 }

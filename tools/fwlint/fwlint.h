@@ -140,6 +140,7 @@ class Analyzer {
   void CheckLayering(const File& f, std::vector<Diagnostic>& out) const;
   void CheckUnboundedQueue(const File& f, std::vector<Diagnostic>& out) const;
   void CheckHotPathLogging(const File& f, std::vector<Diagnostic>& out) const;
+  void CheckSnapshotCapturedIdentity(const File& f, std::vector<Diagnostic>& out) const;
   // Flow-aware checks (tools/fwlint/flow.cc).
   void CheckSuspendLifetime(const File& f, std::vector<Diagnostic>& out) const;
   void CheckUseAfterMove(const File& f, std::vector<Diagnostic>& out) const;
