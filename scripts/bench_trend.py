@@ -30,7 +30,7 @@ SCHEMA = "fwbench-trajectory/1"
 DEFAULT_THRESHOLD = 0.10
 # Scenarios that must be present in the trajectory for `check` to pass.
 DEFAULT_REQUIRED = ["cluster_scale", "overload_resilience", "fig9_realworld",
-                    "registry_cold_start", "clone_uniqueness"]
+                    "registry_cold_start", "clone_uniqueness", "elastic_fleet"]
 
 
 def fail_usage(msg):

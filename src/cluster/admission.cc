@@ -37,6 +37,10 @@ Status AdmissionController::Admit(int host, int64_t queue_depth, SimTime now,
   return Status::Ok();
 }
 
+void AdmissionController::AddHost() {
+  service_ewma_seconds_.push_back(config_.initial_service_estimate.seconds());
+}
+
 void AdmissionController::RecordService(int host, Duration service) {
   double& ewma = service_ewma_seconds_[static_cast<size_t>(host)];
   ewma = config_.service_ewma_alpha * service.seconds() +

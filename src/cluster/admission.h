@@ -64,6 +64,10 @@ class AdmissionController {
   // EWMA used for wait estimation.
   void RecordService(int host, Duration service);
 
+  // Grows the controller by one host (elastic fleet join); the new host's
+  // service EWMA starts at the configured prior.
+  void AddHost();
+
   Duration EstimatedWait(int host, int64_t queue_depth) const;
 
   const AdmissionConfig& config() const { return config_; }

@@ -36,10 +36,16 @@ Cluster::Cluster(fwsim::Simulation& sim, std::vector<std::unique_ptr<ClusterHost
     distribution_ = std::make_unique<SnapshotDistribution>(
         sim, static_cast<int>(hosts.size()), config.distribution, obs_, &injector_);
   }
-  hosts_.resize(hosts.size());
+  FW_CHECK(config.num_zones >= 1);
+  hosts_.reserve(hosts.size());
   for (size_t i = 0; i < hosts.size(); ++i) {
-    hosts_[i].host = std::move(hosts[i]);
-    hosts_[i].queue = std::make_unique<fwsim::Channel<Request>>(sim_);
+    auto hs = std::make_unique<HostState>();
+    hs->host = std::move(hosts[i]);
+    hs->queue = std::make_unique<fwsim::Channel<Request>>(sim_);
+    // Initial hosts stripe over the zones; later joins fill the emptiest.
+    hs->zone = static_cast<int>(i) % config_.num_zones;
+    hosts_.push_back(std::move(hs));
+    fleet_ledger_.OnProvision(static_cast<int>(i), sim.Now());
   }
   for (int i = 0; i < static_cast<int>(hosts_.size()); ++i) {
     for (int w = 0; w < config_.workers_per_host; ++w) {
@@ -53,6 +59,21 @@ Cluster::Cluster(fwsim::Simulation& sim, std::vector<std::unique_ptr<ClusterHost
     }
   }
   sim_.Spawn(Sampler());
+  // Every elastic-fleet service is gated so a default config spawns nothing
+  // extra and stays event-for-event identical to the pre-fleet cluster.
+  if (config_.fleet.enabled) {
+    FW_CHECK_MSG(config_.host_factory != nullptr,
+                 "Config::fleet.enabled requires Config::host_factory");
+    fleet_planner_ =
+        std::make_unique<FleetPlanner>(config_.fleet, config_.workers_per_host);
+    sim_.Spawn(FleetAutoscaler());
+  }
+  if (config_.num_zones > 1 && config_.zone_spread && config_.autoscale) {
+    sim_.Spawn(ZoneSpreader());
+  }
+  if (config_.fault_plan.spec(fwfault::FaultKind::kZoneOutage).enabled()) {
+    sim_.Spawn(ZoneOutageLoop());
+  }
 }
 
 Cluster::~Cluster() { Shutdown(); }
@@ -60,19 +81,34 @@ Cluster::~Cluster() { Shutdown(); }
 void Cluster::Shutdown() { running_ = false; }
 
 fwsim::Co<Status> Cluster::InstallAll(const fwlang::FunctionSource& fn) {
-  for (auto& hs : hosts_) {
-    Status s = co_await hs.host->Install(fn);
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i]->lifecycle == HostLifecycle::kRemoved) {
+      continue;  // Decommissioned capacity installs nothing.
+    }
+    Status s = co_await hosts_[i]->host->Install(fn);
     if (!s.ok()) {
       co_return s;
     }
   }
   installed_.push_back(fn.name);
+  // Retained so a host provisioned later can replay the same installs
+  // during its join warm-up.
+  installed_sources_.push_back(fn);
   if (distribution_ != nullptr) {
     // Publish the snapshot to the registry; the ring-stable seed host stands
     // in for the host that recorded it. Every other host starts cold and
     // pulls through the distribution tier on its first request for the app.
+    // Seeds land only on dispatchable hosts (with every host active this is
+    // the original HashKey % num_hosts placement).
+    std::vector<int> eligible;
+    for (int i = 0; i < num_hosts(); ++i) {
+      if (Schedulable(i)) {
+        eligible.push_back(i);
+      }
+    }
+    FW_CHECK(!eligible.empty());
     distribution_->Publish(fn.name,
-                           static_cast<int>(HashKey(fn.name) % hosts_.size()));
+                           eligible[HashKey(fn.name) % eligible.size()]);
   }
   co_return Status::Ok();
 }
@@ -82,6 +118,18 @@ std::vector<HostView> Cluster::Views() {
   const fwbase::SimTime now = sim_.Now();
   for (size_t i = 0; i < hosts_.size(); ++i) {
     const int h = static_cast<int>(i);
+    const HostState& hs = *hosts_[i];
+    views[i].zone = hs.zone;
+    views[i].inflight = hs.inflight;
+    views[i].queue_depth = static_cast<int64_t>(hs.queue->size());
+    if (hs.lifecycle != HostLifecycle::kActive) {
+      // Joining/warming hosts are not yet admitted, draining/removed ones
+      // take no new work: all are unschedulable regardless of liveness (and
+      // the detector is not consulted, so a decommissioned host cannot rack
+      // up suspect/death transitions forever).
+      views[i].alive = false;
+      continue;
+    }
     if (config_.health_checks) {
       // Detected state: what heartbeats + data-path evidence support, not
       // what the fault bookkeeping knows. A freshly crashed host looks alive
@@ -92,10 +140,8 @@ std::vector<HostView> Cluster::Views() {
       views[i].suspect = state == HealthState::kSuspect;
       views[i].pressured = health_->pressured(h);
     } else {
-      views[i].alive = hosts_[i].alive && now >= hosts_[i].partitioned_until;
+      views[i].alive = hs.alive && now >= hs.partitioned_until;
     }
-    views[i].inflight = hosts_[i].inflight;
-    views[i].queue_depth = static_cast<int64_t>(hosts_[i].queue->size());
   }
   return views;
 }
@@ -118,6 +164,10 @@ uint64_t Cluster::Submit(const std::string& fn_name, const std::string& args,
   outcomes_.back().fn = fn_name;
   primary_host_.push_back(-1);
   hedged_.push_back(0);
+  // Demand signals for the fleet planner and the zone spreader (pure
+  // bookkeeping; both loops are gated off in a default config).
+  ++fleet_tick_arrivals_;
+  ++spread_arrivals_[fn_name];
   obs_.metrics().GetCounter("cluster.submitted").Increment();
   if (config_.hedging) {
     sim_.Spawn(Hedger(id, fn_name, args, req.submitted, req.deadline));
@@ -163,7 +213,7 @@ void Cluster::Dispatch(Request req, int exclude_host) {
     RecordFailure(req, Status::Unavailable("no schedulable host"));
     return;
   }
-  HostState& hs = hosts_[target];
+  HostState& hs = *hosts_[target];
   const Status admit = admission_.Admit(target, static_cast<int64_t>(hs.queue->size()),
                                         sim_.Now(), req.deadline);
   if (!admit.ok()) {
@@ -287,11 +337,11 @@ void Cluster::ApplyTransition(int host_index, HealthTransition transition) {
 }
 
 double Cluster::PssFraction(int host_index) const {
-  const double capacity = hosts_[host_index].host->MemoryBytes();
+  const double capacity = hosts_[host_index]->host->MemoryBytes();
   if (capacity <= 0.0) {
     return 0.0;
   }
-  return hosts_[host_index].host->PssBytes() / capacity;
+  return hosts_[host_index]->host->PssBytes() / capacity;
 }
 
 Duration Cluster::HedgeDelay() const {
@@ -337,15 +387,15 @@ fwsim::Co<void> Cluster::Hedger(uint64_t id, std::string fn, std::string args,
 }
 
 fwsim::Co<void> Cluster::Worker(int host_index) {
-  HostState& hs = hosts_[host_index];
+  HostState& hs = *hosts_[host_index];
   while (true) {
     Request req = co_await hs.queue->Recv();
     if (Terminal(req.id)) {
       // The other copy of a hedged request already recorded the outcome;
-      // this copy is surplus the moment it surfaces.
-      // hosts_ is sized once in Start() and never resized, so element
-      // references stay stable across suspensions.
-      --hs.inflight;  // fwlint:allow(iterator-invalidation)
+      // this copy is surplus the moment it surfaces. (HostStates are
+      // heap-allocated — AddHost only push_backs unique_ptrs — so `hs`
+      // stays stable across suspensions and fleet growth.)
+      --hs.inflight;
       ++hedge_discards_;
       obs_.metrics().GetCounter("cluster.hedge_discards").Increment();
       continue;
@@ -417,6 +467,19 @@ fwsim::Co<void> Cluster::Worker(int host_index) {
     // Observed dequeue→response time feeds the admission controller's wait
     // estimate (failures included: they hold the worker just the same).
     admission_.RecordService(host_index, sim_.Now() - service_start);
+    // Cluster-level service EWMA: the fleet planner's Little's-law signal.
+    // Uses the intrinsic per-request cost (startup + exec), never the sojourn
+    // time: in-host queueing and cold-path transients (snapshot pull,
+    // first-touch boot on a just-joined host) would otherwise feed back into
+    // the capacity model — every backlog or scale-up reads as rising demand
+    // and the fleet flaps. Cold samples may additionally only lower the
+    // estimate; warm-path drift is tracked in both directions.
+    if (result.ok()) {
+      const double observed_s = ((*result).startup + (*result).exec).seconds();
+      if (!(*result).cold || observed_s < service_seconds_ewma_) {
+        service_seconds_ewma_ = 0.3 * observed_s + 0.7 * service_seconds_ewma_;
+      }
+    }
     // A partitioned host keeps computing, but its response cannot reach the
     // front end until the partition heals.
     while (hs.alive && hs.epoch == epoch && sim_.Now() < hs.partitioned_until) {
@@ -460,7 +523,7 @@ fwsim::Co<void> Cluster::Worker(int host_index) {
     }
     const bool warm_hit = hs.host->warm_hits() > warm_before;
     RecordCompletion(req, *result, host_index, warm_hit);
-    if (warm_hit && config_.autoscale && running_) {
+    if (warm_hit && config_.autoscale && running_ && Schedulable(host_index)) {
       // Replenish the consumed clone right away (one for one) instead of
       // waiting for the next autoscaler tick; the tick's shrink hysteresis
       // still trims the pool when the app's rate drops.
@@ -475,11 +538,11 @@ fwsim::Co<void> Cluster::Worker(int host_index) {
 }
 
 fwsim::Co<void> Cluster::Heartbeater(int host_index) {
-  HostState& hs = hosts_[host_index];
-  while (running_) {
+  HostState& hs = *hosts_[host_index];
+  while (running_ && hs.lifecycle != HostLifecycle::kRemoved) {
     // A crashed host sends nothing; a partitioned host's beats never arrive;
     // heartbeat_loss drops one on the wire. The detector only ever sees
-    // beats that got through.
+    // beats that got through. A decommissioned host stops beating for good.
     if (hs.alive && sim_.Now() >= hs.partitioned_until &&
         !injector_.Trip(fwfault::FaultKind::kHeartbeatLoss)) {
       ApplyTransition(host_index,
@@ -490,16 +553,19 @@ fwsim::Co<void> Cluster::Heartbeater(int host_index) {
 }
 
 fwsim::Co<void> Cluster::Autoscaler(int host_index) {
-  HostState& hs = hosts_[host_index];
+  HostState& hs = *hosts_[host_index];
   const double interval_s = config_.autoscale_interval.seconds();
   while (running_) {
     co_await fwsim::Delay(sim_, config_.autoscale_interval);
     if (!running_) {
       break;
     }
-    // hosts_ is sized once in Start() and never resized, so element
-    // references stay stable across suspensions.
-    if (!hs.alive) {  // fwlint:allow(iterator-invalidation)
+    if (hs.lifecycle == HostLifecycle::kRemoved) {
+      break;  // Decommissioned: nothing left to scale, ever.
+    }
+    if (!hs.alive || hs.lifecycle != HostLifecycle::kActive) {
+      // Dead hosts have no pool; joining hosts are warmed by JoinWarmup;
+      // draining hosts must bleed, not grow.
       hs.arrivals.clear();
       continue;
     }
@@ -550,18 +616,17 @@ fwsim::Co<void> Cluster::Autoscaler(int host_index) {
 }
 
 fwsim::Co<void> Cluster::PrepareOne(int host_index, std::string app, uint64_t epoch) {
-  HostState& hs = hosts_[host_index];
+  HostState& hs = *hosts_[host_index];
   const fwbase::SimTime t0 = sim_.Now();
   Status s = co_await hs.host->PrepareClone(app);
-  // hosts_ is sized once in Start() and never resized, so element
-  // references stay stable across suspensions.
-  --hs.preparing[app];  // fwlint:allow(iterator-invalidation)
+  --hs.preparing[app];
   if (!s.ok()) {
     co_return;
   }
   if (hs.epoch != epoch) {
-    // The host crashed while this clone was being prepared: its memory (and
-    // the clone with it) did not survive.
+    // The host crashed (or was decommissioned) while this clone was being
+    // prepared: discard it rather than parking it on capacity that no longer
+    // exists — leaving it would leak the VM past the host's teardown.
     (void)hs.host->DiscardClone(app);
     co_return;
   }
@@ -582,12 +647,12 @@ fwsim::Co<void> Cluster::Sampler() {
     uint64_t inflight = 0;
     uint64_t warm_hits = 0;
     for (const auto& hs : hosts_) {
-      pss += hs.host->PssBytes();
-      vms += hs.host->LiveVmCount();
-      alive += hs.alive ? 1 : 0;
-      queued += hs.queue->size();
-      inflight += static_cast<uint64_t>(std::max<int64_t>(hs.inflight, 0));
-      warm_hits += hs.host->warm_hits();
+      pss += hs->host->PssBytes();
+      vms += hs->host->LiveVmCount();
+      alive += hs->alive ? 1 : 0;
+      queued += hs->queue->size();
+      inflight += static_cast<uint64_t>(std::max<int64_t>(hs->inflight, 0));
+      warm_hits += hs->host->warm_hits();
     }
     peak_pss_bytes_ = std::max(peak_pss_bytes_, pss);
     peak_live_vms_ = std::max(peak_live_vms_, vms);
@@ -596,6 +661,8 @@ fwsim::Co<void> Cluster::Sampler() {
     // Fleet-wide rollup gauges: per-host state aggregated at the front end,
     // so one scrape of the cluster registry describes the whole fleet.
     obs_.metrics().GetGauge("fleet.hosts.alive").Set(static_cast<double>(alive));
+    obs_.metrics().GetGauge("fleet.hosts.active").Set(static_cast<double>(active_hosts()));
+    obs_.metrics().GetGauge("fleet.zones.alive").Set(static_cast<double>(zones_alive()));
     obs_.metrics().GetGauge("fleet.queue.depth").Set(static_cast<double>(queued));
     obs_.metrics().GetGauge("fleet.inflight").Set(static_cast<double>(inflight));
     obs_.metrics().GetGauge("fleet.warm_hits").Set(static_cast<double>(warm_hits));
@@ -638,7 +705,7 @@ void Cluster::Drain(uint64_t until_terminal) {
 
 void Cluster::CrashHost(int host) {
   FW_CHECK(host >= 0 && host < num_hosts());
-  HostState& hs = hosts_[host];
+  HostState& hs = *hosts_[host];
   if (!hs.alive) {
     return;
   }
@@ -653,8 +720,9 @@ void Cluster::CrashHost(int host) {
 
 void Cluster::RestartHost(int host) {
   FW_CHECK(host >= 0 && host < num_hosts());
-  HostState& hs = hosts_[host];
-  if (hs.alive) {
+  HostState& hs = *hosts_[host];
+  if (hs.alive || hs.lifecycle == HostLifecycle::kRemoved) {
+    // Decommissioned capacity does not come back: re-provision with AddHost.
     return;
   }
   hs.alive = true;
@@ -671,9 +739,373 @@ void Cluster::RestartHost(int host) {
 
 void Cluster::PartitionHost(int host, Duration duration) {
   FW_CHECK(host >= 0 && host < num_hosts());
-  HostState& hs = hosts_[host];
+  HostState& hs = *hosts_[host];
   hs.partitioned_until = std::max(hs.partitioned_until, sim_.Now() + duration);
   obs_.metrics().GetCounter("cluster.host_partitions").Increment();
+}
+
+void Cluster::KillZone(int zone) {
+  FW_CHECK(zone >= 0 && zone < config_.num_zones);
+  ++zone_outages_;
+  obs_.metrics().GetCounter("cluster.zone_outages").Increment();
+  {
+    fwobs::ScopedSpan span(&obs_.tracer(), "fleet.zone_outage", "cluster");
+    span.SetAttribute("zone", static_cast<uint64_t>(zone));
+  }
+  for (int h = 0; h < num_hosts(); ++h) {
+    HostState& hs = *hosts_[h];
+    if (hs.zone == zone && hs.alive && hs.lifecycle != HostLifecycle::kRemoved) {
+      CrashHost(h);
+    }
+  }
+}
+
+void Cluster::RestoreZone(int zone) {
+  FW_CHECK(zone >= 0 && zone < config_.num_zones);
+  for (int h = 0; h < num_hosts(); ++h) {
+    HostState& hs = *hosts_[h];
+    if (hs.zone == zone && !hs.alive && hs.lifecycle != HostLifecycle::kRemoved) {
+      RestartHost(h);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic fleet (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+int Cluster::active_hosts() const {
+  int n = 0;
+  for (const auto& hs : hosts_) {
+    if (hs->lifecycle == HostLifecycle::kActive && hs->alive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int Cluster::zones_alive() const {
+  std::map<int, bool> zones;
+  for (const auto& hs : hosts_) {
+    if (hs->lifecycle == HostLifecycle::kActive && hs->alive) {
+      zones.emplace(hs->zone, true);
+    }
+  }
+  return static_cast<int>(zones.size());
+}
+
+double Cluster::HostHours() const { return fleet_ledger_.HostHours(sim_.Now()); }
+
+int Cluster::AddHost(std::unique_ptr<ClusterHost> host, int zone) {
+  if (host == nullptr) {
+    FW_CHECK_MSG(config_.host_factory != nullptr,
+                 "AddHost needs an explicit host or Config::host_factory");
+    host = config_.host_factory(sim_, static_cast<int>(hosts_.size()));
+  }
+  if (zone < 0) {
+    // Balance failure domains: join the zone with the fewest live hosts.
+    std::vector<int> per_zone(static_cast<size_t>(config_.num_zones), 0);
+    for (const auto& other : hosts_) {
+      if (other->lifecycle != HostLifecycle::kRemoved) {
+        ++per_zone[static_cast<size_t>(other->zone)];
+      }
+    }
+    zone = PickJoinZone(per_zone);
+  }
+  FW_CHECK(zone >= 0 && zone < config_.num_zones);
+  const int index = static_cast<int>(hosts_.size());
+  auto hs = std::make_unique<HostState>();
+  hs->host = std::move(host);
+  hs->queue = std::make_unique<fwsim::Channel<Request>>(sim_);
+  hs->zone = zone;
+  hs->lifecycle = HostLifecycle::kJoining;
+  hosts_.push_back(std::move(hs));
+  // Grow every per-host control-plane table alongside the host list.
+  if (config_.health_checks) {
+    health_->AddHost(sim_.Now());
+  }
+  admission_.AddHost();
+  if (distribution_ != nullptr) {
+    distribution_->AddHost();
+  }
+  for (int w = 0; w < config_.workers_per_host; ++w) {
+    sim_.Spawn(Worker(index));
+  }
+  if (config_.autoscale) {
+    sim_.Spawn(Autoscaler(index));
+  }
+  if (config_.health_checks) {
+    sim_.Spawn(Heartbeater(index));
+  }
+  fleet_ledger_.OnProvision(index, sim_.Now());
+  ++hosts_added_;
+  obs_.metrics().GetCounter("cluster.hosts_added").Increment();
+  {
+    fwobs::ScopedSpan span(&obs_.tracer(), "fleet.join", "cluster");
+    span.SetAttribute("host", static_cast<uint64_t>(index));
+    span.SetAttribute("zone", static_cast<uint64_t>(zone));
+  }
+  sim_.Spawn(JoinWarmup(index, hosts_[index]->epoch));
+  return index;
+}
+
+fwsim::Co<void> Cluster::JoinWarmup(int host_index, uint64_t epoch) {
+  HostState& hs = *hosts_[host_index];
+  hs.lifecycle = HostLifecycle::kWarming;
+  // Replay every install the fleet has accepted so far. Index-based: more
+  // installs may land while this coroutine is suspended, and a host that
+  // joined mid-InstallAll must still end up with the full set.
+  for (size_t i = 0; i < installed_sources_.size(); ++i) {
+    const fwlang::FunctionSource fn = installed_sources_[i];
+    Status s = co_await hs.host->Install(fn);
+    FW_CHECK_MSG(s.ok(), "join warm-up install failed");
+  }
+  // Warm the snapshot path before taking traffic: pull chunks through the
+  // distribution tier (registry/peer fetch + REAP working-set prefetch +
+  // guest reseed/clock rebase on restore) and park clones, so the host's
+  // first dispatched request is a warm hit, not a cold boot.
+  for (size_t i = 0; i < installed_.size(); ++i) {
+    const std::string app = installed_[i];
+    if (distribution_ != nullptr) {
+      const Status pulled = co_await distribution_->EnsureSnapshot(host_index, app);
+      FW_CHECK_MSG(pulled.ok(), "EnsureSnapshot degrades to cold boot, never fails");
+      co_await distribution_->WarmRestore(host_index, app);
+    }
+    for (int k = 0; k < config_.join_warm_clones; ++k) {
+      if (static_cast<int>(hs.host->PooledClones(app)) >= config_.max_pool_per_app) {
+        break;
+      }
+      Status s = co_await hs.host->PrepareClone(app);
+      if (!s.ok()) {
+        break;
+      }
+      if (hs.epoch != epoch) {
+        // Crashed mid-warm-up: the clone did not survive the host's memory.
+        (void)hs.host->DiscardClone(app);
+      }
+    }
+  }
+  // Admitted: visible to the scheduler (and the locality ring) from the next
+  // dispatch on. A crash during warm-up does not cancel admission — crash is
+  // not leave; the detector excludes the host until it heartbeats again.
+  hs.lifecycle = HostLifecycle::kActive;
+  scheduler_->OnHostJoin(host_index);
+  obs_.metrics().GetCounter("cluster.hosts_admitted").Increment();
+  {
+    fwobs::ScopedSpan span(&obs_.tracer(), "fleet.admit", "cluster");
+    span.SetAttribute("host", static_cast<uint64_t>(host_index));
+    span.SetAttribute("zone", static_cast<uint64_t>(hs.zone));
+  }
+}
+
+void Cluster::RemoveHost(int host) {
+  FW_CHECK(host >= 0 && host < num_hosts());
+  HostState& hs = *hosts_[host];
+  if (hs.lifecycle == HostLifecycle::kDraining ||
+      hs.lifecycle == HostLifecycle::kRemoved) {
+    return;
+  }
+  // Out of the ring immediately: no new dispatch while the host bleeds its
+  // queue and inflight work through the normal completion path.
+  hs.lifecycle = HostLifecycle::kDraining;
+  scheduler_->OnHostLeave(host);
+  ++hosts_removed_;
+  obs_.metrics().GetCounter("cluster.hosts_removed").Increment();
+  {
+    fwobs::ScopedSpan span(&obs_.tracer(), "fleet.drain", "cluster");
+    span.SetAttribute("host", static_cast<uint64_t>(host));
+    span.SetAttribute("zone", static_cast<uint64_t>(hs.zone));
+  }
+  sim_.Spawn(DrainAndRemove(host));
+}
+
+fwsim::Co<void> Cluster::DrainAndRemove(int host_index) {
+  HostState& hs = *hosts_[host_index];
+  // Replenish the departing host's warm capacity on its ring successors
+  // before the pool disappears, so its apps stay warm somewhere else.
+  if (config_.autoscale) {
+    std::vector<HostView> views = Views();
+    for (const std::string& app : installed_) {
+      if (hs.host->PooledClones(app) == 0) {
+        continue;
+      }
+      int target = -1;
+      for (int t : scheduler_->WarmTargets(app, views, 1)) {
+        if (t != host_index && Schedulable(t)) {
+          target = t;
+          break;
+        }
+      }
+      if (target < 0) {
+        // Placement-free policy (or no ring successor): least-loaded active.
+        for (int h = 0; h < static_cast<int>(views.size()); ++h) {
+          if (h == host_index || !views[h].alive || !Schedulable(h)) {
+            continue;
+          }
+          if (target < 0 || views[h].inflight < views[target].inflight) {
+            target = h;
+          }
+        }
+      }
+      if (target < 0) {
+        continue;  // Nowhere to migrate: the pool is simply lost.
+      }
+      HostState& ts = *hosts_[target];
+      const int pending =
+          static_cast<int>(ts.host->PooledClones(app)) + ts.preparing[app];
+      if (pending < config_.max_pool_per_app) {
+        ++ts.preparing[app];
+        sim_.Spawn(PrepareOne(target, app, ts.epoch));
+      }
+    }
+  }
+  // Bleed: inflight covers both queued and executing requests, and the
+  // scheduler stopped feeding this host when it left the ring.
+  while (hs.inflight > 0) {
+    co_await fwsim::Delay(sim_, config_.sample_interval);
+  }
+  // Teardown. The epoch bump first: any PrepareOne still in flight for this
+  // host discards its clone on completion instead of parking it on capacity
+  // that no longer exists (the decommission-leak hazard).
+  ++hs.epoch;
+  hs.host->DropWarmPool();
+  hs.alive = false;
+  hs.lifecycle = HostLifecycle::kRemoved;
+  hs.arrivals.clear();
+  hs.rate_ewma.clear();
+  fleet_ledger_.OnRemove(host_index, sim_.Now());
+  obs_.metrics().GetCounter("cluster.hosts_decommissioned").Increment();
+  {
+    fwobs::ScopedSpan span(&obs_.tracer(), "fleet.removed", "cluster");
+    span.SetAttribute("host", static_cast<uint64_t>(host_index));
+    span.SetAttribute("zone", static_cast<uint64_t>(hs.zone));
+  }
+}
+
+fwsim::Co<void> Cluster::ZoneSpreader() {
+  const double interval_s = config_.autoscale_interval.seconds();
+  while (running_) {
+    co_await fwsim::Delay(sim_, config_.autoscale_interval);
+    if (!running_) {
+      break;
+    }
+    std::vector<HostView> views = Views();
+    std::map<int, bool> alive_zones;
+    for (const HostView& v : views) {
+      if (v.alive) {
+        alive_zones.emplace(v.zone, true);
+      }
+    }
+    for (const std::string& app : installed_) {
+      const auto ait = spread_arrivals_.find(app);
+      const double observed =
+          (ait == spread_arrivals_.end() ? 0.0 : static_cast<double>(ait->second)) /
+          interval_s;
+      double& ewma = spread_rate_ewma_[app];
+      ewma = config_.autoscale_ewma_alpha * observed +
+             (1.0 - config_.autoscale_ewma_alpha) * ewma;
+      if (alive_zones.size() < 2 || ewma <= 1e-6) {
+        // One zone left (nothing to spread to) or the app carries no
+        // traffic (nothing worth keeping warm twice).
+        continue;
+      }
+      // Keep at least one warm clone in two distinct zones: the ring owner
+      // plus the next clockwise host in an uncovered zone. The per-host
+      // autoscaler sizes the primary's pool; this loop only guarantees the
+      // cross-zone replica exists.
+      for (int t : scheduler_->WarmTargets(app, views, 2)) {
+        if (!Schedulable(t)) {
+          continue;
+        }
+        HostState& ts = *hosts_[t];
+        const int pending =
+            static_cast<int>(ts.host->PooledClones(app)) + ts.preparing[app];
+        if (pending < 1) {
+          ++ts.preparing[app];
+          sim_.Spawn(PrepareOne(t, app, ts.epoch));
+        }
+      }
+    }
+    spread_arrivals_.clear();
+  }
+}
+
+fwsim::Co<void> Cluster::FleetAutoscaler() {
+  const double interval_s = config_.fleet.interval.seconds();
+  while (running_) {
+    co_await fwsim::Delay(sim_, config_.fleet.interval);
+    if (!running_) {
+      break;
+    }
+    const double rate = static_cast<double>(fleet_tick_arrivals_) / interval_s;
+    fleet_tick_arrivals_ = 0;
+    int provisioned = 0;
+    for (const auto& other : hosts_) {
+      if (other->lifecycle != HostLifecycle::kRemoved &&
+          other->lifecycle != HostLifecycle::kDraining) {
+        ++provisioned;
+      }
+    }
+    const int delta = fleet_planner_->Step(rate, service_seconds_ewma_, provisioned);
+    if (delta > 0) {
+      for (int k = 0; k < delta; ++k) {
+        AddHost();
+      }
+    } else if (delta < 0) {
+      // Scale down from the most-populated zone (preserving spread), least
+      // inflight first so the drain is short. Ties keep the lowest index.
+      std::vector<int> per_zone(static_cast<size_t>(config_.num_zones), 0);
+      for (const auto& other : hosts_) {
+        if (other->lifecycle == HostLifecycle::kActive && other->alive) {
+          ++per_zone[static_cast<size_t>(other->zone)];
+        }
+      }
+      int busiest_zone = 0;
+      for (int z = 1; z < config_.num_zones; ++z) {
+        if (per_zone[static_cast<size_t>(z)] > per_zone[static_cast<size_t>(busiest_zone)]) {
+          busiest_zone = z;
+        }
+      }
+      int victim = -1;
+      for (int h = 0; h < num_hosts(); ++h) {
+        const HostState& other = *hosts_[h];
+        if (other.lifecycle != HostLifecycle::kActive || !other.alive ||
+            other.zone != busiest_zone) {
+          continue;
+        }
+        if (victim < 0 || other.inflight < hosts_[victim]->inflight) {
+          victim = h;
+        }
+      }
+      if (victim >= 0) {
+        RemoveHost(victim);
+      }
+    }
+  }
+}
+
+fwsim::Co<void> Cluster::ZoneOutageLoop() {
+  while (running_) {
+    co_await fwsim::Delay(sim_, config_.zone_outage_check_interval);
+    if (!running_) {
+      break;
+    }
+    if (!injector_.Trip(fwfault::FaultKind::kZoneOutage)) {
+      continue;
+    }
+    // Round-robin over zones so repeated trips exercise every failure
+    // domain; zone_outages_ counts KillZone calls, so read it pre-kill.
+    const int zone = static_cast<int>(zone_outages_ % static_cast<uint64_t>(config_.num_zones));
+    KillZone(zone);
+    sim_.Spawn(RestoreZoneAfter(zone, config_.zone_outage_duration));
+  }
+}
+
+fwsim::Co<void> Cluster::RestoreZoneAfter(int zone, fwbase::Duration delay) {
+  co_await fwsim::Delay(sim_, delay);
+  if (running_) {
+    RestoreZone(zone);
+  }
 }
 
 const Cluster::Outcome& Cluster::outcome(uint64_t id) const {
@@ -689,7 +1121,7 @@ Cluster::Rollup Cluster::ComputeRollup() const {
   r.retries = retries_;
   r.zombie_discards = zombie_discards_;
   for (const auto& hs : hosts_) {
-    r.warm_hits += hs.host->warm_hits();
+    r.warm_hits += hs->host->warm_hits();
   }
   r.shed = shed_;
   r.expired = expired_;
@@ -710,6 +1142,10 @@ Cluster::Rollup Cluster::ComputeRollup() const {
   r.slo_alerts = slo_.alerts();
   r.slo_attainment = slo_.Attainment();
   r.slo_worst_attainment = slo_.WorstAttainment();
+  r.hosts_added = hosts_added_;
+  r.hosts_removed = hosts_removed_;
+  r.zone_outages = zone_outages_;
+  r.host_hours = fleet_ledger_.HostHours(sim_.Now());
   if (distribution_ != nullptr) {
     r.distribution = distribution_->stats();
   }

@@ -37,10 +37,22 @@
 //     inflight request is re-dispatched to a second host. The first recorded
 //     completion wins; the loser is discarded by a terminal check on the
 //     request, so completions stay exactly-once (DESIGN.md §11).
+//
+// Elastic fleet (DESIGN.md §16): membership is no longer fixed. AddHost()
+// provisions a cold host that installs every app, pulls snapshots through
+// the distribution tier, parks warm clones, and only then joins the
+// scheduler ring; RemoveHost() drains a host (no new dispatch, warm pools
+// replenished elsewhere, inflight work bled via the zombie-epoch machinery)
+// and tears it down with zero leaks. Hosts group into zones; KillZone (or
+// the zone_outage fault kind) fails a whole zone at once and the survivors
+// absorb the redirected load under admission control. With Config::fleet
+// enabled, a capacity autoscaler grows and shrinks the host count from the
+// same Little's-law signals the warm-pool autoscaler uses.
 #ifndef FIREWORKS_SRC_CLUSTER_CLUSTER_H_
 #define FIREWORKS_SRC_CLUSTER_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,6 +62,7 @@
 #include "src/base/status.h"
 #include "src/base/units.h"
 #include "src/cluster/admission.h"
+#include "src/cluster/fleet_manager.h"
 #include "src/cluster/health.h"
 #include "src/cluster/host.h"
 #include "src/cluster/scheduler.h"
@@ -129,6 +142,30 @@ class Cluster {
     // Drain() aborts after this much simulated time without a new submission
     // or terminal outcome (see Drain()).
     Duration drain_stall_timeout = Duration::Seconds(120);
+
+    // --- Elastic fleet & zones (DESIGN.md §16) ---------------------------
+    // Failure domains: initial host i lives in zone i % num_zones; hosts
+    // added later join the least-populated zone. One zone = the pre-zone
+    // model (everything at zone 0, no spreading).
+    int num_zones = 1;
+    // With >= 2 zones and the autoscaler on, a ZoneSpreader loop keeps at
+    // least one warm clone of every traffic-bearing app in a second zone
+    // (per Scheduler::WarmTargets), so a zone outage leaves warm capacity.
+    bool zone_spread = true;
+    // Warm clones parked per app during a cold host's join warm-up, before
+    // the host is admitted to the scheduler ring.
+    int join_warm_clones = 1;
+    // Host-count autoscaling (fleet_manager.h). Requires host_factory.
+    FleetConfig fleet;
+    // Builds host number `index` for fleet growth; also used by AddHost()
+    // when no host is passed explicitly. Must schedule on `sim`.
+    std::function<std::unique_ptr<ClusterHost>(fwsim::Simulation&, int index)>
+        host_factory;
+    // zone_outage fault kind: polled every check interval; each trip kills
+    // one whole zone (round-robin over zones) and restores it after
+    // zone_outage_duration.
+    Duration zone_outage_check_interval = Duration::Seconds(1);
+    Duration zone_outage_duration = Duration::Seconds(5);
   };
 
   // `hosts` are indexed by position; each must already schedule on `sim`.
@@ -165,6 +202,34 @@ class Cluster {
   void CrashHost(int host);
   void RestartHost(int host);
   void PartitionHost(int host, Duration duration);
+  // Crashes every alive host in `zone` at the current instant (correlated
+  // failure — one failure domain lost); RestoreZone restarts every host the
+  // outage took down. Permanently removed hosts stay removed.
+  void KillZone(int zone);
+  void RestoreZone(int zone);
+
+  // --- Elastic fleet (DESIGN.md §16) ---------------------------------------
+  // Provisions a cold host into `zone` (or the least-populated zone when
+  // negative). The host installs every app, warms its snapshot caches and
+  // parks join_warm_clones clones per app, and only then joins the
+  // scheduler ring. Returns the new host index immediately; admission
+  // happens asynchronously on the simulation. Uses `host` when given, else
+  // Config::host_factory.
+  int AddHost(std::unique_ptr<ClusterHost> host = nullptr, int zone = -1);
+  // Decommissions a host: leaves the scheduler ring at once (no new
+  // dispatch), replenishes its warm capacity on ring successors, bleeds
+  // inflight work, then tears everything down (VMs, netns, parked clones).
+  void RemoveHost(int host);
+
+  HostLifecycle lifecycle(int i) const { return hosts_[i]->lifecycle; }
+  int zone_of(int i) const { return hosts_[i]->zone; }
+  int num_zones() const { return config_.num_zones; }
+  // Hosts currently dispatchable (lifecycle kActive and alive).
+  int active_hosts() const;
+  // Distinct zones with at least one active alive host.
+  int zones_alive() const;
+  // Cumulative provisioned host-time (capacity cost) up to now.
+  double HostHours() const;
 
   // --- Results -------------------------------------------------------------
   struct Outcome {
@@ -216,6 +281,11 @@ class Cluster {
     uint64_t slo_alerts = 0;
     double slo_attainment = 1.0;
     double slo_worst_attainment = 1.0;
+    // Elastic fleet (zero in a static single-zone deployment).
+    uint64_t hosts_added = 0;    // AddHost() provisions (manual + autoscaled).
+    uint64_t hosts_removed = 0;  // RemoveHost() decommissions.
+    uint64_t zone_outages = 0;   // zone_outage fault trips.
+    double host_hours = 0.0;     // Provisioned host-time at rollup time.
     // Snapshot distribution tier counters (zero when the tier is disabled).
     DistributionStats distribution;
   };
@@ -230,11 +300,11 @@ class Cluster {
   // latency): equal digests ⇒ the two runs scheduled and timed identically.
   uint64_t OutcomeDigest() const;
 
-  ClusterHost& host(int i) { return *hosts_[i].host; }
+  ClusterHost& host(int i) { return *hosts_[i]->host; }
   int num_hosts() const { return static_cast<int>(hosts_.size()); }
   // Ground truth (the fault bookkeeping), not the detector's belief; tests
   // compare the two.
-  bool alive(int i) const { return hosts_[i].alive; }
+  bool alive(int i) const { return hosts_[i]->alive; }
   // The failure detector's view (only meaningful with health_checks on).
   const FailureDetector& detector() const { return *health_; }
   // Cluster-level observability (per-host metrics live on each FullHost's
@@ -268,6 +338,11 @@ class Cluster {
     std::unique_ptr<fwsim::Channel<Request>> queue;
     bool alive = true;
     uint64_t epoch = 0;
+    // Failure domain (fixed at provision time) and lifecycle stage
+    // (DESIGN.md §16). Only kActive hosts take new dispatch; the scheduler
+    // ring holds exactly the kActive set.
+    int zone = 0;
+    HostLifecycle lifecycle = HostLifecycle::kActive;
     fwbase::SimTime partitioned_until;
     int64_t inflight = 0;  // Dispatched and not yet terminal.
     // Autoscaler state: arrivals since the last tick and the rate EWMA,
@@ -315,6 +390,26 @@ class Cluster {
   // while it was being prepared (its memory is gone).
   fwsim::Co<void> PrepareOne(int host_index, std::string app, uint64_t epoch);
   fwsim::Co<void> Sampler();
+  // Whether host i may take new dispatch (lifecycle kActive; liveness is the
+  // detector's call, not this one's).
+  bool Schedulable(int host_index) const {
+    return hosts_[host_index]->lifecycle == HostLifecycle::kActive;
+  }
+  // Installs every app + one state-machine coroutine per elastic concern.
+  // JoinWarmup: cold host → install apps → snapshot fetch + warm clones →
+  // admit to ring (kJoining → kWarming → kActive).
+  fwsim::Co<void> JoinWarmup(int host_index, uint64_t epoch);
+  // DrainAndRemove: replenish warm capacity elsewhere, wait out inflight,
+  // tear down (kDraining → kRemoved).
+  fwsim::Co<void> DrainAndRemove(int host_index);
+  // Keeps every traffic-bearing app's warm capacity spread over >= 2 zones
+  // (gated: only spawned with num_zones > 1, zone_spread, and autoscale).
+  fwsim::Co<void> ZoneSpreader();
+  // Host-count autoscaler (gated on Config::fleet.enabled + host_factory).
+  fwsim::Co<void> FleetAutoscaler();
+  // Polls the fault plan for zone_outage trips (gated on the plan).
+  fwsim::Co<void> ZoneOutageLoop();
+  fwsim::Co<void> RestoreZoneAfter(int zone, fwbase::Duration delay);
 
   fwsim::Simulation& sim_;
   Config config_;
@@ -328,8 +423,14 @@ class Cluster {
   RetryBudget retry_budget_;
   fwfault::FaultInjector injector_;
   std::unique_ptr<SnapshotDistribution> distribution_;
-  std::vector<HostState> hosts_;
+  // Heap-allocated so references held across AddHost() stay stable: worker
+  // and autoscaler coroutines bind HostState& for their whole lifetime, and
+  // push_back only moves the unique_ptrs.
+  std::vector<std::unique_ptr<HostState>> hosts_;
   std::vector<std::string> installed_;  // Install order (autoscaler iteration).
+  // Copies of every installed function, so a host provisioned after
+  // InstallAll can run the same install sequence during its join warm-up.
+  std::vector<fwlang::FunctionSource> installed_sources_;
   bool running_ = true;
 
   uint64_t submitted_ = 0;
@@ -347,6 +448,21 @@ class Cluster {
   uint64_t detector_deaths_ = 0;
   uint64_t reinstated_ = 0;
   uint64_t brownout_discards_ = 0;
+  // Elastic fleet bookkeeping.
+  uint64_t hosts_added_ = 0;
+  uint64_t hosts_removed_ = 0;
+  uint64_t zone_outages_ = 0;
+  std::unique_ptr<FleetPlanner> fleet_planner_;  // Only with fleet.enabled.
+  FleetLedger fleet_ledger_;
+  // Cluster-level Little's-law signals for the fleet planner: arrivals since
+  // the last fleet tick and an EWMA of observed service time (the same
+  // signal the admission controller keeps per host, aggregated).
+  uint64_t fleet_tick_arrivals_ = 0;
+  double service_seconds_ewma_ = 0.05;
+  // Per-app arrivals since the last ZoneSpreader tick, and the rate EWMAs it
+  // maintains (ordered: iteration order is part of determinism).
+  std::map<std::string, uint64_t> spread_arrivals_;
+  std::map<std::string, double> spread_rate_ewma_;
   std::vector<Outcome> outcomes_;  // Indexed by request id - 1.
   std::vector<int> primary_host_;  // Last host the primary copy went to.
   std::vector<uint8_t> hedged_;    // 1 once a hedge copy was dispatched.

@@ -79,6 +79,13 @@ HealthTransition FailureDetector::ReportFailure(int host) {
   return HealthTransition::kDied;
 }
 
+void FailureDetector::AddHost(SimTime now) {
+  HostRecord r;
+  r.last_heartbeat = now;
+  r.mean_interval_seconds = config_.heartbeat_interval.seconds();
+  records_.push_back(r);
+}
+
 HealthState FailureDetector::state(int host) const {
   return records_[static_cast<size_t>(host)].state;
 }

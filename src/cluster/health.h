@@ -94,6 +94,11 @@ class FailureDetector {
   // transition straight to kDead without waiting for phi.
   HealthTransition ReportFailure(int host);
 
+  // Grows the detector by one host (elastic fleet join). The new host starts
+  // kAlive with last-heartbeat = `now` — the same startup grace the initial
+  // fleet gets.
+  void AddHost(SimTime now);
+
   HealthState state(int host) const;
   double Phi(int host, SimTime now) const;
   bool pressured(int host) const;

@@ -134,6 +134,7 @@ fwsim::Co<Result<fwcore::InvocationResult>> ModelHost::Invoke(const std::string&
   // Queueing delay (vCPU wait) lands in `others`, as response-path time.
   result.total = sim_.Now() - t0;
   result.others = result.total - startup - exec;
+  result.cold = !warm;
   co_return result;
 }
 

@@ -256,6 +256,27 @@ class SnapshotLocalityScheduler : public Scheduler {
   void OnHostJoin(int host) override { ring_.AddHost(host); }
   void OnHostLeave(int host) override { ring_.RemoveHost(host); }
 
+  std::vector<int> WarmTargets(const std::string& app, const std::vector<HostView>& hosts,
+                               int want) const override {
+    // Clockwise from the app's ring point: the first alive host is the
+    // primary (where Pick sends steady-state traffic), then one host per
+    // not-yet-covered zone until `want` targets. Deterministic — a pure
+    // function of the ring and the views.
+    std::vector<int> targets;
+    std::map<int, bool> zones_covered;
+    ring_.Walk(app, [&hosts, &targets, &zones_covered, want](int h) {
+      if (h >= static_cast<int>(hosts.size()) || !hosts[h].alive) {
+        return true;
+      }
+      if (targets.empty() || zones_covered.count(hosts[h].zone) == 0) {
+        targets.push_back(h);
+        zones_covered.emplace(hosts[h].zone, true);
+      }
+      return static_cast<int>(targets.size()) < want;
+    });
+    return targets;
+  }
+
  private:
   ConsistentHashRing ring_;
 };

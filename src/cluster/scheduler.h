@@ -60,6 +60,10 @@ struct HostView {
   // tier schedule exactly as before; with one, the locality policy prefers
   // holders before forcing a cold registry pull.
   bool holds_snapshot = true;
+  // Failure-domain the host lives in (DESIGN.md §16). Zone-aware placement
+  // (WarmTargets) spreads an app's warm capacity across distinct zones; a
+  // single-zone fleet leaves every host at zone 0 and nothing changes.
+  int zone = 0;
 
   // Every policy prefers healthy hosts and falls back to merely-alive ones,
   // so a suspect/pressured host sheds new load without being fenced off.
@@ -114,6 +118,18 @@ class Scheduler {
   // restart; Pick simply skips non-alive hosts meanwhile.
   virtual void OnHostJoin(int host) {}
   virtual void OnHostLeave(int host) {}
+
+  // Up to `want` distinct alive hosts where `app`'s warm capacity should
+  // live, spread across distinct zones: the ring owner first, then the next
+  // hosts clockwise in zones not yet covered. Fewer alive zones than `want`
+  // simply yields fewer targets — replicas never stack up inside one failure
+  // domain. Policies without a placement notion return empty (the cluster
+  // then skips zone spreading).
+  virtual std::vector<int> WarmTargets(const std::string& app,
+                                       const std::vector<HostView>& hosts,
+                                       int want) const {
+    return {};
+  }
 };
 
 // Builds a scheduler over hosts [0, num_hosts). `vnodes_per_host` only

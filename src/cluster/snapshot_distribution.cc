@@ -108,6 +108,13 @@ void SnapshotDistribution::OnHostRestart(int host) {
   warm_[static_cast<size_t>(host)].clear();
 }
 
+void SnapshotDistribution::AddHost() {
+  caches_.push_back(std::make_unique<fwstore::ChunkCache>(config_.cache_budget_bytes));
+  holds_.emplace_back();
+  warm_.emplace_back();
+  generations_.push_back(0);
+}
+
 bool SnapshotDistribution::TripFault(fwfault::FaultKind kind) {
   return injector_ != nullptr && injector_->Trip(kind);
 }

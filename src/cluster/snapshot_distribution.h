@@ -153,6 +153,10 @@ class SnapshotDistribution {
   // but lost its page cache: every app needs a fresh working-set restore.
   void OnHostRestart(int host);
 
+  // Grows the tier by one host (elastic fleet join): empty chunk cache, no
+  // holds, generation zero — a genuinely cold machine.
+  void AddHost();
+
   // Ensures `host` holds `app`'s snapshot, pulling manifest + chunks through
   // cache → peer → registry as needed. Ok when the host already holds it.
   // On total loss (registry unreachable through every retry), cold-boots:

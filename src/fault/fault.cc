@@ -39,6 +39,8 @@ const char* FaultKindName(FaultKind kind) {
       return "chunk_corruption";
     case FaultKind::kRegistryUnreachable:
       return "registry_unreachable";
+    case FaultKind::kZoneOutage:
+      return "zone_outage";
     case FaultKind::kCount:
       break;
   }

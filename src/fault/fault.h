@@ -49,6 +49,7 @@ enum class FaultKind {
   kHostSlowdown,            // Gray failure: the host serves, but slowly.
   kChunkCorruption,         // A fetched snapshot chunk fails digest check.
   kRegistryUnreachable,     // The snapshot registry drops a fetch RPC.
+  kZoneOutage,              // Every host in one zone dies at the same instant.
   kCount,
 };
 

@@ -18,6 +18,8 @@ const char* ArrivalProcessName(ArrivalProcess process) {
       return "bursty";
     case ArrivalProcess::kDiurnal:
       return "diurnal";
+    case ArrivalProcess::kDiurnalFlash:
+      return "diurnal-flash";
   }
   return "unknown";
 }
@@ -31,6 +33,9 @@ std::optional<ArrivalProcess> ParseArrivalProcess(const std::string& name) {
   }
   if (name == "diurnal") {
     return ArrivalProcess::kDiurnal;
+  }
+  if (name == "diurnal-flash") {
+    return ArrivalProcess::kDiurnalFlash;
   }
   return std::nullopt;
 }
@@ -46,6 +51,11 @@ LoadGen::LoadGen(const LoadGenConfig& config)
   FW_CHECK(config_.mean_burst_seconds > 0.0 && config_.mean_calm_seconds > 0.0);
   FW_CHECK(config_.diurnal_amplitude >= 0.0 && config_.diurnal_amplitude <= 1.0);
   FW_CHECK(config_.diurnal_period_seconds > 0.0);
+  FW_CHECK(config_.flash_multiplier >= 1.0);
+  FW_CHECK(config_.flash_interval_seconds > 0.0);
+  FW_CHECK(config_.flash_duration_seconds >= 0.0 &&
+           config_.flash_duration_seconds <= config_.flash_interval_seconds);
+  FW_CHECK(config_.flash_offset_seconds >= 0.0);
 
   // MMPP-2 normalisation: with burst-state fraction p_b, the long-run mean is
   // calm_rate * ((1 - p_b) + multiplier * p_b) — solve for calm_rate.
@@ -86,18 +96,27 @@ double LoadGen::NextInterarrivalSeconds() {
       }
     }
 
-    case ArrivalProcess::kDiurnal: {
+    case ArrivalProcess::kDiurnal:
+    case ArrivalProcess::kDiurnalFlash: {
       // Thinning (Lewis & Shedler): draw candidates at the peak rate, accept
-      // with probability rate(t) / peak.
-      const double peak = config_.rate_per_sec * (1.0 + config_.diurnal_amplitude);
+      // with probability rate(t) / peak. For kDiurnalFlash the envelope must
+      // cover the flash windows too, so the peak scales by the multiplier.
+      const bool flash = config_.arrival == ArrivalProcess::kDiurnalFlash;
+      const double peak = config_.rate_per_sec * (1.0 + config_.diurnal_amplitude) *
+                          (flash ? config_.flash_multiplier : 1.0);
       double waited = 0.0;
       while (true) {
         waited += arrival_rng_.Exponential(1.0 / peak);
         const double t = now_seconds_ + waited;
-        const double rate =
+        double rate =
             config_.rate_per_sec *
             (1.0 + config_.diurnal_amplitude *
                        std::sin(2.0 * kPi * t / config_.diurnal_period_seconds));
+        if (flash && t >= config_.flash_offset_seconds &&
+            std::fmod(t - config_.flash_offset_seconds,
+                      config_.flash_interval_seconds) < config_.flash_duration_seconds) {
+          rate *= config_.flash_multiplier;
+        }
         if (arrival_rng_.UniformDouble() * peak < rate) {
           return waited;
         }

@@ -11,6 +11,10 @@
 //     mean rate still equals `rate_per_sec`;
 //   * kDiurnal — a non-homogeneous Poisson process with sinusoidal rate
 //     modulation (compressed day/night cycle), sampled by thinning.
+//   * kDiurnalFlash — the diurnal curve with periodic flash-crowd windows
+//     layered on top (rate multiplied by flash_multiplier inside each
+//     window), the elastic-fleet stress trace: slow swings the capacity
+//     autoscaler should track plus spikes it must absorb.
 //
 // App popularity is Zipf-distributed (app 0 is the hottest), matching the
 // skew observed in production FaaS traces. Every draw comes from explicitly
@@ -29,7 +33,7 @@
 
 namespace fwwork {
 
-enum class ArrivalProcess { kPoisson, kBursty, kDiurnal };
+enum class ArrivalProcess { kPoisson, kBursty, kDiurnal, kDiurnalFlash };
 
 const char* ArrivalProcessName(ArrivalProcess process);
 std::optional<ArrivalProcess> ParseArrivalProcess(const std::string& name);
@@ -53,6 +57,15 @@ struct LoadGenConfig {
   // six simulated minutes so benches see several cycles.
   double diurnal_period_seconds = 360.0;
   double diurnal_amplitude = 0.8;
+
+  // kDiurnalFlash: every flash_interval_seconds (measured from
+  // flash_offset_seconds), the diurnal rate is multiplied by
+  // flash_multiplier for flash_duration_seconds — a compressed flash crowd
+  // (product launch, breaking news) on top of the daily cycle.
+  double flash_multiplier = 3.0;
+  double flash_interval_seconds = 120.0;
+  double flash_duration_seconds = 10.0;
+  double flash_offset_seconds = 45.0;
 
   // App popularity: Zipf over `num_apps` apps with the given exponent
   // (s = 1.1 approximates the Azure Functions skew; app 0 is hottest).

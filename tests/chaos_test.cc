@@ -848,5 +848,247 @@ TEST(ChaosSweepTest, RegistryChaosIsBitIdentical) {
   }
 }
 
+
+// --- Zone-outage scenario ---------------------------------------------------
+// The correlated failure the zone model exists for: every host in one zone
+// dies at the same instant at peak load, and the survivors absorb the
+// redirected traffic. Invariants beyond the usual crash ones (exactly-once,
+// unique guest-minted ids, zero leaks, bit-identity): per-app SLO attainment
+// in the outage run stays within 90% of the same seed's no-fault run — losing
+// a third of the fleet degrades the tail, it must not collapse any one app.
+fwsim::Co<void> DriveZonedStream(fwsim::Simulation& sim, fwcluster::Cluster& cluster,
+                                 int count, int num_apps) {
+  for (int i = 0; i < count; ++i) {
+    co_await fwsim::Delay(sim, Duration::Millis(5));
+    (void)cluster.Submit("app-" + std::to_string(i % num_apps), "{}");
+  }
+}
+
+fwsim::Co<void> KillZoneThenRestore(fwsim::Simulation& sim, fwcluster::Cluster& cluster,
+                                    int zone, Duration kill_after, Duration outage) {
+  co_await fwsim::Delay(sim, kill_after);
+  cluster.KillZone(zone);
+  co_await fwsim::Delay(sim, outage);
+  cluster.RestoreZone(zone);
+}
+
+struct ZoneOutageRun {
+  uint64_t digest = 0;
+  fwcluster::Cluster::Rollup rollup;
+  // Per-app fraction of requests that completed OK within the SLO target.
+  std::map<std::string, double> app_attainment;
+};
+
+ZoneOutageRun RunZoneOutageScenario(uint64_t seed, bool inject_outage) {
+  constexpr int kHosts = 6;
+  constexpr int kZones = 3;
+  constexpr int kApps = 6;  // Every zone owns traffic, so the kill always bites.
+  constexpr int kInvocations = 48;
+  fwsim::Simulation sim(seed);
+  std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    fwcluster::FullHost::Config fc;
+    fc.env.seed = seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(i);
+    hosts.push_back(std::make_unique<fwcluster::FullHost>(sim, i, fc));
+  }
+  fwcluster::Cluster::Config cc;
+  cc.policy = fwcluster::SchedulerPolicy::kSnapshotLocality;
+  cc.num_zones = kZones;
+  cc.slo.target = Duration::Millis(300);
+  fwcluster::Cluster cluster(sim, std::move(hosts), cc);
+
+  for (int a = 0; a < kApps; ++a) {
+    FunctionSource fn =
+        fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+    fn.name = "app-" + std::to_string(a);
+    FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+  }
+  std::vector<size_t> netns_baseline;
+  for (int i = 0; i < kHosts; ++i) {
+    netns_baseline.push_back(cluster.host(i).LiveNetnsCount());
+  }
+
+  sim.Spawn(DriveZonedStream(sim, cluster, kInvocations, kApps));
+  if (inject_outage) {
+    // Hosts 0 and 3 die together at 60 ms (mid-burst: work queued, in
+    // flight, and clone prepares racing), the zone comes back at 160 ms.
+    sim.Spawn(KillZoneThenRestore(sim, cluster, /*zone=*/0, Duration::Millis(60),
+                                  Duration::Millis(100)));
+  }
+  cluster.Drain(kInvocations);
+  sim.Run();
+
+  ZoneOutageRun result;
+  result.rollup = cluster.ComputeRollup();
+  EXPECT_EQ(result.rollup.completed + result.rollup.failed,
+            static_cast<uint64_t>(kInvocations));
+  EXPECT_EQ(result.rollup.failed, 0u)
+      << "survivors must absorb a zone outage within the retry budget";
+  EXPECT_EQ(result.rollup.zone_outages, inject_outage ? 1u : 0u);
+  std::set<uint64_t> seen_ids;
+  std::map<std::string, uint64_t> app_total;
+  std::map<std::string, uint64_t> app_good;
+  for (uint64_t id = 1; id <= cluster.submitted(); ++id) {
+    const fwcluster::Cluster::Outcome& out = cluster.outcome(id);
+    EXPECT_EQ(out.completions, 1u) << "request " << id;
+    EXPECT_LE(out.attempts, cc.max_attempts);
+    if (out.status.ok()) {
+      EXPECT_NE(out.request_id, 0u) << "request " << id;
+      EXPECT_TRUE(seen_ids.insert(out.request_id).second)
+          << "request " << id << " duplicated request id " << out.request_id
+          << " across the zone outage";
+    }
+    ++app_total[out.fn];
+    if (out.status.ok() && out.latency <= cc.slo.target) {
+      ++app_good[out.fn];
+    }
+  }
+  for (const auto& [app, total] : app_total) {
+    result.app_attainment[app] =
+        static_cast<double>(app_good[app]) / static_cast<double>(total);
+  }
+
+  for (int i = 0; i < kHosts; ++i) {
+    cluster.host(i).DropWarmPool();
+  }
+  sim.Run();
+  for (int i = 0; i < kHosts; ++i) {
+    SCOPED_TRACE("host " + std::to_string(i));
+    EXPECT_EQ(cluster.host(i).TotalPooledClones(), 0u);
+    EXPECT_EQ(cluster.host(i).LiveVmCount(), 0u);
+    EXPECT_EQ(cluster.host(i).LiveNetnsCount(), netns_baseline[i]);
+  }
+  result.digest = cluster.OutcomeDigest();
+  return result;
+}
+
+TEST(ChaosSweepTest, ZoneOutageSurvivorsKeepPerAppSloSeedSweep) {
+  // Six full-fidelity hosts per run and two runs per seed: narrower sweep.
+  const int seeds = std::max(SweepSeeds() / 20, 5);
+  uint64_t total_retries = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const ZoneOutageRun baseline = RunZoneOutageScenario(seed, /*inject_outage=*/false);
+    const ZoneOutageRun outage = RunZoneOutageScenario(seed, /*inject_outage=*/true);
+    for (const auto& [app, base_att] : baseline.app_attainment) {
+      const auto it = outage.app_attainment.find(app);
+      ASSERT_NE(it, outage.app_attainment.end()) << app;
+      EXPECT_GE(it->second, 0.9 * base_att)
+          << app << ": zone outage collapsed this app's SLO attainment";
+    }
+    total_retries += outage.rollup.retries;
+    if (::testing::Test::HasFailure()) {
+      std::ofstream(ArtifactDir() + "/chaos_failing_seed.txt") << seed << "\n";
+      FAIL() << "zone-outage invariant violated at seed " << seed;
+    }
+  }
+  // The sweep must actually exercise recovery, not kill an idle zone.
+  EXPECT_GT(total_retries, 0u);
+}
+
+TEST(ChaosSweepTest, ZoneOutageRecoveryIsBitIdentical) {
+  for (uint64_t seed : {1u, 42u, 77u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EXPECT_EQ(RunZoneOutageScenario(seed, true).digest,
+              RunZoneOutageScenario(seed, true).digest);
+  }
+}
+
+
+// --- Decommission-during-burst scenario -------------------------------------
+// RemoveHost() while the victim holds queued work, in-flight invocations, and
+// racing clone prepares. Graceful removal must not fail or duplicate a single
+// request, and the removed host must hold *nothing* afterwards — no VMs, no
+// parked clones, no netns beyond the install-time baseline — without anyone
+// calling DropWarmPool on it (the decommission path owns the teardown).
+fwsim::Co<void> RemoveDuringBurst(fwsim::Simulation& sim, fwcluster::Cluster& cluster,
+                                  int victim, Duration after) {
+  co_await fwsim::Delay(sim, after);
+  cluster.RemoveHost(victim);
+}
+
+uint64_t RunDecommissionScenario(uint64_t seed) {
+  constexpr int kHosts = 3;
+  constexpr int kApps = 6;  // Locality gives every host (incl. the victim) traffic.
+  constexpr int kInvocations = 36;
+  fwsim::Simulation sim(seed);
+  std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    fwcluster::FullHost::Config fc;
+    fc.env.seed = seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(i);
+    hosts.push_back(std::make_unique<fwcluster::FullHost>(sim, i, fc));
+  }
+  fwcluster::Cluster::Config cc;
+  cc.policy = fwcluster::SchedulerPolicy::kSnapshotLocality;
+  cc.num_zones = 3;
+  fwcluster::Cluster cluster(sim, std::move(hosts), cc);
+
+  for (int a = 0; a < kApps; ++a) {
+    FunctionSource fn =
+        fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+    fn.name = "app-" + std::to_string(a);
+    FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+  }
+  std::vector<size_t> netns_baseline;
+  for (int i = 0; i < kHosts; ++i) {
+    netns_baseline.push_back(cluster.host(i).LiveNetnsCount());
+  }
+
+  constexpr int kVictim = 1;
+  sim.Spawn(DriveZonedStream(sim, cluster, kInvocations, kApps));
+  sim.Spawn(RemoveDuringBurst(sim, cluster, kVictim, Duration::Millis(23)));
+  cluster.Drain(kInvocations);
+  sim.Run();  // DrainAndRemove finishes bleeding + teardown here.
+
+  const fwcluster::Cluster::Rollup rollup = cluster.ComputeRollup();
+  EXPECT_EQ(rollup.completed + rollup.failed, static_cast<uint64_t>(kInvocations));
+  EXPECT_EQ(rollup.failed, 0u) << "graceful removal must not fail requests";
+  EXPECT_EQ(rollup.hosts_removed, 1u);
+  for (uint64_t id = 1; id <= cluster.submitted(); ++id) {
+    EXPECT_EQ(cluster.outcome(id).completions, 1u) << "request " << id;
+  }
+  // The victim tore itself down; nobody dropped its pool from the outside.
+  EXPECT_EQ(cluster.lifecycle(kVictim), fwcluster::HostLifecycle::kRemoved);
+  {
+    SCOPED_TRACE("victim");
+    EXPECT_EQ(cluster.host(kVictim).TotalPooledClones(), 0u);
+    EXPECT_EQ(cluster.host(kVictim).LiveVmCount(), 0u);
+    EXPECT_EQ(cluster.host(kVictim).LiveNetnsCount(), netns_baseline[kVictim]);
+  }
+  // Survivors pass the usual leak check once their pools are dropped.
+  for (int i = 0; i < kHosts; ++i) {
+    if (i != kVictim) {
+      cluster.host(i).DropWarmPool();
+    }
+  }
+  sim.Run();
+  for (int i = 0; i < kHosts; ++i) {
+    SCOPED_TRACE("host " + std::to_string(i));
+    EXPECT_EQ(cluster.host(i).TotalPooledClones(), 0u);
+    EXPECT_EQ(cluster.host(i).LiveVmCount(), 0u);
+    EXPECT_EQ(cluster.host(i).LiveNetnsCount(), netns_baseline[i]);
+  }
+  return cluster.OutcomeDigest();
+}
+
+TEST(ChaosSweepTest, DecommissionDuringBurstLeaksNothing) {
+  const int seeds = std::max(SweepSeeds() / 10, 10);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    (void)RunDecommissionScenario(seed);
+    if (::testing::Test::HasFailure()) {
+      std::ofstream(ArtifactDir() + "/chaos_failing_seed.txt") << seed << "\n";
+      FAIL() << "decommission chaos invariant violated at seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosSweepTest, DecommissionDuringBurstIsBitIdentical) {
+  for (uint64_t seed : {1u, 42u, 77u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EXPECT_EQ(RunDecommissionScenario(seed), RunDecommissionScenario(seed));
+  }
+}
+
 }  // namespace
 }  // namespace fwcore

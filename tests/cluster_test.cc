@@ -691,5 +691,71 @@ TEST(ClusterDrainDeathTest, DrainBeyondWorkloadAbortsInsteadOfSpinning) {
   EXPECT_DEATH(impossible_drain(), "stalled");
 }
 
+// The stall guard's boundary: progress landing at *exactly*
+// drain_stall_timeout after the last progress must not abort (the comparison
+// is strict), so the guard can never fire one tick early.
+TEST(ClusterDrainDeathTest, ProgressAtExactlyTheStallTimeoutDoesNotAbort) {
+  fwsim::Simulation sim(2);
+  std::vector<std::unique_ptr<ClusterHost>> hosts;
+  ModelHost::Config mc;
+  mc.calibration = TestCalibration();
+  hosts.push_back(std::make_unique<ModelHost>(sim, 0, mc));
+  Cluster::Config cc;
+  cc.drain_stall_timeout = Duration::Seconds(2);
+  Cluster cluster(sim, std::move(hosts), cc);
+  fwlang::FunctionSource fn = fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency,
+                                                  fwlang::Language::kNodeJs);
+  fn.name = "app-0";
+  FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+  (void)cluster.Submit("app-0", "{}");
+  while (cluster.terminal() < 1) {
+    FW_CHECK(sim.StepOne());
+  }
+  const fwbase::SimTime last_progress = sim.Now();
+  // The next submission arrives exactly drain_stall_timeout later — the
+  // heartbeat/sampler events in between never reset the progress clock, so
+  // this is the latest instant at which Drain may still accept progress.
+  sim.Spawn([](fwsim::Simulation& s, Cluster& c, Duration gap) -> fwsim::Co<void> {
+    co_await fwsim::Delay(s, gap);
+    (void)c.Submit("app-0", "{}");
+  }(sim, cluster, cc.drain_stall_timeout));
+  cluster.Drain(2);  // Aborts the test (FW_CHECK) if the guard fires early.
+  EXPECT_EQ(cluster.terminal(), 2u);
+  EXPECT_GE(sim.Now() - last_progress, cc.drain_stall_timeout);
+}
+
+// …and progress at the boundary restarts the window: the abort then fires
+// only once a *full further* timeout elapses, with the bookkeeping showing
+// both requests were accepted before the guard tripped.
+TEST(ClusterDrainDeathTest, BoundaryProgressRestartsTheStallWindow) {
+  auto drain_past_reset = [] {
+    fwsim::Simulation sim(3);
+    std::vector<std::unique_ptr<ClusterHost>> hosts;
+    ModelHost::Config mc;
+    mc.calibration = TestCalibration();
+    hosts.push_back(std::make_unique<ModelHost>(sim, 0, mc));
+    Cluster::Config cc;
+    cc.drain_stall_timeout = Duration::Seconds(2);
+    Cluster cluster(sim, std::move(hosts), cc);
+    fwlang::FunctionSource fn = fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency,
+                                                    fwlang::Language::kNodeJs);
+    fn.name = "app-0";
+    FW_CHECK(RunSync(sim, cluster.InstallAll(fn)).ok());
+    (void)cluster.Submit("app-0", "{}");
+    while (cluster.terminal() < 1) {
+      FW_CHECK(sim.StepOne());
+    }
+    sim.Spawn([](fwsim::Simulation& s, Cluster& c, Duration gap) -> fwsim::Co<void> {
+      co_await fwsim::Delay(s, gap);
+      (void)c.Submit("app-0", "{}");
+    }(sim, cluster, cc.drain_stall_timeout));
+    cluster.Drain(3);  // A third request never arrives.
+  };
+  // "2 submitted, 2 terminal" proves the boundary submission was accepted
+  // (no early abort) and the guard fired a configured timeout after it.
+  EXPECT_DEATH(drain_past_reset(),
+               "Drain\\(3\\) stalled: 2 submitted, 2 terminal, and no progress for 2s");
+}
+
 }  // namespace
 }  // namespace fwcluster

@@ -358,4 +358,99 @@ TEST(GoldenTrace, ClusterColdHostRegistryPull) {
   ExpectMatchesGolden("cluster_cold_host_registry_trace.golden", rendered);
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 5: a cold host joining an elastic fleet (DESIGN.md §16). One
+// seeded host serves steady traffic; AddHost() provisions a second, whose
+// join warm-up must run the entire sequence the golden pins — registry chunk
+// fetch, REAP working-set prefetch, guest reseed + clock rebase, warm-pool
+// ready (fleet.admit) — strictly before its first dispatch, which is then a
+// warm hit off the join-parked clone.
+// ---------------------------------------------------------------------------
+
+fwsim::Co<void> DriveJoinSchedule(fwsim::Simulation& sim, fwcluster::Cluster& cluster) {
+  co_await fwsim::Delay(sim, Duration::Millis(25));
+  (void)cluster.Submit("app-a", "{}");
+  co_await fwsim::Delay(sim, Duration::Millis(25));
+  (void)cluster.AddHost();
+  // The join needs ~10 ms (manifest + chunks + prefetch + reseed + prepare);
+  // by 400 ms the new host has long been admitted to the ring.
+  co_await fwsim::Delay(sim, Duration::Millis(350));
+  (void)cluster.Submit("app-a", "{}");
+  co_await fwsim::Delay(sim, Duration::Millis(25));
+  (void)cluster.Submit("app-a", "{}");
+}
+
+TEST(GoldenTrace, ClusterColdHostJoinWarmup) {
+  fwsim::Simulation sim(42);  // Fixed seed: the golden depends on it.
+  fwcluster::HostCalibration cal;
+  cal.cold_startup = Duration::Millis(17);
+  cal.cold_exec = Duration::Millis(3);
+  cal.cold_others = Duration::Millis(1);
+  cal.warm_startup = Duration::Micros(1600);
+  cal.warm_exec = Duration::Millis(3);
+  cal.warm_others = Duration::Micros(400);
+  cal.prepare_cost = Duration::Millis(16);
+  cal.jitter = 0.0;  // Phase timings in this golden are exact.
+
+  std::vector<std::unique_ptr<fwcluster::ClusterHost>> hosts;
+  {
+    fwcluster::ModelHost::Config mc;
+    mc.calibration = cal;
+    hosts.push_back(std::make_unique<fwcluster::ModelHost>(sim, 0, mc));
+  }
+  fwcluster::Cluster::Config cc;
+  cc.policy = fwcluster::SchedulerPolicy::kRoundRobin;  // Joiner gets traffic.
+  cc.autoscale = false;  // Only the join itself parks clones: a quiet golden.
+  cc.distribution.enabled = true;
+  cc.distribution.base_layer_bytes = 4ull << 20;
+  cc.distribution.delta_layer_bytes = 1ull << 20;
+  cc.distribution.chunk_bytes = 1ull << 20;
+  cc.host_factory = [cal](fwsim::Simulation& s, int index) {
+    fwcluster::ModelHost::Config mc;
+    mc.calibration = cal;
+    return std::make_unique<fwcluster::ModelHost>(s, index, mc);
+  };
+  fwcluster::Cluster cluster(sim, std::move(hosts), cc);
+  cluster.obs().tracer().Enable();
+
+  fwlang::FunctionSource fn =
+      fwwork::MakeFaasdom(fwwork::FaasdomBench::kNetLatency, fwlang::Language::kNodeJs);
+  fn.name = "app-a";
+  ASSERT_TRUE(RunSync(sim, cluster.InstallAll(fn)).ok());
+  sim.Spawn(DriveJoinSchedule(sim, cluster));
+  cluster.Drain(3);
+  sim.Run();
+
+  const fwcluster::Cluster::Rollup rollup = cluster.ComputeRollup();
+  ASSERT_EQ(rollup.hosts_added, 1u);
+  ASSERT_EQ(cluster.lifecycle(1), fwcluster::HostLifecycle::kActive);
+  ASSERT_EQ(rollup.failed, 0u);
+  // The golden exists to pin the join pipeline; fail loudly if the scenario
+  // stops exercising it rather than regenerating a hollow golden.
+  ASSERT_EQ(rollup.distribution.cold_fetches, 1u)
+      << "the joining host no longer pulls through the registry";
+  ASSERT_GE(rollup.distribution.warm_restores, 1u)
+      << "the joining host no longer runs the working-set prefetch";
+  bool joiner_served_warm = false;
+  for (uint64_t id = 1; id <= cluster.submitted(); ++id) {
+    const fwcluster::Cluster::Outcome& out = cluster.outcome(id);
+    if (out.host == 1) {
+      joiner_served_warm = joiner_served_warm || out.warm_hit;
+    }
+  }
+  ASSERT_TRUE(joiner_served_warm)
+      << "the joiner's warm pool was not ready before its first dispatch";
+
+  std::string rendered = RenderTrace(cluster.obs().tracer());
+  rendered += fwbase::StrFormat(
+      "rollup completed=%llu hosts_added=%llu cold_fetches=%llu "
+      "warm_restores=%llu warm_hits=%llu\n",
+      static_cast<unsigned long long>(rollup.completed),
+      static_cast<unsigned long long>(rollup.hosts_added),
+      static_cast<unsigned long long>(rollup.distribution.cold_fetches),
+      static_cast<unsigned long long>(rollup.distribution.warm_restores),
+      static_cast<unsigned long long>(rollup.warm_hits));
+  ExpectMatchesGolden("cluster_join_warmup_trace.golden", rendered);
+}
+
 }  // namespace
